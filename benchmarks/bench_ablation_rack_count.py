@@ -1,0 +1,74 @@
+"""Ablation: repair time vs the number of racks a stripe spans.
+
+§4.1's analysis says RPR's cross stage costs ``(floor(log2 q) + 1) * t_c``
+while traditional repair costs ``n * t_c`` — so the win should *grow*
+with ``q``.  This sweep fixes the code family at k=2 and walks
+n ∈ {4, 6, 8, 10, 12} (q = 3..7 racks), measuring all three schemes and
+the analytic eq. (13) bound alongside.
+"""
+
+from conftest import emit
+from repro.analysis import TimeParameters, racks_for_code, rpr_worst_case_time
+from repro.experiments import build_simics_environment, context_for, format_table
+from repro.metrics import percent_reduction
+from repro.repair import CARRepair, RPRScheme, TraditionalRepair, simulate_repair
+
+NS = [4, 6, 8, 10, 12]
+K = 2
+
+
+def run_sweep():
+    rows = []
+    for n in NS:
+        env = build_simics_environment(n, K)
+        ctx = context_for(env, [1])
+        t_i = env.block_size / env.bandwidth.intra
+        t_c = env.block_size / env.bandwidth.cross
+        params = TimeParameters(t_i=t_i, t_c=t_c)
+        tra = simulate_repair(TraditionalRepair(), ctx, env.bandwidth)
+        car = simulate_repair(CARRepair(), ctx, env.bandwidth)
+        rpr = simulate_repair(RPRScheme(), ctx, env.bandwidth)
+        rows.append(
+            {
+                "code": f"({n},{K})",
+                "q": racks_for_code(n, K),
+                "tra_s": tra.total_repair_time,
+                "car_s": car.total_repair_time,
+                "rpr_s": rpr.total_repair_time,
+                "eq13_bound_s": rpr_worst_case_time(n, K, params),
+                "reduction_pct": percent_reduction(
+                    tra.total_repair_time, rpr.total_repair_time
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_rack_count(bench_once):
+    rows = bench_once(run_sweep)
+    emit(
+        "Ablation — repair time vs stripe rack span (k=2 family, single failure)",
+        format_table(
+            ["code", "q", "tra_s", "car_s", "rpr_s", "eq13_bound_s", "rpr_vs_tra_%"],
+            [
+                [
+                    r["code"],
+                    r["q"],
+                    r["tra_s"],
+                    r["car_s"],
+                    r["rpr_s"],
+                    r["eq13_bound_s"],
+                    r["reduction_pct"],
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    # Traditional grows ~linearly in n; RPR ~logarithmically in q: the
+    # reduction percentage must be non-decreasing along the sweep.
+    reductions = [r["reduction_pct"] for r in rows]
+    assert all(b >= a - 3.0 for a, b in zip(reductions, reductions[1:]))
+    assert reductions[-1] > reductions[0]
+    for r in rows:
+        # eq. (13) bounds the measured pipelined schedule (+ decode slack).
+        assert r["rpr_s"] <= r["eq13_bound_s"] + 5.0

@@ -1,0 +1,51 @@
+"""Harness performance: can the event engine handle store-scale graphs?
+
+Real nodes hold thousands of stripes; the engine must chew through the
+merged rebuild graphs fast enough to keep sweeps interactive.  These are
+true pytest-benchmark timings (statistical, multiple rounds) of the
+engine itself on progressively larger merged node-rebuild graphs.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, SIMICS_BANDWIDTH
+from repro.multistripe import StripeStore, merge_plans, node_failure_contexts
+from repro.repair import RPRScheme
+from repro.rs import SIMICS_DECODE, get_code
+from repro.sim import SimulationEngine
+
+
+def build_rebuild_graph(num_stripes):
+    cluster = Cluster.homogeneous(5, 8)
+    store = StripeStore.build(cluster, get_code(6, 2), num_stripes)
+    _, contexts = node_failure_contexts(store, 0, mode="scatter")
+    plans = [RPRScheme().plan(ctx) for ctx in contexts]
+    graph = merge_plans(plans, SIMICS_DECODE)
+    return cluster, graph
+
+
+@pytest.mark.parametrize("num_stripes", [40, 200])
+def test_engine_node_rebuild_scale(benchmark, num_stripes):
+    cluster, graph = build_rebuild_graph(num_stripes)
+    engine = SimulationEngine(cluster, SIMICS_BANDWIDTH)
+    result = benchmark(engine.run, graph)
+    assert result.makespan > 0
+    assert len(result.timings) == len(graph)
+    print(
+        f"\n  {num_stripes} stripes -> {len(graph)} jobs, "
+        f"makespan {result.makespan:.1f} s simulated"
+    )
+
+
+def test_planning_scale(benchmark):
+    """Plan construction throughput for a whole node's worth of stripes."""
+    cluster = Cluster.homogeneous(5, 8)
+    store = StripeStore.build(cluster, get_code(6, 2), 200)
+    _, contexts = node_failure_contexts(store, 0, mode="scatter")
+    scheme = RPRScheme()
+
+    def plan_all():
+        return [scheme.plan(ctx) for ctx in contexts]
+
+    plans = benchmark(plan_all)
+    assert len(plans) == len(contexts)

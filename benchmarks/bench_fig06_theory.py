@@ -1,0 +1,21 @@
+"""Figure 6: theoretical total repair time, traditional vs RPR worst case.
+
+Paper: with t_i = 1 ms and t_c = 10 ms, traditional repair grows linearly
+with n while RPR grows "steadily and with a much smaller scale".
+"""
+
+from conftest import emit
+from repro.experiments import figure6_rows, format_table
+
+
+def test_fig06_theoretical_repair_time(bench_once):
+    rows = bench_once(figure6_rows)
+    table = format_table(
+        ["code", "traditional_ms", "rpr_worstcase_ms"],
+        [
+            [r["code"], r["traditional_s"] * 1e3, r["rpr_s"] * 1e3]
+            for r in rows
+        ],
+    )
+    emit("Figure 6 — theoretical repair time (t_i=1ms, t_c=10ms)", table)
+    assert all(r["rpr_s"] < r["traditional_s"] for r in rows)

@@ -1,0 +1,28 @@
+"""Figure 7: cross-rack traffic for single-block failures (Simics).
+
+Paper: CAR and RPR move identical cross-rack volume (both partial-decode),
+and both move far less than traditional repair.
+"""
+
+from conftest import emit
+from repro.experiments import figure7_rows, format_table
+
+
+def test_fig07_single_failure_cross_traffic(bench_once):
+    rows = bench_once(figure7_rows)
+    table = format_table(
+        ["code", "tra_blocks", "car_blocks", "rpr_blocks"],
+        [
+            [
+                r["code"],
+                r["tra_cross_blocks"],
+                r["car_cross_blocks"],
+                r["rpr_cross_blocks"],
+            ]
+            for r in rows
+        ],
+    )
+    emit("Figure 7 — cross-rack traffic, single failure (256MB blocks)", table)
+    for r in rows:
+        assert r["car_cross_blocks"] == r["rpr_cross_blocks"]
+        assert r["rpr_cross_blocks"] < r["tra_cross_blocks"]

@@ -1,0 +1,34 @@
+"""Figure 8: total repair time for single-block failures (Simics).
+
+Paper: RPR reduces total repair time by an average of 67% / up to 81.5%
+vs traditional, and an average of 24% / up to 37% vs CAR.  Our traditional
+baseline is slightly cheaper than the paper's n * t_c because helpers
+co-located with the recovery rack travel intra-rack (see EXPERIMENTS.md),
+so the measured reductions sit a few points below the paper's.
+"""
+
+from conftest import emit
+from repro.experiments import figure8_rows, format_table
+
+
+def test_fig08_single_failure_repair_time(bench_once):
+    rows = bench_once(figure8_rows)
+    table = format_table(
+        ["code", "tra_s", "car_s", "rpr_s", "rpr_vs_tra_%", "rpr_vs_car_%"],
+        [
+            [
+                r["code"],
+                r["tra_time_s"],
+                r["car_time_s"],
+                r["rpr_time_s"],
+                r["rpr_vs_tra_pct"],
+                r["rpr_vs_car_pct"],
+            ]
+            for r in rows
+        ],
+    )
+    emit("Figure 8 — total repair time, single failure, Simics testbed", table)
+    for r in rows:
+        assert r["rpr_time_s"] <= r["car_time_s"] <= r["tra_time_s"]
+    best = max(r["rpr_vs_tra_pct"] for r in rows)
+    assert best > 70.0  # paper: up to 81.5%

@@ -1,0 +1,38 @@
+"""Figure 10: cross-rack traffic for 2..k-1 multi-block failures (Simics).
+
+Paper: RPR uses an average of 29.35% and up to 50% fewer cross-rack
+transfers than traditional repair.
+"""
+
+from conftest import emit
+from repro.experiments import figure10_rows, format_table
+
+
+def test_fig10_multi_failure_cross_traffic(bench_once):
+    rows = bench_once(figure10_rows)
+    table = format_table(
+        [
+            "code",
+            "tra_blocks",
+            "rpr_blocks",
+            "rpr_min",
+            "rpr_max",
+            "reduction_%",
+            "scenarios",
+        ],
+        [
+            [
+                r["code"],
+                r["tra_cross_blocks"],
+                r["rpr_cross_blocks"],
+                r["rpr_cross_blocks_min"],
+                r["rpr_cross_blocks_max"],
+                r["traffic_reduction_pct"],
+                f"{r['scenarios']}{'*' if r['sampled'] else ''}",
+            ]
+            for r in rows
+        ],
+    )
+    emit("Figure 10 — multi-failure (2..k-1) cross-rack traffic, Simics", table)
+    for r in rows:
+        assert r["rpr_cross_blocks"] < r["tra_cross_blocks"]

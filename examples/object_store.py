@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""An erasure-coded object store surviving failures (extension).
+
+Uses the :class:`repro.system.StorageSystem` facade — the adoptable API
+over the whole stack — to walk a realistic operational story:
+
+1. store a handful of objects (RS(6,2), declustered placements),
+2. lose a storage node,
+3. serve a read anyway (degraded read reconstructs on the fly at the
+   client, via RPR's pipeline),
+4. run the repair pass (real GF arithmetic — the store afterwards holds
+   genuinely rebuilt blocks on live nodes) and read again,
+5. lose a second node and survive that too.
+
+Run:  python examples/object_store.py
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.rs import get_code
+from repro.system import StorageSystem
+
+BLOCK_SIZE = 4 * 1024
+
+
+def main() -> None:
+    cluster = Cluster.homogeneous(5, 6)
+    system = StorageSystem(cluster, get_code(6, 2), block_size=BLOCK_SIZE)
+    rng = np.random.default_rng(11)
+
+    blobs = {
+        "photo.jpg": rng.integers(0, 256, 60_000, dtype=np.uint8),
+        "notes.txt": np.frombuffer(b"meeting at noon; bring the traces" * 40, dtype=np.uint8),
+        "model.bin": rng.integers(0, 256, 150_000, dtype=np.uint8),
+    }
+    for name, data in blobs.items():
+        info = system.put(name, data)
+        print(f"put {name}: {info.size} bytes over {len(info.stripe_ids)} stripes")
+    assert system.verify()
+
+    victim = 0
+    lost = system.fail_node(victim)
+    print(f"\nnode {victim} died — {lost} blocks lost, "
+          f"{len(system.degraded_stripes())} stripes degraded")
+
+    client = 13
+    got = system.get("model.bin", client_node=client)
+    assert np.array_equal(got, blobs["model.bin"])
+    print(f"degraded read of model.bin at node {client}: OK (bytes identical)")
+
+    report = system.repair()
+    print(
+        f"repair pass: {report.blocks_repaired} blocks across "
+        f"{report.stripes_touched} stripes; simulated cost "
+        f"{report.simulated_seconds:.2f} s, "
+        f"{report.simulated_cross_rack_bytes / 1e6:.1f} MB cross-rack"
+    )
+    assert system.verify()
+
+    second = 7
+    system.fail_node(second)
+    system.repair()
+    print(f"node {second} died and was repaired too")
+
+    for name, data in blobs.items():
+        assert np.array_equal(system.get(name), data), name
+    print("\nall objects intact after two node losses — store verified")
+
+
+if __name__ == "__main__":
+    main()

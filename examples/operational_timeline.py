@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Replay a year of node failures through the object store (extension).
+
+Generates a seeded Poisson failure trace (one failure per node per two
+years of MTBF over a 30-node cluster — roughly a failure a month) and
+replays it against a :class:`StorageSystem` holding real objects:
+
+* after every failure, the repair pass runs (real GF reconstruction);
+* every object is verified bit-exact after each incident;
+* the simulated repair cost of the whole year is accounted per scheme.
+
+Run:  python examples/operational_timeline.py
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.repair import RPRScheme, TraditionalRepair
+from repro.rs import get_code
+from repro.system import StorageSystem
+from repro.workloads import DAY, YEAR, poisson_node_failures
+
+MTBF = 2 * YEAR
+HORIZON = 1 * YEAR
+SEED = 5
+
+
+def replay(scheme) -> tuple[int, float, float]:
+    cluster = Cluster.homogeneous(5, 6)
+    system = StorageSystem(
+        cluster, get_code(6, 2), block_size=2048, scheme=scheme
+    )
+    rng = np.random.default_rng(1)
+    blobs = {
+        f"obj{i}": rng.integers(0, 256, 9000 + 500 * i, dtype=np.uint8)
+        for i in range(4)
+    }
+    for name, data in blobs.items():
+        system.put(name, data)
+
+    incidents = 0
+    parallel_cost = serial_cost = 0.0
+    for event in poisson_node_failures(cluster, MTBF, HORIZON, seed=SEED):
+        lost = system.fail_node(event.node_id)
+        report = system.repair()
+        system.revive_node(event.node_id)  # node replaced after rebuild
+        incidents += 1
+        parallel_cost += report.simulated_seconds
+        serial_cost += report.simulated_serial_seconds
+        assert system.verify(), f"integrity lost at t={event.time / DAY:.1f} d"
+        for name, data in blobs.items():
+            assert np.array_equal(system.get(name), data), name
+    return incidents, parallel_cost, serial_cost
+
+
+def main() -> None:
+    print(
+        f"cluster: 5 racks x 6 nodes; node MTBF {MTBF / YEAR:.0f} years; "
+        f"horizon {HORIZON / YEAR:.0f} year\n"
+    )
+    for scheme in [TraditionalRepair(), RPRScheme()]:
+        incidents, parallel_cost, serial_cost = replay(scheme)
+        # repair cost scales with block size; report at the paper's 256 MB
+        scale = 256_000_000 / 2048
+        print(
+            f"{scheme.name:>12}: {incidents} node failures survived; "
+            f"yearly repair time {parallel_cost * scale / 3600:.1f} h "
+            f"(pipelined) / {serial_cost * scale / 3600:.1f} h (serial), "
+            f"all objects verified after every incident"
+        )
+    print(
+        "\nEvery incident was repaired with real GF arithmetic and every "
+        "object re-verified\nbyte-for-byte — a year of operation without "
+        "data loss, at a fraction of the\ntraditional repair bill."
+    )
+
+
+if __name__ == "__main__":
+    main()

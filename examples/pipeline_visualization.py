@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Visualize the repair schedules behind the paper's Figure 5.
+
+Renders ASCII port-occupancy timelines for the same RS(6,2) single
+failure under three schedules:
+
+* traditional — every helper streams into the recovery node (its
+  download port is one long busy bar; everyone else idles);
+* CAR / "schedule 1" — per-rack partial decode, then every rack sends
+  to the recovery rack back-to-back (the waiting the paper describes);
+* RPR / "schedule 2" — the greedy pipeline: rack-to-rack merges overlap
+  the recovery rack's receives, compressing the cross-rack phase to
+  ceil(log2) rounds.
+
+Rows are node ports (up/down) and CPUs; '#' is busy time.
+
+Run:  python examples/pipeline_visualization.py
+"""
+
+from repro.experiments import build_simics_environment, context_for
+from repro.repair import CARRepair, RPRScheme, TraditionalRepair, simulate_repair
+from repro.sim import render_timeline
+
+N, K = 6, 2
+FAILED = 1
+
+
+def main() -> None:
+    env = build_simics_environment(N, K)
+    ctx = context_for(env, [FAILED])
+    print(
+        f"RS({N},{K}), block d{FAILED} failed; Simics bandwidths "
+        f"(1 Gb/s intra, 0.1 Gb/s cross), 256 MB blocks\n"
+    )
+    for scheme in [TraditionalRepair(), CARRepair(), RPRScheme()]:
+        outcome = simulate_repair(scheme, ctx, env.bandwidth)
+        print(
+            f"--- {scheme.name}: total repair time "
+            f"{outcome.total_repair_time:.1f} s, "
+            f"{outcome.cross_rack_blocks:.0f} cross-rack blocks ---"
+        )
+        print(render_timeline(outcome.sim, width=64))
+        print()
+    print(
+        "Reading the charts: traditional keeps one download port busy for "
+        "the whole\nrepair; CAR shortens the bars via partial decoding but "
+        "still serialises them\ninto the recovery node; RPR overlaps "
+        "rack-to-rack merges with the recovery\nnode's receives — the "
+        "pipeline of Fig. 5's schedule 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: encode a stripe, lose a block, repair it three ways.
+
+Walks the full pipeline on a laptop-scale setup:
+
+1. Build a Simics-style cluster (racks, 1 Gb/s intra / 0.1 Gb/s cross).
+2. Encode an RS(6,2) stripe with real bytes and place it rack-aware.
+3. Fail one data block.
+4. Plan the repair with traditional, CAR and RPR; execute each plan on
+   the actual bytes (verifying bit-exact reconstruction) and on the
+   discrete-event simulator (measuring time and cross-rack traffic).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CARRepair,
+    RPRScheme,
+    TraditionalRepair,
+    build_simics_environment,
+    execute_plan,
+    initial_store_for,
+    percent_reduction,
+    simulate_repair,
+)
+from repro.experiments import context_for
+from repro.workloads import encoded_stripe
+
+N, K = 6, 2
+FAILED_BLOCK = 1  # data block d1, as in the paper's running example
+BLOCK_SIZE = 64 * 1024  # small blocks keep byte-level execution instant
+
+
+def main() -> None:
+    env = build_simics_environment(N, K, block_size=BLOCK_SIZE)
+    print(f"cluster: {env.cluster}")
+    print(f"placement (rack -> blocks):")
+    for rack in env.placement.racks_used(env.cluster):
+        blocks = env.placement.blocks_in_rack(env.cluster, rack)
+        names = [f"d{b}" if b < N else f"p{b - N}" for b in blocks]
+        print(f"  rack {rack}: {names}")
+
+    stripe = encoded_stripe(env.code, BLOCK_SIZE, seed=2024)
+    original = stripe.get_payload(FAILED_BLOCK).copy()
+    print(f"\nfailing block d{FAILED_BLOCK} "
+          f"(node {env.placement.node_of(FAILED_BLOCK)})\n")
+
+    ctx = context_for(env, [FAILED_BLOCK])
+    results = {}
+    for scheme in [TraditionalRepair(), CARRepair(), RPRScheme()]:
+        # Concrete execution: does the plan actually rebuild the bytes?
+        plan = scheme.plan(ctx)
+        store = initial_store_for(stripe, env.placement, [FAILED_BLOCK])
+        concrete = execute_plan(plan, env.cluster, store)
+        assert np.array_equal(concrete.recovered[FAILED_BLOCK], original)
+
+        # Symbolic execution: how long would it take at 256 MB blocks?
+        outcome = simulate_repair(
+            scheme, context_for(env, [FAILED_BLOCK]), env.bandwidth
+        )
+        results[scheme.name] = outcome
+        print(
+            f"{scheme.name:>12}: repair time {outcome.total_repair_time * 4096:8.1f} s "
+            f"(at 256 MB blocks), cross-rack traffic "
+            f"{outcome.cross_rack_blocks:.0f} blocks, "
+            f"{len(plan.ops)} plan ops — bytes verified OK"
+        )
+
+    tra = results["traditional"].total_repair_time
+    rpr = results["rpr"].total_repair_time
+    car = results["car"].total_repair_time
+    print(
+        f"\nRPR cuts repair time by {percent_reduction(tra, rpr):.1f}% vs "
+        f"traditional and {percent_reduction(car, rpr):.1f}% vs CAR"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Theory vs simulation: the §4 closed forms against the event simulator.
+
+Prints Figure 6's analytical curves, then re-derives (t_i, t_c) from the
+Simics bandwidth model and compares eq. (10) / eq. (13) predictions with
+actual simulated repairs — showing where the real system beats the
+worst-case analysis (pipelining) and where the analysis over-charges the
+baseline (local helpers travel intra-rack).
+
+Run:  python examples/theory_vs_simulation.py
+"""
+
+from repro.experiments import (
+    figure6_rows,
+    format_table,
+    model_vs_simulation_rows,
+)
+
+
+def main() -> None:
+    print("Figure 6 — theoretical repair time (t_i = 1 ms, t_c = 10 ms)\n")
+    print(
+        format_table(
+            ["code", "traditional (ms)", "RPR worst case (ms)"],
+            [
+                [r["code"], r["traditional_s"] * 1e3, r["rpr_s"] * 1e3]
+                for r in figure6_rows()
+            ],
+        )
+    )
+
+    print(
+        "\nModel vs simulation — Simics testbed, 256 MB blocks, single "
+        "failure of d1\n"
+    )
+    rows = model_vs_simulation_rows()
+    print(
+        format_table(
+            ["code", "q", "eq(10) Tra", "sim Tra", "eq(13) RPR bound", "sim RPR"],
+            [
+                [
+                    r["code"],
+                    r["q"],
+                    r["eq10_tra_s"],
+                    r["sim_tra_s"],
+                    r["eq13_rpr_bound_s"],
+                    r["sim_rpr_s"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nReading the table: simulated traditional sits slightly below "
+        "eq. (10)\nbecause helpers in the recovery rack move at intra-rack "
+        "speed; simulated RPR\nsits at or below the eq. (13) bound because "
+        "the greedy schedule pipelines\ninner trees with cross transfers "
+        "(the bound assumes no overlap)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Closed-form analysis of repair time and traffic (paper §4)."""
+
+from .limits import (
+    is_low_overhead_code,
+    nonworst_cross_timesteps,
+    nonworst_traffic_blocks,
+    worst_case_cross_timesteps,
+    worst_case_improvement,
+    worst_case_traffic_blocks,
+)
+from .model import (
+    FIG6_PARAMS,
+    car_repair_time,
+    TimeParameters,
+    cross_transfer_time,
+    figure6_series,
+    inner_transfer_time,
+    racks_for_code,
+    rpr_worst_case_time,
+    traditional_repair_time,
+    traditional_total_time_eq5,
+)
+
+__all__ = [
+    "FIG6_PARAMS",
+    "TimeParameters",
+    "car_repair_time",
+    "cross_transfer_time",
+    "figure6_series",
+    "inner_transfer_time",
+    "is_low_overhead_code",
+    "nonworst_cross_timesteps",
+    "nonworst_traffic_blocks",
+    "racks_for_code",
+    "rpr_worst_case_time",
+    "traditional_repair_time",
+    "traditional_total_time_eq5",
+    "worst_case_cross_timesteps",
+    "worst_case_improvement",
+    "worst_case_traffic_blocks",
+]

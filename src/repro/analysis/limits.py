@@ -1,0 +1,73 @@
+"""Multi-block failure limits — the paper's §4.3.
+
+Closed-form statements about when RPR helps and by how much, used by the
+ablation benches and cross-checked against the simulator in tests:
+
+* §4.3.1 — codes with ``(n + k) / k <= 3`` gain nothing in the worst case
+  (``k`` failures); codes with ``(n + k) / k > 3`` improve by
+  ``1 - ceil(log2 q) * k / n``.
+* §4.3.2 — worst-case cross-rack traffic is ``n`` intermediate blocks,
+  the same as traditional repair (assuming the paper's ``k | n`` layouts).
+* §4.3.3 — with ``2 <= l <= k - 1`` failures, repair takes about
+  ``ceil(log2 q) * l`` cross timesteps and moves ``(n / k) * l`` blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import racks_for_code
+
+__all__ = [
+    "is_low_overhead_code",
+    "worst_case_cross_timesteps",
+    "worst_case_improvement",
+    "worst_case_traffic_blocks",
+    "nonworst_cross_timesteps",
+    "nonworst_traffic_blocks",
+]
+
+
+def is_low_overhead_code(n: int, k: int) -> bool:
+    """True when ``(n + k) / k > 3`` — storage overhead below 50 %.
+
+    These are the industry-preferred configurations (§4.3.1: Facebook's
+    (10, 4), Azure's (12, 2, 2)) where RPR's worst case still wins.
+    """
+    return (n + k) / k > 3
+
+
+def worst_case_cross_timesteps(n: int, k: int) -> int:
+    """Cross-rack timesteps RPR needs for ``k`` failures (§4.3.1)."""
+    q = racks_for_code(n, k)
+    return int(math.ceil(math.log2(q))) * k if q > 1 else 0
+
+
+def worst_case_improvement(n: int, k: int) -> float:
+    """Fractional repair-time improvement over traditional for ``k``
+    failures: ``1 - ceil(log2 q) * k / n`` (0 when the code is not
+    low-overhead).
+    """
+    if not is_low_overhead_code(n, k):
+        return 0.0
+    return 1.0 - worst_case_cross_timesteps(n, k) / n
+
+
+def worst_case_traffic_blocks(n: int, k: int) -> int:
+    """§4.3.2: ``(n / k) * k = n`` intermediates in the worst case."""
+    return (n // k) * k
+
+
+def nonworst_cross_timesteps(n: int, k: int, l: int) -> int:
+    """§4.3.3: ``ceil(log2 q) * l`` cross timesteps for ``l`` failures."""
+    if not 1 <= l <= k:
+        raise ValueError(f"l must be in [1, {k}], got {l}")
+    q = racks_for_code(n, k)
+    return int(math.ceil(math.log2(q))) * l if q > 1 else 0
+
+
+def nonworst_traffic_blocks(n: int, k: int, l: int) -> int:
+    """§4.3.3: ``(n / k) * l`` cross-rack intermediate blocks."""
+    if not 1 <= l <= k:
+        raise ValueError(f"l must be in [1, {k}], got {l}")
+    return (n // k) * l

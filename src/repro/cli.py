@@ -1,0 +1,397 @@
+"""Command-line interface: regenerate any experiment or run one repair.
+
+Usage (installed as ``rpr`` or via ``python -m repro.cli``):
+
+    rpr list                        # what can be regenerated
+    rpr figure 8                    # print Figure 8's rows
+    rpr figure 9 --cap 100          # cap exhaustive sweeps at 100 scenarios
+    rpr table 1                     # Table 1's bandwidth matrix
+    rpr repair --code 12,4 --fail 1 --scheme rpr [--testbed ec2]
+    rpr compare --code 12,4 --fail 1                # all schemes, one table
+    rpr timeline --code 6,2 --fail 1 --scheme rpr   # ASCII schedule chart
+    rpr rebuild --code 6,2 --stripes 30 --node 0    # full-node rebuild
+    rpr durability --code 12,4                      # MTTDL per scheme
+    rpr extension lrc                               # extension experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments
+from .ec2 import REGIONS, TABLE1_MBPS
+from .experiments import (
+    build_ec2_env,
+    build_simics_environment,
+    format_table,
+    run_scheme,
+)
+from .repair import CARRepair, RPRScheme, TraditionalRepair
+
+__all__ = ["main"]
+
+_SCHEMES = {
+    "traditional": TraditionalRepair,
+    "car": CARRepair,
+    "rpr": RPRScheme,
+}
+
+_FIGURES = {
+    "6": ("figure6_rows", ["code", "traditional_s", "rpr_s"]),
+    "7": (
+        "figure7_rows",
+        ["code", "tra_cross_blocks", "car_cross_blocks", "rpr_cross_blocks"],
+    ),
+    "8": (
+        "figure8_rows",
+        ["code", "tra_time_s", "car_time_s", "rpr_time_s", "rpr_vs_tra_pct", "rpr_vs_car_pct"],
+    ),
+    "9": (
+        "figure9_rows",
+        ["code", "tra_time_s", "rpr_time_s", "rpr_time_min_s", "rpr_time_max_s", "time_reduction_pct"],
+    ),
+    "10": (
+        "figure10_rows",
+        ["code", "tra_cross_blocks", "rpr_cross_blocks", "traffic_reduction_pct"],
+    ),
+    "11": (
+        "figure11_rows",
+        ["code", "tra_time_s", "rpr_time_s", "time_reduction_pct", "traffic_reduction_pct"],
+    ),
+    "12": (
+        "figure12_rows",
+        ["code", "tra_time_s", "car_time_s", "rpr_time_s", "rpr_vs_tra_pct", "rpr_vs_car_pct"],
+    ),
+    "13": (
+        "figure13_rows",
+        ["code", "tra_time_s", "rpr_time_s", "time_reduction_pct"],
+    ),
+    "14": (
+        "figure14_rows",
+        ["code", "tra_time_s", "rpr_time_s", "time_reduction_pct"],
+    ),
+}
+
+#: Figures whose row generators accept a scenario cap.
+_CAPPED = {"9", "10", "11", "13", "14"}
+
+
+def _cmd_list(_args) -> int:
+    print("figures: " + ", ".join(sorted(_FIGURES, key=int)))
+    print("tables:  1")
+    print("extensions: " + ", ".join(sorted(_EXTENSIONS)))
+    print("schemes: " + ", ".join(_SCHEMES))
+    print("testbeds: simics, ec2")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.number not in _FIGURES:
+        print(f"unknown figure {args.number!r}; try: rpr list", file=sys.stderr)
+        return 2
+    fn_name, columns = _FIGURES[args.number]
+    fn = getattr(experiments, fn_name)
+    rows = fn(cap=args.cap) if args.number in _CAPPED else fn()
+    if args.json:
+        import json
+
+        print(json.dumps({"figure": args.number, "rows": rows}, indent=2))
+        return 0
+    print(f"Figure {args.number}")
+    print(format_table(columns, [[row[c] for c in columns] for row in rows]))
+    return 0
+
+
+_EXTENSIONS = {
+    "node-rebuild": (
+        "node_rebuild_rows",
+        ["scheme", "mode", "rebuild", "makespan_s", "cross_blocks", "rack_imbalance"],
+    ),
+    "durability": (
+        "durability_rows",
+        ["code", "tra_repair_s", "rpr_repair_s", "tra_mttdl_years", "rpr_mttdl_years", "amplification"],
+    ),
+    "lrc": (
+        "lrc_rows",
+        ["code", "mean_repair_s", "mean_cross_blocks", "four_failure_coverage_pct"],
+    ),
+}
+
+
+def _cmd_extension(args) -> int:
+    if args.name not in _EXTENSIONS:
+        print(
+            f"unknown extension {args.name!r}; known: {sorted(_EXTENSIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    fn_name, columns = _EXTENSIONS[args.name]
+    rows = getattr(experiments, fn_name)()
+    print(f"Extension: {args.name}")
+    print(
+        format_table(
+            columns,
+            [["%.3g" % row[c] if isinstance(row[c], float) else row[c] for c in columns] for row in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.number != "1":
+        print(f"unknown table {args.number!r}; only Table 1 exists", file=sys.stderr)
+        return 2
+    header = ["region"] + [r.title() for r in REGIONS]
+    rows = []
+    for a in REGIONS:
+        row = [a.title()]
+        for b in REGIONS:
+            key = (a, b) if (a, b) in TABLE1_MBPS else (b, a)
+            row.append(TABLE1_MBPS.get(key, ""))
+        rows.append(row)
+    print("Table 1 — region bandwidths (Mbps)")
+    print(format_table(header, rows))
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    try:
+        n, k = (int(x) for x in args.code.split(","))
+    except ValueError:
+        print(f"--code must look like '12,4', got {args.code!r}", file=sys.stderr)
+        return 2
+    failed = sorted(int(x) for x in args.fail.split(","))
+    builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+    env = builder(n, k, placement=args.placement)
+    scheme = _SCHEMES[args.scheme]()
+    outcome = run_scheme(env, scheme, failed)
+    print(
+        f"RS({n},{k}) {args.testbed} testbed, {args.placement} placement, "
+        f"failed blocks {failed}, scheme {scheme.name}"
+    )
+    print(f"  total repair time : {outcome.total_repair_time:.2f} s")
+    print(f"  cross-rack traffic: {outcome.cross_rack_blocks:.1f} blocks "
+          f"({outcome.cross_rack_bytes / 1e6:.0f} MB)")
+    print(f"  intra-rack traffic: {outcome.intra_rack_bytes / 1e6:.0f} MB")
+    print(f"  plan size         : {len(outcome.plan.ops)} ops")
+    return 0
+
+
+def _parse_code(text: str) -> tuple[int, int]:
+    try:
+        n, k = (int(x) for x in text.split(","))
+        return n, k
+    except ValueError:
+        raise SystemExit(f"--code must look like '12,4', got {text!r}")
+
+
+def _cmd_compare(args) -> int:
+    from .metrics import percent_reduction
+
+    n, k = _parse_code(args.code)
+    failed = sorted(int(x) for x in args.fail.split(","))
+    builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+    env = builder(n, k, placement=args.placement)
+    names = ["traditional", "rpr"] if len(failed) > 1 else ["traditional", "car", "rpr"]
+    outcomes = {
+        name: run_scheme(env, _SCHEMES[name](), failed) for name in names
+    }
+    print(
+        f"RS({n},{k}) on the {args.testbed} testbed, failed blocks {failed}:"
+    )
+    rows = [
+        [
+            name,
+            o.total_repair_time,
+            o.cross_rack_blocks,
+            percent_reduction(
+                outcomes["traditional"].total_repair_time, o.total_repair_time
+            ),
+        ]
+        for name, o in outcomes.items()
+    ]
+    print(
+        format_table(
+            ["scheme", "repair_time_s", "cross_blocks", "vs_traditional_%"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .sim import render_timeline
+
+    n, k = _parse_code(args.code)
+    failed = sorted(int(x) for x in args.fail.split(","))
+    builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+    env = builder(n, k, placement=args.placement)
+    scheme = _SCHEMES[args.scheme]()
+    outcome = run_scheme(env, scheme, failed)
+    print(
+        f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
+        f"{args.testbed} testbed — {outcome.total_repair_time:.2f} s total"
+    )
+    print(render_timeline(outcome.sim, width=args.width))
+    return 0
+
+
+def _cmd_rebuild(args) -> int:
+    from .cluster import Cluster
+    from .multistripe import StripeStore, repair_node_failure
+    from .rs import MB, get_code
+
+    n, k = _parse_code(args.code)
+    builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+    env = builder(n, k)
+    store = StripeStore.build(env.cluster, get_code(n, k), num_stripes=args.stripes)
+    lost = store.blocks_on_node(args.node)
+    print(
+        f"node {args.node} holds {len(lost)} blocks across a "
+        f"{args.stripes}-stripe RS({n},{k}) store"
+    )
+    scheme = _SCHEMES[args.scheme]()
+    outcome = repair_node_failure(
+        store,
+        args.node,
+        scheme,
+        env.bandwidth,
+        mode=args.mode,
+        rebuild=args.rebuild,
+        balance=args.balance,
+        block_size=env.block_size,
+        cost_model=env.cost_model,
+    )
+    print(f"  makespan          : {outcome.makespan:.2f} s")
+    print(
+        f"  cross-rack traffic: "
+        f"{outcome.total_cross_rack_bytes / env.block_size:.0f} blocks"
+    )
+    print(
+        f"  rack imbalance    : "
+        f"{outcome.rack_upload_imbalance['max_mean_ratio']:.2f} (max/mean)"
+    )
+    return 0
+
+
+def _cmd_durability(args) -> int:
+    from .experiments import context_for
+    from .reliability import mttdl_from_repair_times
+    from .repair import simulate_repair
+
+    n, k = _parse_code(args.code)
+    year = 365.25 * 24 * 3600
+    lam = 1 / (args.block_mtbf_years * year)
+    builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+    env = builder(n, k)
+    print(
+        f"RS({n},{k}) on the {args.testbed} testbed, one failure per block "
+        f"per {args.block_mtbf_years:g} years:"
+    )
+    results = {}
+    for name in ("traditional", "rpr"):
+        scheme = _SCHEMES[name]()
+        times = [
+            simulate_repair(
+                scheme, context_for(env, list(range(l))), env.bandwidth
+            ).total_repair_time
+            for l in range(1, k + 1)
+        ]
+        value = mttdl_from_repair_times(n + k, k, lam, times)
+        results[name] = value
+        print(
+            f"  {name:>12}: repair(1)={times[0]:7.1f} s  "
+            f"MTTDL={value / year:.3e} years"
+        )
+    print(
+        f"  durability amplification: "
+        f"{results['rpr'] / results['traditional']:.1f}x"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpr",
+        description="RPR reproduction: regenerate paper experiments or run one repair",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list figures, tables and schemes").set_defaults(
+        func=_cmd_list
+    )
+
+    fig = sub.add_parser("figure", help="regenerate one figure's rows")
+    fig.add_argument("number", help="figure number (6-14)")
+    fig.add_argument(
+        "--cap", type=int, default=experiments.DEFAULT_SCENARIO_CAP,
+        help="max scenarios per sweep (larger sweeps are sampled)",
+    )
+    fig.add_argument(
+        "--json", action="store_true", help="emit machine-readable rows"
+    )
+    fig.set_defaults(func=_cmd_figure)
+
+    ext = sub.add_parser("extension", help="regenerate an extension experiment")
+    ext.add_argument("name", help="node-rebuild | durability | lrc")
+    ext.set_defaults(func=_cmd_extension)
+
+    tab = sub.add_parser("table", help="regenerate one table")
+    tab.add_argument("number", help="table number (1)")
+    tab.set_defaults(func=_cmd_table)
+
+    rep = sub.add_parser("repair", help="simulate a single repair")
+    rep.add_argument("--code", default="12,4", help="RS code as 'n,k'")
+    rep.add_argument("--fail", default="1", help="failed block ids, comma-separated")
+    rep.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    rep.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    rep.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    rep.set_defaults(func=_cmd_repair)
+
+    cmp_ = sub.add_parser("compare", help="run every scheme on one scenario")
+    cmp_.add_argument("--code", default="12,4")
+    cmp_.add_argument("--fail", default="1")
+    cmp_.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    cmp_.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    cmp_.set_defaults(func=_cmd_compare)
+
+    tl = sub.add_parser("timeline", help="render a repair's schedule as ASCII")
+    tl.add_argument("--code", default="6,2")
+    tl.add_argument("--fail", default="1")
+    tl.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    tl.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    tl.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    tl.add_argument("--width", type=int, default=64)
+    tl.set_defaults(func=_cmd_timeline)
+
+    rb = sub.add_parser("rebuild", help="rebuild everything a failed node held")
+    rb.add_argument("--code", default="6,2")
+    rb.add_argument("--stripes", type=int, default=30)
+    rb.add_argument("--node", type=int, default=0)
+    rb.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    rb.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    rb.add_argument("--mode", choices=["parallel", "sequential"], default="parallel")
+    rb.add_argument("--rebuild", choices=["replacement", "scatter"], default="scatter")
+    rb.add_argument("--balance", action="store_true")
+    rb.set_defaults(func=_cmd_rebuild)
+
+    du = sub.add_parser("durability", help="MTTDL per scheme from measured repair times")
+    du.add_argument("--code", default="12,4")
+    du.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    du.add_argument(
+        "--block-mtbf-years",
+        type=float,
+        default=4.0,
+        help="mean time between failures per block, in years",
+    )
+    du.set_defaults(func=_cmd_durability)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Data-center model: topology, stripe placement, and link bandwidths."""
+
+from .bandwidth import (
+    SIMICS_BANDWIDTH,
+    BandwidthModel,
+    HierarchicalBandwidth,
+    MatrixBandwidth,
+    gbps,
+    mbps,
+)
+from .placement import (
+    ContiguousPlacement,
+    FlatPlacement,
+    Placement,
+    PlacementError,
+    RPRPlacement,
+)
+from .topology import Cluster, Node, Rack
+
+__all__ = [
+    "BandwidthModel",
+    "Cluster",
+    "ContiguousPlacement",
+    "FlatPlacement",
+    "HierarchicalBandwidth",
+    "MatrixBandwidth",
+    "Node",
+    "Placement",
+    "PlacementError",
+    "RPRPlacement",
+    "Rack",
+    "SIMICS_BANDWIDTH",
+    "gbps",
+    "mbps",
+]

@@ -1,0 +1,159 @@
+"""Data-center topology: nodes, racks, and the TOR/aggregation structure.
+
+Models the architecture of the paper's Figure 2: storage nodes grouped
+into racks, each rack wired through a top-of-rack (TOR) switch, racks
+joined by an aggregation switch.  The topology is purely structural —
+link capacities live in :mod:`repro.cluster.bandwidth` so the same
+topology can be driven with the Simics-style uniform model or the EC2
+per-region matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Node", "Rack", "Cluster"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One storage node (server).
+
+    Attributes
+    ----------
+    node_id:
+        Globally unique integer id within the cluster.
+    rack_id:
+        Id of the rack the node lives in.
+    name:
+        Optional human-readable label (used by the EC2 model for region
+        names like ``ohio-0``).
+    """
+
+    node_id: int
+    rack_id: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0 or self.rack_id < 0:
+            raise ValueError(f"ids must be non-negative: {self}")
+
+
+@dataclass
+class Rack:
+    """A rack: a TOR switch plus the nodes attached to it."""
+
+    rack_id: int
+    nodes: list[Node] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rack_id < 0:
+            raise ValueError(f"rack_id must be non-negative, got {self.rack_id}")
+        for node in self.nodes:
+            if node.rack_id != self.rack_id:
+                raise ValueError(
+                    f"node {node.node_id} claims rack {node.rack_id}, "
+                    f"placed in rack {self.rack_id}"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def node_ids(self) -> list[int]:
+        return [n.node_id for n in self.nodes]
+
+
+class Cluster:
+    """An immutable-after-construction collection of racks.
+
+    Provides the lookups every other layer relies on: node-by-id,
+    rack-of-node, and same-rack tests (which decide whether a transfer
+    crosses the aggregation switch).
+    """
+
+    def __init__(self, racks: Iterable[Rack]) -> None:
+        self._racks: dict[int, Rack] = {}
+        self._nodes: dict[int, Node] = {}
+        for rack in racks:
+            if rack.rack_id in self._racks:
+                raise ValueError(f"duplicate rack id {rack.rack_id}")
+            self._racks[rack.rack_id] = rack
+            for node in rack.nodes:
+                if node.node_id in self._nodes:
+                    raise ValueError(f"duplicate node id {node.node_id}")
+                self._nodes[node.node_id] = node
+        if not self._racks:
+            raise ValueError("cluster needs at least one rack")
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, num_racks: int, nodes_per_rack: int) -> "Cluster":
+        """Build ``num_racks`` racks of ``nodes_per_rack`` nodes each.
+
+        Node ids are assigned rack-major: rack ``r`` holds nodes
+        ``r * nodes_per_rack .. (r + 1) * nodes_per_rack - 1``.
+        """
+        if num_racks < 1 or nodes_per_rack < 1:
+            raise ValueError(
+                f"need at least one rack and one node per rack, got "
+                f"{num_racks} x {nodes_per_rack}"
+            )
+        racks = []
+        next_id = 0
+        for r in range(num_racks):
+            nodes = [
+                Node(node_id=next_id + i, rack_id=r, name=f"r{r}n{i}")
+                for i in range(nodes_per_rack)
+            ]
+            next_id += nodes_per_rack
+            racks.append(Rack(rack_id=r, nodes=nodes, name=f"rack-{r}"))
+        return cls(racks)
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def num_racks(self) -> int:
+        return len(self._racks)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def racks(self) -> Iterator[Rack]:
+        return iter(self._racks.values())
+
+    def rack_ids(self) -> list[int]:
+        return sorted(self._racks)
+
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def rack(self, rack_id: int) -> Rack:
+        try:
+            return self._racks[rack_id]
+        except KeyError:
+            raise KeyError(f"no rack {rack_id} in cluster") from None
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id} in cluster") from None
+
+    def rack_of(self, node_id: int) -> int:
+        return self.node(node_id).rack_id
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """True when a transfer between ``a`` and ``b`` stays below the TOR."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def nodes_in_rack(self, rack_id: int) -> list[int]:
+        return self.rack(rack_id).node_ids()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = [r.size for r in self._racks.values()]
+        return f"Cluster(racks={self.num_racks}, nodes={self.num_nodes}, sizes={sizes})"

@@ -1,0 +1,24 @@
+"""EC2 geo-distributed testbed substitute (paper §5.2, Table 1)."""
+
+from .model import EC2Environment, build_ec2_environment
+from .regions import (
+    GEO_LATENCY_S,
+    REGIONS,
+    TABLE1_MBPS,
+    average_cross_mbps,
+    average_intra_mbps,
+    region_index,
+    table1_bandwidth,
+)
+
+__all__ = [
+    "EC2Environment",
+    "GEO_LATENCY_S",
+    "REGIONS",
+    "TABLE1_MBPS",
+    "average_cross_mbps",
+    "average_intra_mbps",
+    "build_ec2_environment",
+    "region_index",
+    "table1_bandwidth",
+]

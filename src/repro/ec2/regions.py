@@ -1,0 +1,113 @@
+"""The paper's Table 1: measured EC2 inter-/intra-region bandwidths.
+
+Five regions on five continents stand in for racks (§5.2): machines in
+the same region ≈ same rack; machines in different regions ≈ different
+racks.  The matrix below is the paper's own measurement in Mbps; the
+average cross-region rate is 53.03 Mbps and the average intra-region
+rate 600.97 Mbps — a ratio of ~11.3, close to the assumed 10:1.
+
+Since we cannot launch EC2 instances, these numbers *are* the substitute
+testbed: they parameterise a :class:`repro.cluster.MatrixBandwidth` over
+a region-per-rack cluster, preserving exactly what Figures 12–14
+exercise (bandwidth heterogeneity plus the slow t2.micro decode).
+"""
+
+from __future__ import annotations
+
+from ..cluster import MatrixBandwidth, mbps
+
+__all__ = [
+    "GEO_LATENCY_S",
+    "REGIONS",
+    "TABLE1_MBPS",
+    "region_index",
+    "table1_bandwidth",
+    "average_cross_mbps",
+    "average_intra_mbps",
+]
+
+#: Region names in Table 1's row/column order.
+REGIONS: tuple[str, ...] = ("ohio", "tokyo", "paris", "sao-paulo", "sydney")
+
+#: Upper-triangular (incl. diagonal) Mbps matrix exactly as printed in
+#: Table 1.  Diagonal = intra-region; off-diagonal = inter-region.
+TABLE1_MBPS: dict[tuple[str, str], float] = {
+    ("ohio", "ohio"): 583.39,
+    ("ohio", "tokyo"): 51.798,
+    ("ohio", "paris"): 59.281,
+    ("ohio", "sao-paulo"): 67.613,
+    ("ohio", "sydney"): 41.4,
+    ("tokyo", "tokyo"): 583.26,
+    ("tokyo", "paris"): 45.56,
+    ("tokyo", "sao-paulo"): 41.605,
+    ("tokyo", "sydney"): 91.21,
+    ("paris", "paris"): 641.403,
+    ("paris", "sao-paulo"): 56.57,
+    ("paris", "sydney"): 40.79,
+    ("sao-paulo", "sao-paulo"): 631.416,
+    ("sao-paulo", "sydney"): 34.44,
+    ("sydney", "sydney"): 565.39,
+}
+
+
+#: Synthetic one-way latencies (seconds) between regions.  NOT from the
+#: paper (Table 1 reports bandwidth only); values are plausible public
+#: inter-region RTT/2 figures, provided for the latency-sensitivity
+#: extension.  At the paper's 256 MB blocks they are negligible (~0.1 s
+#: against ~40 s transfers); they matter for small-block ablations.
+GEO_LATENCY_S: dict[tuple[str, str], float] = {
+    ("ohio", "ohio"): 0.0005,
+    ("ohio", "tokyo"): 0.080,
+    ("ohio", "paris"): 0.045,
+    ("ohio", "sao-paulo"): 0.065,
+    ("ohio", "sydney"): 0.100,
+    ("tokyo", "tokyo"): 0.0005,
+    ("tokyo", "paris"): 0.110,
+    ("tokyo", "sao-paulo"): 0.130,
+    ("tokyo", "sydney"): 0.055,
+    ("paris", "paris"): 0.0005,
+    ("paris", "sao-paulo"): 0.095,
+    ("paris", "sydney"): 0.140,
+    ("sao-paulo", "sao-paulo"): 0.0005,
+    ("sao-paulo", "sydney"): 0.160,
+    ("sydney", "sydney"): 0.0005,
+}
+
+
+def region_index(name: str) -> int:
+    """Rack id of a region (its position in :data:`REGIONS`)."""
+    try:
+        return REGIONS.index(name)
+    except ValueError:
+        raise KeyError(f"unknown region {name!r}; known: {REGIONS}") from None
+
+
+def table1_bandwidth(with_latency: bool = False) -> MatrixBandwidth:
+    """Table 1 as a :class:`MatrixBandwidth` over rack ids 0..4.
+
+    ``with_latency`` attaches the synthetic :data:`GEO_LATENCY_S` delays
+    (an extension; the paper's model is throughput-only).
+    """
+    pair_rate: dict[tuple[int, int], float] = {}
+    for (a, b), value in TABLE1_MBPS.items():
+        ia, ib = region_index(a), region_index(b)
+        pair_rate[(min(ia, ib), max(ia, ib))] = mbps(value)
+    pair_latency = None
+    if with_latency:
+        pair_latency = {}
+        for (a, b), value in GEO_LATENCY_S.items():
+            ia, ib = region_index(a), region_index(b)
+            pair_latency[(min(ia, ib), max(ia, ib))] = value
+    return MatrixBandwidth(pair_rate=pair_rate, pair_latency=pair_latency)
+
+
+def average_cross_mbps() -> float:
+    """Mean inter-region bandwidth (paper: 53.03 Mbps)."""
+    values = [v for (a, b), v in TABLE1_MBPS.items() if a != b]
+    return sum(values) / len(values)
+
+
+def average_intra_mbps() -> float:
+    """Mean intra-region bandwidth (paper: 600.97 Mbps)."""
+    values = [v for (a, b), v in TABLE1_MBPS.items() if a == b]
+    return sum(values) / len(values)

@@ -1,0 +1,189 @@
+"""Shared experiment plumbing for the benchmark harness and examples.
+
+An :class:`ExperimentEnv` bundles one testbed configuration (cluster,
+placement, bandwidth, decode model, block size); sweep helpers run a
+scheme across failure scenarios and aggregate the paper's statistics
+(mean plus min/max caps — the error bars of Figures 9–11, 13–14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import (
+    BandwidthModel,
+    Cluster,
+    ContiguousPlacement,
+    Placement,
+    RPRPlacement,
+    SIMICS_BANDWIDTH,
+)
+from ..ec2 import build_ec2_environment
+from ..repair import RepairContext, RepairOutcome, RepairScheme, simulate_repair
+from ..rs import MB, DecodeCostModel, RSCode, SIMICS_DECODE, get_code
+from ..workloads import FailureScenario, sample_scenarios
+
+__all__ = [
+    "ExperimentEnv",
+    "SweepStats",
+    "build_simics_environment",
+    "build_ec2_env",
+    "context_for",
+    "run_scheme",
+    "sweep_scheme",
+    "cap_scenarios",
+    "format_table",
+]
+
+#: Exhaustive sweeps beyond this many scenarios are subsampled (seeded)
+#: to keep benchmark wall-clock sane; the cap is printed with the rows.
+DEFAULT_SCENARIO_CAP = 256
+
+
+@dataclass(frozen=True)
+class ExperimentEnv:
+    """One fully-specified testbed for an RS(n, k) stripe."""
+
+    code: RSCode
+    cluster: Cluster
+    placement: Placement
+    bandwidth: BandwidthModel
+    cost_model: DecodeCostModel
+    block_size: int
+
+    @property
+    def label(self) -> str:
+        return f"({self.code.n},{self.code.k})"
+
+
+def build_simics_environment(
+    n: int,
+    k: int,
+    placement: str = "rpr",
+    block_size: int = 256 * MB,
+    nodes_per_rack: int | None = None,
+) -> ExperimentEnv:
+    """The §5.1 testbed: uniform 1 Gb/s intra / 0.1 Gb/s cross links."""
+    code = get_code(n, k)
+    racks = -(-(n + k) // k) + 1  # one spare rack keeps shapes uniform
+    per_rack = nodes_per_rack if nodes_per_rack is not None else 2 * k
+    cluster = Cluster.homogeneous(racks, per_rack)
+    policy = RPRPlacement() if placement == "rpr" else ContiguousPlacement()
+    return ExperimentEnv(
+        code=code,
+        cluster=cluster,
+        placement=policy.place(cluster, n, k),
+        bandwidth=SIMICS_BANDWIDTH,
+        cost_model=SIMICS_DECODE,
+        block_size=block_size,
+    )
+
+
+def build_ec2_env(
+    n: int, k: int, placement: str = "rpr", block_size: int = 256 * MB
+) -> ExperimentEnv:
+    """The §5.2 testbed: five regions with the Table 1 link matrix."""
+    env = build_ec2_environment(n, k, placement=placement, block_size=block_size)
+    return ExperimentEnv(
+        code=env.code,
+        cluster=env.cluster,
+        placement=env.placement,
+        bandwidth=env.bandwidth,
+        cost_model=env.cost_model,
+        block_size=env.block_size,
+    )
+
+
+def context_for(env: ExperimentEnv, failed_blocks) -> RepairContext:
+    return RepairContext(
+        code=env.code,
+        cluster=env.cluster,
+        placement=env.placement,
+        failed_blocks=tuple(failed_blocks),
+        block_size=env.block_size,
+        cost_model=env.cost_model,
+    )
+
+
+def run_scheme(
+    env: ExperimentEnv, scheme: RepairScheme, failed_blocks
+) -> RepairOutcome:
+    """Plan and simulate one repair in this environment."""
+    return simulate_repair(scheme, context_for(env, failed_blocks), env.bandwidth)
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Mean/min/max across a scenario sweep — the figures' bar + caps."""
+
+    mean_time: float
+    min_time: float
+    max_time: float
+    mean_cross_blocks: float
+    min_cross_blocks: float
+    max_cross_blocks: float
+    scenarios: int
+
+    @classmethod
+    def from_outcomes(cls, outcomes: list[RepairOutcome]) -> "SweepStats":
+        if not outcomes:
+            raise ValueError("sweep produced no outcomes")
+        times = [o.total_repair_time for o in outcomes]
+        blocks = [o.cross_rack_blocks for o in outcomes]
+        return cls(
+            mean_time=sum(times) / len(times),
+            min_time=min(times),
+            max_time=max(times),
+            mean_cross_blocks=sum(blocks) / len(blocks),
+            min_cross_blocks=min(blocks),
+            max_cross_blocks=max(blocks),
+            scenarios=len(outcomes),
+        )
+
+
+def cap_scenarios(
+    scenarios: list[FailureScenario],
+    code: RSCode,
+    cap: int = DEFAULT_SCENARIO_CAP,
+    seed: int = 0,
+) -> list[FailureScenario]:
+    """Subsample an exhaustive scenario list when it exceeds ``cap``.
+
+    Sampling is seeded and deterministic; callers report
+    ``len(result) < len(scenarios)`` as "sampled" in their output so no
+    silent truncation occurs.
+    """
+    if len(scenarios) <= cap:
+        return scenarios
+    failures = scenarios[0].size
+    return list(sample_scenarios(code, failures, cap, seed=seed))
+
+
+def sweep_scheme(
+    env: ExperimentEnv,
+    scheme: RepairScheme,
+    scenarios: list[FailureScenario],
+) -> SweepStats:
+    """Run ``scheme`` over every scenario and aggregate."""
+    outcomes = [
+        run_scheme(env, scheme, scenario.failed_blocks) for scenario in scenarios
+    ]
+    return SweepStats.from_outcomes(outcomes)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table for benchmark output (no external deps)."""
+    table = [headers] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,139 @@
+"""Row generators for the extension experiments (beyond the paper).
+
+Mirrors the ``figureN_rows`` convention so the CLI and benches share one
+code path for extension results too:
+
+* :func:`node_rebuild_rows` — full-node rebuild orchestration matrix.
+* :func:`durability_rows` — per-scheme MTTDL from measured repair times.
+* :func:`lrc_rows` — LRC(12,2,2) vs RS(12,4) at equal overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..cluster import Cluster, ContiguousPlacement, SIMICS_BANDWIDTH
+from ..metrics import percent_reduction
+from ..multistripe import StripeStore, repair_node_failure
+from ..reliability import mttdl_from_repair_times
+from ..repair import RepairContext, RPRScheme, TraditionalRepair, simulate_repair
+from ..rs import MB, SIMICS_DECODE, get_code
+from .common import build_simics_environment, context_for
+
+__all__ = ["node_rebuild_rows", "durability_rows", "lrc_rows"]
+
+YEAR = 365.25 * 24 * 3600
+
+
+def node_rebuild_rows(num_stripes: int = 30, failed_node: int = 0) -> list[dict]:
+    """Scheme x mode x rebuild-target matrix over a declustered store."""
+    cluster = Cluster.homogeneous(5, 6)
+    store = StripeStore.build(cluster, get_code(6, 2), num_stripes)
+    rows = []
+    for scheme in [TraditionalRepair(), RPRScheme()]:
+        for mode in ["sequential", "parallel"]:
+            for rebuild in ["replacement", "scatter"]:
+                outcome = repair_node_failure(
+                    store, failed_node, scheme, SIMICS_BANDWIDTH,
+                    mode=mode, rebuild=rebuild,
+                )
+                rows.append(
+                    {
+                        "scheme": scheme.name,
+                        "mode": mode,
+                        "rebuild": rebuild,
+                        "makespan_s": outcome.makespan,
+                        "cross_blocks": outcome.total_cross_rack_bytes / (256 * MB),
+                        "rack_imbalance": outcome.rack_upload_imbalance[
+                            "max_mean_ratio"
+                        ],
+                    }
+                )
+    return rows
+
+
+def durability_rows(
+    codes=((6, 2), (8, 4), (12, 4)), block_mtbf_years: float = 4.0
+) -> list[dict]:
+    """Analytic MTTDL per scheme at a production failure rate."""
+    lam = 1 / (block_mtbf_years * YEAR)
+    rows = []
+    for n, k in codes:
+        env = build_simics_environment(n, k)
+        per_scheme = {}
+        for scheme in [TraditionalRepair(), RPRScheme()]:
+            times = [
+                simulate_repair(
+                    scheme, context_for(env, list(range(l))), env.bandwidth
+                ).total_repair_time
+                for l in range(1, k + 1)
+            ]
+            per_scheme[scheme.name] = (
+                times[0],
+                mttdl_from_repair_times(n + k, k, lam, times) / YEAR,
+            )
+        rows.append(
+            {
+                "code": f"({n},{k})",
+                "tra_repair_s": per_scheme["traditional"][0],
+                "rpr_repair_s": per_scheme["rpr"][0],
+                "tra_mttdl_years": per_scheme["traditional"][1],
+                "rpr_mttdl_years": per_scheme["rpr"][1],
+                "amplification": per_scheme["rpr"][1]
+                / per_scheme["traditional"][1],
+            }
+        )
+    return rows
+
+
+def lrc_rows() -> list[dict]:
+    """LRC(12,2,2) vs RS(12,4): repair cost and fault-tolerance reach."""
+    from ..lrc import LRCCode, LRCLocalRepair, is_recoverable
+
+    lrc_code = LRCCode(12, 2, 2)
+    rs_code = get_code(12, 4)
+
+    def ctx_for(code, failed):
+        cluster = Cluster.homogeneous(9, 4)
+        placement = ContiguousPlacement(per_rack=2).place(cluster, code.n, code.k)
+        return RepairContext(
+            code=code,
+            cluster=cluster,
+            placement=placement,
+            failed_blocks=tuple(failed),
+            block_size=256 * MB,
+            cost_model=SIMICS_DECODE,
+        )
+
+    stats = {}
+    for name, code, scheme in [
+        ("lrc(12,2,2)", lrc_code, LRCLocalRepair()),
+        ("rs(12,4)", rs_code, RPRScheme()),
+    ]:
+        time = traffic = 0.0
+        for block in range(12):
+            outcome = simulate_repair(scheme, ctx_for(code, [block]), SIMICS_BANDWIDTH)
+            time += outcome.total_repair_time
+            traffic += outcome.cross_rack_blocks
+        stats[name] = (time / 12, traffic / 12)
+
+    total = recoverable = 0
+    for combo in itertools.combinations(range(16), 4):
+        total += 1
+        if is_recoverable(lrc_code, combo):
+            recoverable += 1
+
+    return [
+        {
+            "code": "lrc(12,2,2)",
+            "mean_repair_s": stats["lrc(12,2,2)"][0],
+            "mean_cross_blocks": stats["lrc(12,2,2)"][1],
+            "four_failure_coverage_pct": 100.0 * recoverable / total,
+        },
+        {
+            "code": "rs(12,4)",
+            "mean_repair_s": stats["rs(12,4)"][0],
+            "mean_cross_blocks": stats["rs(12,4)"][1],
+            "four_failure_coverage_pct": 100.0,
+        },
+    ]

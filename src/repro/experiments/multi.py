@@ -1,0 +1,116 @@
+"""Multi-block-failure experiments: Figures 9, 10, 11, 13 and 14.
+
+Non-worst cases use the paper's (n, k, z) triples — z failures on an
+RS(n, k) code with 2 <= z <= k-1; worst cases fail exactly k blocks.
+Bars are means over all block-position combinations, caps are min/max
+(the figures' error bars).  Sweeps larger than the scenario cap are
+deterministically subsampled and flagged in the row.
+"""
+
+from __future__ import annotations
+
+from ..metrics import percent_reduction
+from ..repair import RPRScheme, TraditionalRepair
+from ..rs import PAPER_WORST_CASE_CODES
+from ..workloads import multi_failure_scenarios, scenario_count
+from .common import (
+    DEFAULT_SCENARIO_CAP,
+    ExperimentEnv,
+    build_ec2_env,
+    build_simics_environment,
+    cap_scenarios,
+    sweep_scheme,
+)
+
+__all__ = [
+    "PAPER_NONWORST_TRIPLES",
+    "multi_failure_rows",
+    "figure9_rows",
+    "figure10_rows",
+    "figure11_rows",
+    "figure13_rows",
+    "figure14_rows",
+]
+
+#: The (n, k, z) triples of Figures 9/10/13: every code with k > 2 and
+#: every failure count 2 <= z <= k-1.
+PAPER_NONWORST_TRIPLES: tuple[tuple[int, int, int], ...] = (
+    (6, 3, 2),
+    (8, 4, 2),
+    (8, 4, 3),
+    (12, 4, 2),
+    (12, 4, 3),
+)
+
+
+def multi_failure_rows(
+    env_builder,
+    cases,
+    cap: int = DEFAULT_SCENARIO_CAP,
+) -> list[dict]:
+    """Tra vs RPR stats per (n, k, z) case.
+
+    Each row carries mean/min/max repair time and cross-rack blocks for
+    both schemes plus the mean-over-mean reduction percentages.
+    """
+    rows = []
+    tra, rpr = TraditionalRepair(), RPRScheme()
+    for n, k, z in cases:
+        env: ExperimentEnv = env_builder(n, k)
+        full = multi_failure_scenarios(env.code, z)
+        scenarios = cap_scenarios(full, env.code, cap=cap)
+        tra_stats = sweep_scheme(env, tra, scenarios)
+        rpr_stats = sweep_scheme(env, rpr, scenarios)
+        rows.append(
+            {
+                "code": f"({n},{k},{z})",
+                "tra_time_s": tra_stats.mean_time,
+                "rpr_time_s": rpr_stats.mean_time,
+                "rpr_time_min_s": rpr_stats.min_time,
+                "rpr_time_max_s": rpr_stats.max_time,
+                "tra_cross_blocks": tra_stats.mean_cross_blocks,
+                "rpr_cross_blocks": rpr_stats.mean_cross_blocks,
+                "rpr_cross_blocks_min": rpr_stats.min_cross_blocks,
+                "rpr_cross_blocks_max": rpr_stats.max_cross_blocks,
+                "time_reduction_pct": percent_reduction(
+                    tra_stats.mean_time, rpr_stats.mean_time
+                ),
+                "traffic_reduction_pct": percent_reduction(
+                    tra_stats.mean_cross_blocks, rpr_stats.mean_cross_blocks
+                )
+                if tra_stats.mean_cross_blocks > 0
+                else 0.0,
+                "scenarios": rpr_stats.scenarios,
+                "sampled": len(scenarios) < scenario_count(env.code, z),
+            }
+        )
+    return rows
+
+
+def _worst_cases() -> list[tuple[int, int, int]]:
+    return [(n, k, k) for n, k in PAPER_WORST_CASE_CODES]
+
+
+def figure9_rows(cap: int = DEFAULT_SCENARIO_CAP) -> list[dict]:
+    """Figure 9: non-worst multi-failure repair time, Simics, Tra vs RPR."""
+    return multi_failure_rows(build_simics_environment, PAPER_NONWORST_TRIPLES, cap)
+
+
+def figure10_rows(cap: int = DEFAULT_SCENARIO_CAP) -> list[dict]:
+    """Figure 10: non-worst multi-failure cross-rack traffic (same sweep)."""
+    return multi_failure_rows(build_simics_environment, PAPER_NONWORST_TRIPLES, cap)
+
+
+def figure11_rows(cap: int = DEFAULT_SCENARIO_CAP) -> list[dict]:
+    """Figure 11: worst-case (k failures) repair time, Simics, Tra vs RPR."""
+    return multi_failure_rows(build_simics_environment, _worst_cases(), cap)
+
+
+def figure13_rows(cap: int = DEFAULT_SCENARIO_CAP) -> list[dict]:
+    """Figure 13: non-worst multi-failure repair time on the EC2 testbed."""
+    return multi_failure_rows(build_ec2_env, PAPER_NONWORST_TRIPLES, cap)
+
+
+def figure14_rows(cap: int = DEFAULT_SCENARIO_CAP) -> list[dict]:
+    """Figure 14: worst-case multi-failure repair time on the EC2 testbed."""
+    return multi_failure_rows(build_ec2_env, _worst_cases(), cap)

@@ -1,0 +1,83 @@
+"""Single-block-failure experiments: Figures 7, 8 and 12.
+
+Each row covers one RS configuration; values are averaged over every
+possible single data-block failure position (the paper's "random data
+block", made exhaustive for determinism).
+"""
+
+from __future__ import annotations
+
+from ..metrics import percent_reduction
+from ..repair import CARRepair, RPRScheme, TraditionalRepair
+from ..rs import PAPER_SINGLE_FAILURE_CODES
+from ..workloads import single_failure_scenarios
+from .common import (
+    ExperimentEnv,
+    build_ec2_env,
+    build_simics_environment,
+    sweep_scheme,
+)
+
+__all__ = [
+    "single_failure_rows",
+    "figure7_rows",
+    "figure8_rows",
+    "figure12_rows",
+]
+
+
+def single_failure_rows(
+    env_builder, codes=PAPER_SINGLE_FAILURE_CODES
+) -> list[dict]:
+    """Tra/CAR/RPR stats per code for single data-block failures.
+
+    Returns one dict per code with mean repair times, mean cross-rack
+    block counts, and the percentage reductions the paper headlines.
+    """
+    rows = []
+    schemes = {
+        "tra": TraditionalRepair(),
+        "car": CARRepair(),
+        "rpr": RPRScheme(),
+    }
+    for n, k in codes:
+        env: ExperimentEnv = env_builder(n, k)
+        scenarios = single_failure_scenarios(env.code, data_only=True)
+        stats = {
+            name: sweep_scheme(env, scheme, scenarios)
+            for name, scheme in schemes.items()
+        }
+        rows.append(
+            {
+                "code": env.label,
+                "tra_time_s": stats["tra"].mean_time,
+                "car_time_s": stats["car"].mean_time,
+                "rpr_time_s": stats["rpr"].mean_time,
+                "tra_cross_blocks": stats["tra"].mean_cross_blocks,
+                "car_cross_blocks": stats["car"].mean_cross_blocks,
+                "rpr_cross_blocks": stats["rpr"].mean_cross_blocks,
+                "rpr_vs_tra_pct": percent_reduction(
+                    stats["tra"].mean_time, stats["rpr"].mean_time
+                ),
+                "rpr_vs_car_pct": percent_reduction(
+                    stats["car"].mean_time, stats["rpr"].mean_time
+                ),
+                "scenarios": stats["rpr"].scenarios,
+            }
+        )
+    return rows
+
+
+def figure7_rows() -> list[dict]:
+    """Figure 7: cross-rack traffic (blocks), Simics, Tra/CAR/RPR."""
+    return single_failure_rows(build_simics_environment)
+
+
+def figure8_rows() -> list[dict]:
+    """Figure 8: total repair time (s), Simics, Tra/CAR/RPR."""
+    return single_failure_rows(build_simics_environment)
+
+
+def figure12_rows() -> list[dict]:
+    """Figure 12: total repair time (s), EC2 region testbed, Tra/CAR/RPR."""
+    return single_failure_rows(build_ec2_env)

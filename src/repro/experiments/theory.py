@@ -1,0 +1,54 @@
+"""Analytical experiments: Figure 6 and model-vs-simulation cross-checks."""
+
+from __future__ import annotations
+
+from ..analysis import (
+    FIG6_PARAMS,
+    TimeParameters,
+    figure6_series,
+    racks_for_code,
+    rpr_worst_case_time,
+    traditional_repair_time,
+)
+from ..repair import RPRScheme, TraditionalRepair
+from ..rs import PAPER_SINGLE_FAILURE_CODES
+from .common import build_simics_environment, run_scheme
+
+__all__ = ["figure6_rows", "model_vs_simulation_rows"]
+
+
+def figure6_rows(params: TimeParameters = FIG6_PARAMS) -> list[dict]:
+    """Figure 6's two theoretical curves (t_i = 1 ms, t_c = 10 ms)."""
+    return figure6_series(params=params)
+
+
+def model_vs_simulation_rows(
+    codes=PAPER_SINGLE_FAILURE_CODES,
+) -> list[dict]:
+    """Compare eq. (10)/(13) predictions against simulated repairs.
+
+    Uses the Simics environment's actual per-block transfer times as the
+    model's (t_i, t_c), and a single data-block failure (block 1).  The
+    simulated traditional time can undercut eq. (10) because helpers
+    co-located with the recovery rack travel at intra-rack speed;
+    eq. (13) is an upper bound on RPR since the real schedule pipelines.
+    """
+    rows = []
+    for n, k in codes:
+        env = build_simics_environment(n, k)
+        t_i = env.block_size / env.bandwidth.intra
+        t_c = env.block_size / env.bandwidth.cross
+        params = TimeParameters(t_i=t_i, t_c=t_c)
+        tra = run_scheme(env, TraditionalRepair(), [1])
+        rpr = run_scheme(env, RPRScheme(), [1])
+        rows.append(
+            {
+                "code": env.label,
+                "q": racks_for_code(n, k),
+                "eq10_tra_s": traditional_repair_time(n, params),
+                "sim_tra_s": tra.total_repair_time,
+                "eq13_rpr_bound_s": rpr_worst_case_time(n, k, params),
+                "sim_rpr_s": rpr.total_repair_time,
+            }
+        )
+    return rows

@@ -1,0 +1,74 @@
+"""Cauchy-matrix generator construction (Jerasure's other standard).
+
+The Vandermonde-derived construction (:func:`systematic_vandermonde_generator`)
+is what the paper's prototype uses, but it is only *verified* MDS — the
+column-reduction can in principle produce singular submatrices for exotic
+parameters.  Cauchy matrices are MDS *by construction*: every square
+submatrix of ``C[i][j] = 1 / (x_i + y_j)`` (with all ``x_i + y_j != 0``
+and distinct ``x_i``, distinct ``y_j``) is nonsingular.
+
+As with the Vandermonde path, the coding block is normalised so its
+first row is all ones (column scaling, which preserves the
+minors-nonsingular property) — keeping eq. (2)/(6): ``P0`` is the plain
+XOR of the data blocks, so pre-placement works identically under either
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .arithmetic import gf_add, gf_div, gf_inv
+from .matrix import mat_identity
+from .tables import GFTables, get_tables
+
+__all__ = ["cauchy_coding_matrix", "systematic_cauchy_generator"]
+
+
+def cauchy_coding_matrix(
+    n: int, k: int, tables: GFTables | None = None
+) -> np.ndarray:
+    """The ``k x n`` Cauchy matrix over GF(256).
+
+    Uses ``x_i = i`` (rows, parities) and ``y_j = k + j`` (columns, data
+    blocks): all 2·max(n,k) values are distinct field elements, so every
+    ``x_i + y_j`` (XOR) is non-zero and the Cauchy conditions hold.
+
+    Raises
+    ------
+    ValueError
+        If ``n + k > 256`` (not enough distinct field elements).
+    """
+    t = tables or get_tables()
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got ({n}, {k})")
+    if n + k > 256:
+        raise ValueError(f"Cauchy over GF(256) needs n + k <= 256, got {n + k}")
+    out = np.empty((k, n), dtype=np.uint8)
+    for i in range(k):
+        for j in range(n):
+            out[i, j] = gf_inv(gf_add(i, k + j), t)
+    return out
+
+
+def systematic_cauchy_generator(
+    n: int, k: int, tables: GFTables | None = None
+) -> np.ndarray:
+    """Systematic generator ``[I; C']`` with an all-ones first coding row.
+
+    ``C'`` is the Cauchy matrix with each column scaled by the inverse of
+    its first-row entry; column scaling multiplies every minor by a
+    non-zero constant, so the construction stays provably MDS while
+    making ``P0`` the XOR parity.
+    """
+    t = tables or get_tables()
+    if n < 1 or k < 0:
+        raise ValueError(f"invalid code parameters n={n}, k={k}")
+    if k == 0:
+        return mat_identity(n)
+    coding = cauchy_coding_matrix(n, k, t)
+    for j in range(n):
+        lead = int(coding[0, j])
+        # Cauchy entries are never zero by construction.
+        coding[:, j] = gf_div(coding[:, j], lead, t)
+    return np.vstack([mat_identity(n), coding])

@@ -1,0 +1,18 @@
+"""Locally Repairable Codes (extension; Azure's LRC family, §4.3.1).
+
+An alternative code substrate with cheap local repair, integrated with
+the same placement, plan, executor and simulator machinery as the RS
+stack — including RPR-style pipelining for the repairs that do go wide.
+"""
+
+from .code import LRCCode
+from .decode import UnrecoverableError, is_recoverable, lrc_recovery_equations
+from .repair import LRCLocalRepair
+
+__all__ = [
+    "LRCCode",
+    "LRCLocalRepair",
+    "UnrecoverableError",
+    "is_recoverable",
+    "lrc_recovery_equations",
+]

@@ -1,0 +1,14 @@
+"""Metrics over simulation traces: traffic, repair time, load balance."""
+
+from .loadbalance import coefficient_of_variation, imbalance_summary, max_mean_ratio
+from .repairtime import TimeBreakdown, percent_reduction
+from .traffic import TrafficLedger
+
+__all__ = [
+    "TimeBreakdown",
+    "TrafficLedger",
+    "coefficient_of_variation",
+    "imbalance_summary",
+    "max_mean_ratio",
+    "percent_reduction",
+]

@@ -1,0 +1,52 @@
+"""Load-balance metrics.
+
+The paper motivates RPR partly by load balance: traditional repair funnels
+every byte into one node (§2.3), while partial decoding spreads upload
+work across racks (§3.1).  These helpers quantify that spread.
+"""
+
+from __future__ import annotations
+
+from statistics import pstdev
+
+__all__ = ["max_mean_ratio", "coefficient_of_variation", "imbalance_summary"]
+
+
+def max_mean_ratio(values) -> float:
+    """Peak-to-mean ratio of a load distribution (1.0 = perfectly even).
+
+    Zero-valued participants count toward the mean; an empty input is an
+    error because a repair always moves some bytes.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("no load values supplied")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 1.0
+    return max(values) / mean
+
+
+def coefficient_of_variation(values) -> float:
+    """Population stddev over mean (0 = perfectly even)."""
+    values = list(values)
+    if not values:
+        raise ValueError("no load values supplied")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return pstdev(values) / mean
+
+
+def imbalance_summary(loads: dict) -> dict[str, float]:
+    """Summary dict for a ``participant -> bytes`` load mapping."""
+    values = list(loads.values())
+    if not values:
+        return {"participants": 0, "max": 0.0, "mean": 0.0, "max_mean_ratio": 1.0, "cv": 0.0}
+    return {
+        "participants": len(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "max_mean_ratio": max_mean_ratio(values),
+        "cv": coefficient_of_variation(values),
+    }

@@ -1,0 +1,68 @@
+"""Traffic accounting over simulation traces.
+
+Aggregates the engine's transfer events into the quantities the paper
+plots: cross-rack vs inner-rack volume (Figures 7 and 10) and per-node /
+per-rack byte counts for the load-balance discussion (§2.3, §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import Cluster
+from ..sim import SimResult
+
+__all__ = ["TrafficLedger"]
+
+
+@dataclass
+class TrafficLedger:
+    """Per-direction, per-node byte counters derived from a trace.
+
+    Attributes
+    ----------
+    cross_rack_bytes / intra_rack_bytes:
+        Total volume by link class.
+    uploaded_by_node / downloaded_by_node:
+        Bytes sent / received per node (all link classes).
+    cross_uploaded_by_rack:
+        Bytes each rack pushed through the aggregation switch — CAR's
+        load-balance objective and the quantity RPR's pipeline spreads.
+    """
+
+    cross_rack_bytes: float = 0.0
+    intra_rack_bytes: float = 0.0
+    uploaded_by_node: dict[int, float] = field(default_factory=dict)
+    downloaded_by_node: dict[int, float] = field(default_factory=dict)
+    cross_uploaded_by_rack: dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_sim(cls, result: SimResult, cluster: Cluster) -> "TrafficLedger":
+        ledger = cls()
+        for event in result.transfers():
+            src, dst, nbytes = event.node, event.peer, event.nbytes
+            ledger.uploaded_by_node[src] = (
+                ledger.uploaded_by_node.get(src, 0.0) + nbytes
+            )
+            ledger.downloaded_by_node[dst] = (
+                ledger.downloaded_by_node.get(dst, 0.0) + nbytes
+            )
+            if event.cross_rack:
+                ledger.cross_rack_bytes += nbytes
+                rack = cluster.rack_of(src)
+                ledger.cross_uploaded_by_rack[rack] = (
+                    ledger.cross_uploaded_by_rack.get(rack, 0.0) + nbytes
+                )
+            else:
+                ledger.intra_rack_bytes += nbytes
+        return ledger
+
+    @property
+    def total_bytes(self) -> float:
+        return self.cross_rack_bytes + self.intra_rack_bytes
+
+    def cross_rack_blocks(self, block_size: int) -> float:
+        """Cross-rack volume in block units (the paper's Fig. 7/10 axis)."""
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        return self.cross_rack_bytes / block_size

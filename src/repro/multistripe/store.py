@@ -1,0 +1,129 @@
+"""A stripe store: many stripes placed across one cluster.
+
+Real deployments hold thousands of stripes; a node failure loses one
+block from every stripe that touched the node, and the repair workload
+is the *set* of those single-block repairs.  The store tracks stripe
+placements and answers "what did node X hold?".
+
+Placements are rotated round-robin across racks so stripes spread load —
+the standard declustered layout that gives every rack both data and
+parity duty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..cluster import Cluster, Placement, PlacementError, RPRPlacement
+from ..rs import RSCode
+
+__all__ = ["StoredStripe", "StripeStore", "rotate_placement"]
+
+
+def rotate_placement(
+    cluster: Cluster, placement: Placement, rack_offset: int, slot_offset: int = 0
+) -> Placement:
+    """Shift a placement by ``rack_offset`` racks and ``slot_offset`` slots.
+
+    Requires homogeneous rack sizes (node ids rack-major, as built by
+    :meth:`Cluster.homogeneous`).  Rotating by the rack count / rack size
+    is the identity in that axis.  Rotating both axes as the stripe id
+    advances declusters the layout: every node ends up holding blocks
+    from many stripes, so a node failure spreads repair work evenly.
+    """
+    rack_ids = cluster.rack_ids()
+    sizes = {cluster.rack(r).size for r in rack_ids}
+    if len(sizes) != 1:
+        raise PlacementError("rotation requires homogeneous rack sizes")
+    rack_size = sizes.pop()
+    num_racks = len(rack_ids)
+    mapping = {}
+    for block, node in placement.block_to_node.items():
+        rack = cluster.rack_of(node)
+        slot = cluster.nodes_in_rack(rack).index(node)
+        new_rack = rack_ids[(rack_ids.index(rack) + rack_offset) % num_racks]
+        new_slot = (slot + slot_offset) % rack_size
+        mapping[block] = cluster.nodes_in_rack(new_rack)[new_slot]
+    return Placement(n=placement.n, k=placement.k, block_to_node=mapping)
+
+
+@dataclass(frozen=True)
+class StoredStripe:
+    """One stripe's identity and layout within a store."""
+
+    stripe_id: int
+    code: RSCode
+    placement: Placement
+
+
+@dataclass
+class StripeStore:
+    """All stripes of one (code, cluster) deployment."""
+
+    cluster: Cluster
+    stripes: list[StoredStripe] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        cluster: Cluster,
+        code: RSCode,
+        num_stripes: int,
+        placement_policy=None,
+        rotate: bool = True,
+    ) -> "StripeStore":
+        """Place ``num_stripes`` stripes, rotating racks per stripe.
+
+        ``placement_policy`` defaults to the §3.3 pre-placement.
+        """
+        if num_stripes < 1:
+            raise ValueError("num_stripes must be positive")
+        policy = placement_policy if placement_policy is not None else RPRPlacement()
+        base = policy.place(cluster, code.n, code.k)
+        stripes = []
+        for sid in range(num_stripes):
+            placement = (
+                rotate_placement(
+                    cluster,
+                    base,
+                    rack_offset=sid % cluster.num_racks,
+                    slot_offset=sid // cluster.num_racks,
+                )
+                if rotate
+                else base
+            )
+            stripes.append(
+                StoredStripe(stripe_id=sid, code=code, placement=placement)
+            )
+        return cls(cluster=cluster, stripes=stripes)
+
+    def __len__(self) -> int:
+        return len(self.stripes)
+
+    def __iter__(self) -> Iterator[StoredStripe]:
+        return iter(self.stripes)
+
+    def stripe(self, stripe_id: int) -> StoredStripe:
+        try:
+            return self.stripes[stripe_id]
+        except IndexError:
+            raise KeyError(f"no stripe {stripe_id} in store") from None
+
+    def blocks_on_node(self, node_id: int) -> list[tuple[int, int]]:
+        """All ``(stripe_id, block_id)`` pairs stored on ``node_id``."""
+        self.cluster.node(node_id)
+        found = []
+        for stored in self.stripes:
+            block = stored.placement.block_at(node_id)
+            if block is not None:
+                found.append((stored.stripe_id, block))
+        return found
+
+    def blocks_per_node(self) -> dict[int, int]:
+        """Block count per node — layout balance check."""
+        counts = {nid: 0 for nid in self.cluster.node_ids()}
+        for stored in self.stripes:
+            for node in stored.placement.block_to_node.values():
+                counts[node] += 1
+        return counts

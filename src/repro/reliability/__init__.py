@@ -1,0 +1,17 @@
+"""Durability analysis: repair speed → mean time to data loss.
+
+Extension quantifying the paper's motivation ("slow repair widens the
+window of vulnerability"): an analytic birth-death MTTDL model and a
+Monte-Carlo trajectory simulator, both driven by the schemes' *measured*
+repair times on the configured testbed.
+"""
+
+from .markov import mttdl, mttdl_from_repair_times
+from .montecarlo import DurabilityResult, simulate_stripe_lifetimes
+
+__all__ = [
+    "DurabilityResult",
+    "mttdl",
+    "mttdl_from_repair_times",
+    "simulate_stripe_lifetimes",
+]

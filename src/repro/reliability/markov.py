@@ -1,0 +1,85 @@
+"""Analytic stripe durability: a birth-death Markov chain driven by
+measured repair times.
+
+Why this module exists: the paper's motivation is that slow repair
+keeps stripes in degraded states longer, widening the window in which
+further failures cause data loss.  Here the connection is made
+quantitative.  A stripe is modelled as a birth-death chain on the
+number of concurrently failed blocks:
+
+* state ``i``  (0 <= i <= k): ``i`` blocks lost, repair under way;
+* failure rate out of state ``i``: ``(width - i) * lam`` (each surviving
+  block fails independently at rate ``lam``);
+* repair rate in state ``i >= 1``: ``1 / T_i`` where ``T_i`` is the
+  *measured* total repair time for an ``i``-block failure under the
+  scheme being analysed (this is where RPR's speed enters);
+* state ``k + 1`` is absorbing: data loss.
+
+``mttdl`` computes the expected absorption time from state 0 exactly via
+the standard one-step-up recursion
+
+    T_i = 1/f_i + (mu_i / f_i) * T_{i-1},      MTTDL = sum_i T_i
+
+(``T_i`` = expected time for the chain to move from ``i`` to ``i+1`` for
+good).  The recursion adds and multiplies only positive quantities, so
+it stays numerically exact at production parameters, where repair rates
+exceed failure rates by many orders of magnitude and MTTDL reaches
+~1e30 seconds (a naive linear-system solve loses everything there to
+cancellation).  Halving repair time roughly multiplies MTTDL by ``2^k``
+in the rare-failure regime — the quantitative form of the paper's
+motivation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mttdl", "mttdl_from_repair_times"]
+
+
+def mttdl(width: int, k: int, lam: float, repair_rates) -> float:
+    """Mean time to data loss for one stripe.
+
+    Parameters
+    ----------
+    width:
+        Total blocks in the stripe (``n + k``).
+    k:
+        Fault tolerance (loss occurs at ``k + 1`` concurrent failures).
+    lam:
+        Per-block failure rate (failures / second).
+    repair_rates:
+        ``repair_rates[i]`` = repair completion rate (1/seconds) while
+        ``i + 1`` blocks are failed, i.e. index 0 covers state 1.  Length
+        must be ``k``.
+
+    Returns
+    -------
+    Expected seconds from an all-healthy stripe to data loss.
+
+    """
+    if width < 1 or not 0 <= k < width:
+        raise ValueError(f"invalid stripe shape width={width}, k={k}")
+    if lam <= 0:
+        raise ValueError("failure rate must be positive")
+    rates = list(repair_rates)
+    if len(rates) != k:
+        raise ValueError(f"need {k} repair rates (states 1..{k}), got {len(rates)}")
+    if any(r <= 0 for r in rates):
+        raise ValueError("repair rates must be positive")
+
+    total = 0.0
+    t_prev = 0.0
+    for i in range(k + 1):
+        fail = (width - i) * lam
+        mu = rates[i - 1] if i >= 1 else 0.0
+        t_i = 1.0 / fail + (mu / fail) * t_prev
+        total += t_i
+        t_prev = t_i
+    return total
+
+
+def mttdl_from_repair_times(width: int, k: int, lam: float, repair_times) -> float:
+    """Convenience wrapper taking repair *times* (seconds) per state."""
+    times = list(repair_times)
+    if any(t <= 0 for t in times):
+        raise ValueError("repair times must be positive")
+    return mttdl(width, k, lam, [1.0 / t for t in times])

@@ -1,0 +1,71 @@
+"""Repair schemes and the plan/execution machinery.
+
+Public surface:
+
+* :class:`RepairContext` — one stripe repair's inputs.
+* :class:`TraditionalRepair`, :class:`CARRepair`, :class:`RPRScheme` —
+  the three planners the paper compares.
+* :class:`RepairPlan` + :func:`execute_plan` — the op-DAG and its
+  concrete (byte-level) executor.
+* :func:`simulate_repair` — compile a plan and run it on the
+  discrete-event engine, returning time and traffic.
+"""
+
+from .base import (
+    RepairContext,
+    RepairPlanningError,
+    RepairScheme,
+    recovery_targets,
+)
+from .car import CARRepair
+from .degraded import degraded_read_context, plan_degraded_read
+from .executor import (
+    ExecutionError,
+    ExecutionResult,
+    execute_plan,
+    initial_store_for,
+)
+from .plan import CombineOp, PlanError, RepairPlan, SendOp, block_key
+from .planstats import PlanStats, critical_path_hops
+from .rpr import HeterogeneityAwareRPR, RPRScheme
+from .selection import (
+    first_n_helpers,
+    group_survivors_by_rack,
+    rack_aware_helpers,
+    remote_rack_count,
+)
+from .simulate import RepairOutcome, simulate_repair
+from .traditional import TraditionalRepair
+from .update import apply_update_payloads, plan_update
+
+__all__ = [
+    "CARRepair",
+    "CombineOp",
+    "ExecutionError",
+    "ExecutionResult",
+    "HeterogeneityAwareRPR",
+    "PlanError",
+    "PlanStats",
+    "RPRScheme",
+    "RepairContext",
+    "RepairOutcome",
+    "RepairPlan",
+    "RepairPlanningError",
+    "RepairScheme",
+    "SendOp",
+    "TraditionalRepair",
+    "apply_update_payloads",
+    "block_key",
+    "critical_path_hops",
+    "degraded_read_context",
+    "execute_plan",
+    "plan_degraded_read",
+    "plan_update",
+    "first_n_helpers",
+    "group_survivors_by_rack",
+    "initial_store_for",
+    "rack_aware_helpers",
+    "recovery_targets",
+    "remote_rack_count",
+    "simulate_repair",
+]

@@ -1,0 +1,131 @@
+"""CAR baseline (Shen, Shu, Lee — DSN'16), as characterised in the paper.
+
+CAR is the state-of-the-art *single-failure* rack-aware repair RPR is
+compared against (Figures 7, 8, 12).  Per the paper's description (§5.1.1,
+§6):
+
+* it applies inner-rack partial decoding, so its cross-rack traffic equals
+  RPR's (one intermediate per remote rack — Fig. 7 shows identical bars);
+* it has **no repair schedule**: every remote rack sends its intermediate
+  straight to the recovery node, so the recovery rack's download port
+  serialises the cross-rack transfers (Fig. 5's schedule 1), and
+  intermediates "wait for the other cross-rack transfers to finish";
+* it uses the generic matrix decoder (no pre-placement), which is what
+  makes its EC2 gap to RPR bigger than its Simics gap (§5.2.1).
+
+Within a rack, helpers are gathered star-wise at a gateway node (the
+rack's lowest-id helper); the gateway's download port serialises the
+intra-rack hops.  CAR only supports single-block failures.
+"""
+
+from __future__ import annotations
+
+from ..rs import recovery_equations, slice_equation_by_group
+from .base import RepairContext, RepairPlanningError, RepairScheme, recovery_targets
+from .plan import RepairPlan, block_key
+from .selection import rack_aware_helpers
+
+__all__ = ["CARRepair"]
+
+
+class CARRepair(RepairScheme):
+    """The CAR single-failure baseline."""
+
+    name = "car"
+
+    def plan(self, ctx: RepairContext) -> RepairPlan:
+        if len(ctx.failed_blocks) != 1:
+            raise RepairPlanningError(
+                "CAR only supports single-block failures (paper §6)"
+            )
+        failed = ctx.failed_blocks[0]
+        helpers = rack_aware_helpers(ctx, prefer_xor=False)
+        [equation] = recovery_equations(ctx.code, [failed], helpers)
+        target = recovery_targets(ctx)[failed]
+        target_rack = ctx.cluster.rack_of(target)
+
+        groups = ctx.placement.group_of_blocks(ctx.cluster)
+        slices = slice_equation_by_group(equation, groups)
+
+        plan = RepairPlan(block_size=ctx.block_size)
+        final_terms: list[tuple[str, int]] = []
+        final_deps: list[str] = []
+
+        for rack in sorted(slices):
+            sl = slices[rack]
+            if rack == target_rack:
+                # Local helpers stream straight to the recovery node; their
+                # coefficients are applied in the final combine.  A helper
+                # resident on the recovery node itself (degraded-read
+                # override) is consumed in place.
+                for h, c in sl.terms:
+                    src = ctx.node_of_block(h)
+                    final_terms.append((block_key(h), c))
+                    if src != target:
+                        final_deps.append(
+                            plan.add_send(
+                                f"car:local:{h}",
+                                src=src,
+                                dst=target,
+                                key=block_key(h),
+                            )
+                        )
+                continue
+
+            blocks = list(sl.terms)
+            if len(blocks) == 1:
+                # Nothing to partially decode: ship the raw block.
+                h, c = blocks[0]
+                op = plan.add_send(
+                    f"car:direct:r{rack}",
+                    src=ctx.node_of_block(h),
+                    dst=target,
+                    key=block_key(h),
+                )
+                final_terms.append((block_key(h), c))
+                final_deps.append(op)
+                continue
+
+            # Star-gather at the rack gateway (lowest-id helper's node),
+            # partial-decode there, ship one intermediate across racks.
+            gateway_block = blocks[0][0]
+            gateway = ctx.node_of_block(gateway_block)
+            gather_deps = []
+            for h, _ in blocks[1:]:
+                gather_deps.append(
+                    plan.add_send(
+                        f"car:gather:r{rack}:{h}",
+                        src=ctx.node_of_block(h),
+                        dst=gateway,
+                        key=block_key(h),
+                    )
+                )
+            im_key = f"car:im:r{rack}"
+            combine = plan.add_combine(
+                f"car:partial:r{rack}",
+                node=gateway,
+                out_key=im_key,
+                terms=[(block_key(h), c) for h, c in blocks],
+                deps=gather_deps,
+            )
+            send = plan.add_send(
+                f"car:cross:r{rack}",
+                src=gateway,
+                dst=target,
+                key=im_key,
+                deps=[combine],
+            )
+            final_terms.append((im_key, 1))
+            final_deps.append(send)
+
+        out_key = f"car:recovered:{failed}"
+        plan.add_combine(
+            f"car:decode:{failed}",
+            node=target,
+            out_key=out_key,
+            terms=final_terms,
+            with_matrix_build=True,  # CAR has no pre-placement fast path
+            deps=final_deps,
+        )
+        plan.mark_output(failed, target, out_key)
+        return plan

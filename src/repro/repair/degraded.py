@@ -1,0 +1,51 @@
+"""Degraded reads: serve a lost block to a client without re-inserting it.
+
+When a client requests a block whose node is down, storage systems
+perform a *degraded read* — reconstruct the block on the fly and deliver
+it to the requester, leaving durable repair for later.  Structurally it
+is a single-block repair whose "recovery node" is the client, so the
+whole RPR machinery (partial decoding, pipeline, XOR fast path) applies
+unchanged: intermediates aggregate toward the client's rack instead of
+the failed block's rack.
+
+This is an extension beyond the paper (which repairs in place), but
+Khan et al. [18] — cited in §3.3 — motivate exactly this operation
+("minimizing I/O for recovery and *degraded reads*").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .base import RepairContext, RepairPlanningError, RepairScheme
+from .plan import RepairPlan
+
+__all__ = ["degraded_read_context", "plan_degraded_read"]
+
+
+def degraded_read_context(ctx: RepairContext, client_node: int) -> RepairContext:
+    """Retarget a single-failure repair context at a client node.
+
+    The client may itself hold a surviving block of the stripe — then
+    that block becomes a transfer-free local helper.
+
+    Raises
+    ------
+    RepairPlanningError
+        If the context has more than one failed block (a degraded read
+        serves one block).
+    """
+    if len(ctx.failed_blocks) != 1:
+        raise RepairPlanningError(
+            "a degraded read serves exactly one lost block"
+        )
+    ctx.cluster.node(client_node)
+    failed = ctx.failed_blocks[0]
+    return replace(ctx, recovery_override=((failed, client_node),))
+
+
+def plan_degraded_read(
+    scheme: RepairScheme, ctx: RepairContext, client_node: int
+) -> RepairPlan:
+    """Plan the reconstruction of ``ctx``'s lost block at ``client_node``."""
+    return scheme.plan(degraded_read_context(ctx, client_node))

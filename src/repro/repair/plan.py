@@ -1,0 +1,193 @@
+"""Repair plans: the op-DAG every repair scheme emits.
+
+A :class:`RepairPlan` describes a repair as a DAG of two op kinds over
+named *payloads* (blocks and intermediate blocks):
+
+* :class:`SendOp` — move a payload from one node to another.
+* :class:`CombineOp` — GF-linear-combine payloads present on one node
+  into a new payload (a partial or final decode).
+
+The plan is the hinge of the whole library (DESIGN.md §3): it compiles to
+a :class:`repro.sim.JobGraph` for timing/traffic simulation, and it is
+executed on real byte buffers by :mod:`repro.repair.executor` to prove
+the repair actually reconstructs the lost data.  A scheme therefore
+cannot report a repair time for a plan that would not decode.
+
+Payload keys are strings; :func:`block_key` names original stripe blocks
+and schemes mint their own keys for intermediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..rs import DecodeCostModel
+from ..sim import JobGraph
+
+__all__ = ["PlanError", "SendOp", "CombineOp", "RepairPlan", "block_key"]
+
+
+class PlanError(ValueError):
+    """Raised for malformed repair plans."""
+
+
+def block_key(block_id: int) -> str:
+    """Payload key of an original stripe block."""
+    return f"block:{block_id}"
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Move payload ``key`` from node ``src`` to node ``dst``."""
+
+    op_id: str
+    src: int
+    dst: int
+    key: str
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise PlanError(f"send {self.op_id}: src == dst == {self.src}")
+
+
+@dataclass(frozen=True)
+class CombineOp:
+    """Compute ``out_key = sum(coeff * payload)`` on ``node``.
+
+    ``with_matrix_build`` marks the op that pays the decoding-matrix
+    construction surcharge (§3.3); schemes set it on the final decode when
+    the recovery equation needed ``M'^{-1}``.
+    """
+
+    op_id: str
+    node: int
+    out_key: str
+    terms: tuple[tuple[str, int], ...]
+    with_matrix_build: bool = False
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise PlanError(f"combine {self.op_id}: no input terms")
+        keys = [key for key, _ in self.terms]
+        if len(set(keys)) != len(keys):
+            raise PlanError(f"combine {self.op_id}: duplicate input payload")
+        if any(not 1 <= c <= 255 for _, c in self.terms):
+            raise PlanError(f"combine {self.op_id}: coefficients must be in [1, 255]")
+        if self.out_key in set(keys):
+            raise PlanError(f"combine {self.op_id}: output aliases an input")
+
+
+@dataclass
+class RepairPlan:
+    """A complete repair: ops plus the mapping of outputs to targets.
+
+    Attributes
+    ----------
+    block_size:
+        Bytes per block (every payload in a repair is block-sized, incl.
+        intermediates — §3.1).
+    ops:
+        Op id → op, insertion-ordered.
+    outputs:
+        Failed block id → ``(recovery_node, payload_key)`` where the
+        reconstructed bytes must end up.
+    """
+
+    block_size: int
+    ops: dict[str, SendOp | CombineOp] = field(default_factory=dict)
+    outputs: dict[int, tuple[int, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise PlanError(f"block_size must be positive, got {self.block_size}")
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, op: SendOp | CombineOp) -> str:
+        if op.op_id in self.ops:
+            raise PlanError(f"duplicate op id {op.op_id!r}")
+        self.ops[op.op_id] = op
+        return op.op_id
+
+    def add_send(self, op_id: str, src: int, dst: int, key: str, deps=()) -> str:
+        return self.add(SendOp(op_id=op_id, src=src, dst=dst, key=key, deps=tuple(deps)))
+
+    def add_combine(
+        self,
+        op_id: str,
+        node: int,
+        out_key: str,
+        terms: Iterable[tuple[str, int]],
+        with_matrix_build: bool = False,
+        deps=(),
+    ) -> str:
+        return self.add(
+            CombineOp(
+                op_id=op_id,
+                node=node,
+                out_key=out_key,
+                terms=tuple(terms),
+                with_matrix_build=with_matrix_build,
+                deps=tuple(deps),
+            )
+        )
+
+    def mark_output(self, block_id: int, node: int, key: str) -> None:
+        if block_id in self.outputs:
+            raise PlanError(f"output for block {block_id} already marked")
+        self.outputs[block_id] = (node, key)
+
+    # -- introspection ------------------------------------------------------
+
+    def sends(self) -> list[SendOp]:
+        return [op for op in self.ops.values() if isinstance(op, SendOp)]
+
+    def combines(self) -> list[CombineOp]:
+        return [op for op in self.ops.values() if isinstance(op, CombineOp)]
+
+    def validate(self) -> None:
+        """Structural checks: dep integrity and acyclicity (via JobGraph)."""
+        for op in self.ops.values():
+            for dep in op.deps:
+                if dep not in self.ops:
+                    raise PlanError(f"op {op.op_id!r} depends on unknown {dep!r}")
+        if not self.outputs:
+            raise PlanError("plan reconstructs nothing (no outputs marked)")
+        # Reuse JobGraph's cycle detection with dummy durations.
+        graph = JobGraph()
+        for op in self.ops.values():
+            graph.add_compute(op.op_id, 0, 0.0, deps=op.deps)
+        graph.validate()
+
+    # -- compilation ----------------------------------------------------------
+
+    def to_job_graph(self, cost_model: DecodeCostModel) -> JobGraph:
+        """Compile to simulator jobs.
+
+        Sends become block-sized transfers; combines become compute jobs
+        whose duration comes from ``cost_model`` (with the matrix-build
+        factor applied where flagged).
+        """
+        self.validate()
+        graph = JobGraph()
+        for op in self.ops.values():
+            if isinstance(op, SendOp):
+                graph.add_transfer(
+                    op.op_id,
+                    src=op.src,
+                    dst=op.dst,
+                    nbytes=self.block_size,
+                    deps=op.deps,
+                    tag=op.key,
+                )
+            else:
+                seconds = cost_model.decode_time(
+                    self.block_size, with_matrix_build=op.with_matrix_build
+                )
+                graph.add_compute(
+                    op.op_id, node=op.node, seconds=seconds, deps=op.deps, tag=op.out_key
+                )
+        return graph

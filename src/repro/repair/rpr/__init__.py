@@ -1,0 +1,42 @@
+"""RPR: rack-aware pipeline repair (the paper's contribution).
+
+Submodules map to the paper's techniques:
+
+* :mod:`.inner` — Algorithm 1 (*Inner*) and its multi-failure extension
+  (Algorithm 3, *Inner-multi*): per-rack pairwise partial-decoding trees.
+* :mod:`.cross` — Algorithm 2 (*Cross*) and its multi-failure extension
+  (Algorithm 4, *Cross-multi*): the greedy binomial pipeline of rack
+  intermediates onto the recovery node.
+* :mod:`.preplacement` — §3.3 helpers (the placement policy itself is
+  :class:`repro.cluster.RPRPlacement`).
+* :mod:`.scheme` — the :class:`RPRScheme` planner tying them together.
+"""
+
+from .cross import CrossArrival, build_cross_gather, build_direct_gather
+from .hetero import (
+    HeterogeneityAwareRPR,
+    estimate_gather_makespan,
+    order_sources_by_link_speed,
+)
+from .inner import InnerResult, build_inner_trees
+from .preplacement import (
+    matrix_build_free_probability,
+    p0_rack_is_all_data,
+    xor_fast_path_applicable,
+)
+from .scheme import RPRScheme
+
+__all__ = [
+    "CrossArrival",
+    "HeterogeneityAwareRPR",
+    "InnerResult",
+    "RPRScheme",
+    "estimate_gather_makespan",
+    "order_sources_by_link_speed",
+    "build_cross_gather",
+    "build_direct_gather",
+    "build_inner_trees",
+    "matrix_build_free_probability",
+    "p0_rack_is_all_data",
+    "xor_fast_path_applicable",
+]

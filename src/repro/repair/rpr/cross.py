@@ -1,0 +1,143 @@
+"""RPR cross-rack pipeline scheduling — the paper's Algorithm 2 (*Cross*).
+
+Given one finished intermediate per remote rack, the greedy pipeline
+aggregates them to the recovery node in ``ceil(log2 (r + 1))`` cross-rack
+timesteps instead of the ``r`` serial timesteps a direct all-to-recovery
+gather costs (Fig. 5, schedule 2 vs schedule 1):
+
+* each round pairs every idle holder with another idle holder (no rack
+  sits on an occupied port), honouring the algorithm's "start a
+  cross-rack transfer with any other rack which has no cross-rack
+  transfer";
+* the recovery node is a holder from the start, so it receives one
+  intermediate per round while other racks combine in parallel;
+* a rack sends the moment its own payload is ready — the *pipeline*:
+  nothing waits for a global barrier, only for its dependencies (the
+  simulation engine's port model supplies the rest).
+
+The builder emits sends/combines; it performs no timing itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..plan import RepairPlan
+from .inner import InnerResult
+
+__all__ = ["CrossArrival", "build_cross_gather", "build_direct_gather"]
+
+
+@dataclass(frozen=True)
+class CrossArrival:
+    """One payload landed on the recovery node by the cross stage.
+
+    ``coeff`` is the pending coefficient the final combine must apply
+    (1 for anything a partial decode already touched).
+    """
+
+    key: str
+    dep: str
+    coeff: int = 1
+
+
+def build_direct_gather(
+    plan: RepairPlan,
+    target_node: int,
+    sources: list[InnerResult],
+    prefix: str,
+) -> list[CrossArrival]:
+    """Schedule 1 of Fig. 5: every rack sends straight to the recovery node.
+
+    The no-pipeline baseline used by the scheduling ablation — all sends
+    contend for the recovery node's download port and serialise
+    (``r * t_c`` for ``r`` remote racks).
+    """
+    arrivals = []
+    for idx, source in enumerate(sources):
+        op = plan.add_send(
+            f"{prefix}:direct{idx}",
+            src=source.node,
+            dst=target_node,
+            key=source.key,
+            deps=[source.dep] if source.dep else [],
+        )
+        arrivals.append(CrossArrival(key=source.key, dep=op, coeff=source.coeff))
+    return arrivals
+
+
+def build_cross_gather(
+    plan: RepairPlan,
+    target_node: int,
+    sources: list[InnerResult],
+    prefix: str,
+) -> list[CrossArrival]:
+    """Binomial-tree gather of rack intermediates onto ``target_node``.
+
+    Parameters
+    ----------
+    plan:
+        Plan being built.
+    target_node:
+        The recovery node (Algorithm 2's repair rack endpoint).
+    sources:
+        One intermediate per remote rack (key, holder node, producing op).
+    prefix:
+        Unique op-id prefix for this equation.
+
+    Returns
+    -------
+    The payloads that ended up on ``target_node`` (one per aggregation
+    round; combined with any recovery-rack-local partials they
+    reconstruct the failed block).  Intermediates merged at non-target
+    racks are combined there, applying any coefficient still pending from
+    a raw single-block contribution.
+    """
+    holders: list[InnerResult] = list(sources)
+    arrivals: list[CrossArrival] = []
+    round_no = 0
+
+    while holders:
+        # holders[0] pairs with the target; remaining holders pair among
+        # themselves: (1,2), (3,4), ... senders are the higher indices.
+        to_target = holders[0]
+        op = plan.add_send(
+            f"{prefix}:R{round_no}:to-target",
+            src=to_target.node,
+            dst=target_node,
+            key=to_target.key,
+            deps=[to_target.dep] if to_target.dep else [],
+        )
+        arrivals.append(
+            CrossArrival(key=to_target.key, dep=op, coeff=to_target.coeff)
+        )
+
+        next_holders: list[InnerResult] = []
+        rest = holders[1:]
+        for pair_idx in range(0, len(rest) - 1, 2):
+            recv, send = rest[pair_idx], rest[pair_idx + 1]
+            send_op = plan.add_send(
+                f"{prefix}:R{round_no}:pair{pair_idx // 2}:send",
+                src=send.node,
+                dst=recv.node,
+                key=send.key,
+                deps=[send.dep] if send.dep else [],
+            )
+            out_key = f"{prefix}:R{round_no}:pair{pair_idx // 2}:im"
+            deps = [send_op]
+            if recv.dep:
+                deps.append(recv.dep)
+            combine = plan.add_combine(
+                f"{prefix}:R{round_no}:pair{pair_idx // 2}:combine",
+                node=recv.node,
+                out_key=out_key,
+                terms=[(recv.key, recv.coeff), (send.key, send.coeff)],
+                deps=deps,
+            )
+            next_holders.append(InnerResult(key=out_key, node=recv.node, dep=combine))
+        if len(rest) % 2 == 1:
+            next_holders.append(rest[-1])
+        holders = next_holders
+        round_no += 1
+
+    return arrivals

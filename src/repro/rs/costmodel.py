@@ -1,0 +1,73 @@
+"""Decode-time cost models.
+
+The paper distinguishes two decode costs (§3.3, §4.1, §5.2.1):
+
+* ``t_wd`` — decode including construction of the decoding matrix
+  ``M'^{-1}``; the build step alone can be ~75 % of decode time.
+* ``t_nd`` — decode when the matrix build is skipped (the eq. (6)
+  XOR-only path enabled by pre-placement), with ``t_wd ≈ 4 * t_nd``.
+
+Two concrete calibrations are provided:
+
+* :data:`SIMICS_DECODE` — the Simics testbed: RS decode throughput
+  ~1000 MB/s (§2.3), matrix-build factor 4.
+* :data:`EC2_DECODE` — the t2.micro testbed: a 256 MB block takes ~20 s
+  with the traditional decode function and ~2.5 s with the optimised one
+  (§5.2.1), i.e. 12.8 MB/s baseline with an 8x matrix-build factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DecodeCostModel", "SIMICS_DECODE", "EC2_DECODE", "MB"]
+
+#: One mebibyte-ish unit used throughout (the paper speaks in MB ~ 1e6).
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class DecodeCostModel:
+    """Time model for (partial) decode operations.
+
+    Attributes
+    ----------
+    xor_speed:
+        Bytes/second for a decode that does *not* build a decoding matrix
+        (XOR/linear-combination of already-known coefficients).
+    matrix_build_factor:
+        Multiplier applied when the decoding matrix must be constructed:
+        ``t_wd = matrix_build_factor * t_nd``.
+    """
+
+    xor_speed: float
+    matrix_build_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.xor_speed <= 0:
+            raise ValueError("xor_speed must be positive")
+        if self.matrix_build_factor < 1:
+            raise ValueError("matrix_build_factor must be >= 1")
+
+    def decode_time(self, nbytes: float, *, with_matrix_build: bool) -> float:
+        """Seconds to decode ``nbytes`` of output block data."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        base = nbytes / self.xor_speed
+        return base * self.matrix_build_factor if with_matrix_build else base
+
+    def time_without_build(self, nbytes: float) -> float:
+        """``t_nd`` for a block of ``nbytes``."""
+        return self.decode_time(nbytes, with_matrix_build=False)
+
+    def time_with_build(self, nbytes: float) -> float:
+        """``t_wd`` for a block of ``nbytes``."""
+        return self.decode_time(nbytes, with_matrix_build=True)
+
+
+#: Simics testbed decode model: ~1000 MB/s XOR decode, t_wd = 4 * t_nd.
+SIMICS_DECODE = DecodeCostModel(xor_speed=1000 * MB, matrix_build_factor=4.0)
+
+#: EC2 t2.micro decode model: 256 MB in ~2.5 s without the matrix build
+#: (102.4 MB/s) and ~20 s with it (factor 8) — §5.2.1.
+EC2_DECODE = DecodeCostModel(xor_speed=256 * MB / 2.5, matrix_build_factor=8.0)

@@ -1,0 +1,26 @@
+"""Discrete-event network/compute simulator.
+
+Substitutes the paper's Simics + wondershaper testbed: per-node full-duplex
+ports, per-class link bandwidths, one-at-a-time port occupancy, and
+dependency-driven job starts.  See DESIGN.md ("Simulator semantics").
+"""
+
+from .engine import JobTiming, SimResult, SimulationEngine
+from .events import EventKind, TraceEvent
+from .jobs import ComputeJob, JobGraph, JobGraphError, TransferJob
+from .timeline import TimelineRow, render_timeline, timeline_rows
+
+__all__ = [
+    "ComputeJob",
+    "EventKind",
+    "JobGraph",
+    "JobGraphError",
+    "JobTiming",
+    "SimResult",
+    "SimulationEngine",
+    "TimelineRow",
+    "TraceEvent",
+    "TransferJob",
+    "render_timeline",
+    "timeline_rows",
+]

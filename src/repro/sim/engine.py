@@ -1,0 +1,260 @@
+"""Discrete-event execution of a job graph on a cluster.
+
+The engine replaces the paper's Simics + wondershaper testbed.  Its
+contract:
+
+* **Dependencies** — a job may start only after all of its dependencies
+  have finished.
+* **Port exclusivity** — each node owns one upload port and one download
+  port; a transfer holds the source's upload port and the destination's
+  download port for its whole duration.  This is the mechanism behind
+  every serialisation the paper discusses (the recovery node receiving
+  ``n`` blocks one after another in §2.3; schedule 1's idle racks in
+  Fig. 5).
+* **CPU exclusivity** — each node runs one compute job at a time.
+* **Greedy, non-preemptive, deterministic** — when a resource frees, the
+  ready job with the smallest (ready-time, insertion-order) key starts.
+  Planners that want a specific order encode it via dependencies.
+
+Transfer durations are ``nbytes / rate(src, dst)`` with the rate supplied
+by the bandwidth model; there is no flow sharing, matching the paper's
+whole-transfer "timestep" accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from ..cluster import BandwidthModel, Cluster
+from .events import EventKind, TraceEvent
+from .jobs import ComputeJob, JobGraph, TransferJob
+
+__all__ = ["JobTiming", "SimResult", "SimulationEngine"]
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Start/end instants of one executed job."""
+
+    job_id: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    makespan:
+        Finish time of the last job (the paper's *total repair time*).
+    timings:
+        Per-job start/end times.
+    events:
+        Chronological trace of starts and finishes.
+    """
+
+    makespan: float
+    timings: dict[str, JobTiming]
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def transfers(self) -> list[TraceEvent]:
+        """All transfer-end events (one per completed transfer)."""
+        return [e for e in self.events if e.kind == EventKind.TRANSFER_END]
+
+    def cross_rack_bytes(self) -> float:
+        """Total bytes moved through the aggregation switch."""
+        return sum(e.nbytes for e in self.transfers() if e.cross_rack)
+
+    def intra_rack_bytes(self) -> float:
+        """Total bytes moved below TOR switches."""
+        return sum(e.nbytes for e in self.transfers() if not e.cross_rack)
+
+
+class SimulationEngine:
+    """Event-driven executor binding a cluster to a bandwidth model.
+
+    Parameters
+    ----------
+    cluster / bandwidth:
+        Topology and link model.
+    cross_capacity:
+        Optional cap on *concurrent cluster-wide cross-rack transfers* —
+        models a constrained aggregation switch.  The paper's model (and
+        the default, ``None``) only limits per-node ports; the cap is a
+        sensitivity knob: RPR's pipeline schedules several simultaneous
+        cross-rack transfers, so a tight switch erodes exactly that
+        parallelism.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        bandwidth: BandwidthModel,
+        cross_capacity: int | None = None,
+    ) -> None:
+        if cross_capacity is not None and cross_capacity < 1:
+            raise ValueError("cross_capacity must be >= 1 (or None)")
+        self.cluster = cluster
+        self.bandwidth = bandwidth
+        self.cross_capacity = cross_capacity
+
+    # -- resource keys ---------------------------------------------------
+
+    @staticmethod
+    def _uplink(node: int) -> tuple[str, int]:
+        return ("up", node)
+
+    @staticmethod
+    def _downlink(node: int) -> tuple[str, int]:
+        return ("down", node)
+
+    @staticmethod
+    def _cpu(node: int) -> tuple[str, int]:
+        return ("cpu", node)
+
+    def _resources_of(self, job) -> tuple[tuple[str, int], ...]:
+        if isinstance(job, TransferJob):
+            return (self._uplink(job.src), self._downlink(job.dst))
+        return (self._cpu(job.node),)
+
+    def _duration_of(self, job) -> float:
+        if isinstance(job, TransferJob):
+            return self.bandwidth.latency(
+                self.cluster, job.src, job.dst
+            ) + job.nbytes / self.bandwidth.rate(self.cluster, job.src, job.dst)
+        return job.seconds
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, graph: JobGraph) -> SimResult:
+        """Execute ``graph`` to completion and return timings and trace."""
+        graph.validate()
+        jobs = graph.jobs
+        if not jobs:
+            return SimResult(makespan=0.0, timings={}, events=[])
+
+        for job in jobs.values():
+            if isinstance(job, TransferJob):
+                # Fail fast on unknown nodes / missing bandwidth entries.
+                self.bandwidth.rate(self.cluster, job.src, job.dst)
+            else:
+                self.cluster.node(job.node)
+
+        order = {jid: i for i, jid in enumerate(jobs)}
+        remaining_deps = {jid: set(job.deps) for jid, job in jobs.items()}
+        dependents: dict[str, list[str]] = {jid: [] for jid in jobs}
+        for jid, job in jobs.items():
+            for dep in set(job.deps):
+                dependents[dep].append(jid)
+
+        busy: set[tuple[str, int]] = set()
+        cross_inflight = 0
+
+        def is_cross(job) -> bool:
+            return isinstance(job, TransferJob) and not self.cluster.same_rack(
+                job.src, job.dst
+            )
+        # Ready jobs keyed for deterministic greedy pick.
+        ready: list[tuple[float, int, str]] = []
+        for jid, deps in remaining_deps.items():
+            if not deps:
+                heapq.heappush(ready, (0.0, order[jid], jid))
+
+        running: list[tuple[float, int, str]] = []  # (end, order, jid)
+        waiting_resources: list[tuple[float, int, str]] = []
+        timings: dict[str, JobTiming] = {}
+        events: list[TraceEvent] = []
+        now = 0.0
+        finished = 0
+
+        def try_start(queue):
+            """Start every queued job whose resources are free; requeue rest."""
+            still_blocked = []
+            started_any = False
+            # Pop in deterministic priority order.
+            items = []
+            while queue:
+                items.append(heapq.heappop(queue))
+            nonlocal cross_inflight
+            for ready_time, seq, jid in items:
+                job = jobs[jid]
+                res = self._resources_of(job)
+                needs_token = is_cross(job) and self.cross_capacity is not None
+                if any(r in busy for r in res) or (
+                    needs_token and cross_inflight >= self.cross_capacity
+                ):
+                    still_blocked.append((ready_time, seq, jid))
+                    continue
+                busy.update(res)
+                if needs_token:
+                    cross_inflight += 1
+                end = now + self._duration_of(job)
+                heapq.heappush(running, (end, seq, jid))
+                timings[jid] = JobTiming(job_id=jid, start=now, end=end)
+                events.append(self._event(job, now, start=True))
+                started_any = True
+            for item in still_blocked:
+                heapq.heappush(queue, item)
+            return started_any
+
+        # Merge ready and resource-blocked queues into one: a job enters the
+        # queue when its deps are done; it starts when its resources free.
+        pending = ready
+
+        while finished < len(jobs):
+            # Start whatever can start now.  Starting one job can free no
+            # resources, so a single pass suffices.
+            try_start(pending)
+            if not running:
+                raise RuntimeError(
+                    "deadlock: jobs pending but nothing running "
+                    "(resource conflict cycle?)"
+                )
+            # Advance to the next completion.
+            end, _, jid = heapq.heappop(running)
+            batch = [jid]
+            # Complete everything ending at the same instant for determinism.
+            while running and math.isclose(running[0][0], end, rel_tol=0, abs_tol=1e-12):
+                batch.append(heapq.heappop(running)[2])
+            now = end
+            for done_id in batch:
+                job = jobs[done_id]
+                busy.difference_update(self._resources_of(job))
+                if is_cross(job) and self.cross_capacity is not None:
+                    cross_inflight -= 1
+                events.append(self._event(job, now, start=False))
+                finished += 1
+                for child in dependents[done_id]:
+                    remaining_deps[child].discard(done_id)
+                    if not remaining_deps[child]:
+                        heapq.heappush(pending, (now, order[child], child))
+
+        events.sort(key=lambda e: (e.time, e.kind.endswith("start"), e.job_id))
+        makespan = max(t.end for t in timings.values())
+        return SimResult(makespan=makespan, timings=timings, events=events)
+
+    def _event(self, job, time: float, start: bool) -> TraceEvent:
+        if isinstance(job, TransferJob):
+            return TraceEvent(
+                time=time,
+                kind=EventKind.TRANSFER_START if start else EventKind.TRANSFER_END,
+                job_id=job.job_id,
+                node=job.src,
+                peer=job.dst,
+                cross_rack=not self.cluster.same_rack(job.src, job.dst),
+                nbytes=job.nbytes,
+            )
+        return TraceEvent(
+            time=time,
+            kind=EventKind.COMPUTE_START if start else EventKind.COMPUTE_END,
+            job_id=job.job_id,
+            node=job.node,
+        )

@@ -1,0 +1,55 @@
+"""Trace records emitted by the simulation engine.
+
+Every job start/finish produces one :class:`TraceEvent`; the ordered trace
+is the simulator's audit log, consumed by the metrics layer (traffic and
+load-balance accounting) and by tests that assert serialisation behaviour
+(e.g. that a node's download port never runs two transfers at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceEvent", "EventKind"]
+
+
+class EventKind:
+    """Symbolic names for trace event kinds."""
+
+    TRANSFER_START = "transfer_start"
+    TRANSFER_END = "transfer_end"
+    COMPUTE_START = "compute_start"
+    COMPUTE_END = "compute_end"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped scheduling event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    kind:
+        One of the :class:`EventKind` constants.
+    job_id:
+        Id of the job the event belongs to.
+    node:
+        For compute events, the executing node; for transfer events, the
+        source node (``peer`` holds the destination).
+    peer:
+        Destination node for transfer events, ``-1`` otherwise.
+    cross_rack:
+        For transfer events, whether the stream crossed the aggregation
+        switch; False for compute events.
+    nbytes:
+        Transferred bytes for transfer events, ``0.0`` for compute events.
+    """
+
+    time: float
+    kind: str
+    job_id: str
+    node: int
+    peer: int = -1
+    cross_rack: bool = False
+    nbytes: float = 0.0

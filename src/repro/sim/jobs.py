@@ -1,0 +1,134 @@
+"""Job graph: the unit of work the discrete-event engine executes.
+
+A repair is compiled into a DAG of two job kinds:
+
+* :class:`TransferJob` — stream ``nbytes`` from one node to another;
+  duration is ``nbytes / rate(src, dst)`` under the active bandwidth
+  model, and the job exclusively holds the source's upload port and the
+  destination's download port while running.
+* :class:`ComputeJob` — a (partial) decode on one node; duration is
+  precomputed by the caller from a :class:`repro.rs.DecodeCostModel`,
+  and the job exclusively holds the node's CPU.
+
+Dependencies are by job id.  The engine is deliberately *dumb*: all
+scheduling intelligence (RPR's greedy pipeline, CAR's rack choice, the
+traditional serial stream) lives in the planners that emit the DAG; the
+engine only enforces dependencies and port/CPU exclusivity, which is what
+produces the serialisation effects the paper reasons about (e.g. the
+recovery node's download port bottleneck in §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TransferJob", "ComputeJob", "JobGraph", "JobGraphError"]
+
+
+class JobGraphError(ValueError):
+    """Raised for malformed job graphs (duplicate ids, bad deps, cycles)."""
+
+
+@dataclass(frozen=True)
+class TransferJob:
+    """One point-to-point stream of ``nbytes`` from ``src`` to ``dst``."""
+
+    job_id: str
+    src: int
+    dst: int
+    nbytes: float
+    deps: tuple[str, ...] = ()
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise JobGraphError(f"transfer {self.job_id}: src == dst == {self.src}")
+        if self.nbytes <= 0:
+            raise JobGraphError(f"transfer {self.job_id}: nbytes must be positive")
+
+
+@dataclass(frozen=True)
+class ComputeJob:
+    """One compute step (decode / partial decode) of ``seconds`` on ``node``."""
+
+    job_id: str
+    node: int
+    seconds: float
+    deps: tuple[str, ...] = ()
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise JobGraphError(f"compute {self.job_id}: negative duration")
+
+
+@dataclass
+class JobGraph:
+    """An append-only DAG of transfer and compute jobs."""
+
+    jobs: dict[str, TransferJob | ComputeJob] = field(default_factory=dict)
+
+    def add(self, job: TransferJob | ComputeJob) -> str:
+        if job.job_id in self.jobs:
+            raise JobGraphError(f"duplicate job id {job.job_id!r}")
+        self.jobs[job.job_id] = job
+        return job.job_id
+
+    def add_transfer(
+        self,
+        job_id: str,
+        src: int,
+        dst: int,
+        nbytes: float,
+        deps=(),
+        tag: str = "",
+    ) -> str:
+        return self.add(
+            TransferJob(
+                job_id=job_id, src=src, dst=dst, nbytes=nbytes, deps=tuple(deps), tag=tag
+            )
+        )
+
+    def add_compute(
+        self, job_id: str, node: int, seconds: float, deps=(), tag: str = ""
+    ) -> str:
+        return self.add(
+            ComputeJob(
+                job_id=job_id, node=node, seconds=seconds, deps=tuple(deps), tag=tag
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def validate(self) -> None:
+        """Check referential integrity and acyclicity.
+
+        Raises
+        ------
+        JobGraphError
+            On dangling dependencies or cycles.
+        """
+        for job in self.jobs.values():
+            for dep in job.deps:
+                if dep not in self.jobs:
+                    raise JobGraphError(
+                        f"job {job.job_id!r} depends on unknown job {dep!r}"
+                    )
+        # Kahn's algorithm for cycle detection.
+        indegree = {jid: len(set(job.deps)) for jid, job in self.jobs.items()}
+        dependents: dict[str, list[str]] = {jid: [] for jid in self.jobs}
+        for jid, job in self.jobs.items():
+            for dep in set(job.deps):
+                dependents[dep].append(jid)
+        queue = [jid for jid, d in indegree.items() if d == 0]
+        seen = 0
+        while queue:
+            jid = queue.pop()
+            seen += 1
+            for child in dependents[jid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if seen != len(self.jobs):
+            raise JobGraphError("job graph contains a cycle")

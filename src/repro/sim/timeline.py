@@ -1,0 +1,88 @@
+"""ASCII timeline (Gantt) rendering of simulation results.
+
+Turns a :class:`SimResult` into a per-resource occupancy chart — the
+fastest way to *see* why schedule 2 of the paper's Fig. 5 beats
+schedule 1: serialised bars stack on the recovery node's download row,
+pipelined bars overlap across rows.
+
+No plotting dependencies; output is monospace text suitable for
+terminals, docs and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import SimResult
+from .events import EventKind
+
+__all__ = ["TimelineRow", "timeline_rows", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One resource's activity: (start, end, job_id) intervals."""
+
+    label: str
+    intervals: tuple[tuple[float, float, str], ...]
+
+
+def timeline_rows(result: SimResult) -> list[TimelineRow]:
+    """Group job intervals by the resource that carried them.
+
+    Transfers appear twice — on the source's ``up`` row and the
+    destination's ``down`` row — mirroring the engine's port model;
+    computes appear on the node's ``cpu`` row.
+    """
+    rows: dict[str, list[tuple[float, float, str]]] = {}
+    for event in result.events:
+        if event.kind == EventKind.TRANSFER_END:
+            timing = result.timings[event.job_id]
+            rows.setdefault(f"n{event.node}:up", []).append(
+                (timing.start, timing.end, event.job_id)
+            )
+            rows.setdefault(f"n{event.peer}:down", []).append(
+                (timing.start, timing.end, event.job_id)
+            )
+        elif event.kind == EventKind.COMPUTE_END:
+            timing = result.timings[event.job_id]
+            rows.setdefault(f"n{event.node}:cpu", []).append(
+                (timing.start, timing.end, event.job_id)
+            )
+
+    def sort_key(label: str):
+        node_part, kind = label.split(":")
+        return (int(node_part[1:]), {"up": 0, "down": 1, "cpu": 2}[kind])
+
+    return [
+        TimelineRow(label=label, intervals=tuple(sorted(rows[label])))
+        for label in sorted(rows, key=sort_key)
+    ]
+
+
+def render_timeline(result: SimResult, width: int = 72) -> str:
+    """Render the occupancy chart as monospace text.
+
+    Each row is one resource; ``#`` marks busy time, ``.`` idle.  The
+    scale line maps columns to seconds.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    rows = timeline_rows(result)
+    if not rows or result.makespan <= 0:
+        return "(empty timeline)"
+
+    span = result.makespan
+    label_width = max(len(r.label) for r in rows) + 1
+    lines = []
+    for row in rows:
+        cells = ["."] * width
+        for start, end, _job in row.intervals:
+            first = min(width - 1, int(start / span * width))
+            last = min(width - 1, max(first, int(end / span * width) - 1))
+            for c in range(first, last + 1):
+                cells[c] = "#"
+        lines.append(f"{row.label.rjust(label_width)} |{''.join(cells)}|")
+    scale = f"{'0'.rjust(label_width)} +{'-' * (width - 2)}+ {span:.2f}s"
+    lines.append(scale)
+    return "\n".join(lines)

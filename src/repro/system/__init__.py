@@ -1,0 +1,19 @@
+"""Storage-system facade: objects, failures, repair, degraded reads."""
+
+from .objects import ObjectInfo, reassemble, split_into_stripes
+from .storage import (
+    DegradedObjectError,
+    RepairReport,
+    StorageError,
+    StorageSystem,
+)
+
+__all__ = [
+    "DegradedObjectError",
+    "ObjectInfo",
+    "RepairReport",
+    "StorageError",
+    "StorageSystem",
+    "reassemble",
+    "split_into_stripes",
+]

@@ -1,0 +1,28 @@
+"""Failure scenarios and synthetic data generation."""
+
+from .datagen import encoded_stripe, patterned_blocks, random_blocks
+from .traces import DAY, YEAR, FailureEvent, poisson_node_failures
+from .failures import (
+    FailureScenario,
+    multi_failure_scenarios,
+    sample_scenarios,
+    scenario_count,
+    single_failure_scenarios,
+    worst_case_scenarios,
+)
+
+__all__ = [
+    "DAY",
+    "FailureEvent",
+    "FailureScenario",
+    "encoded_stripe",
+    "multi_failure_scenarios",
+    "patterned_blocks",
+    "random_blocks",
+    "sample_scenarios",
+    "scenario_count",
+    "single_failure_scenarios",
+    "poisson_node_failures",
+    "worst_case_scenarios",
+    "YEAR",
+]

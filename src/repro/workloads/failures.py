@@ -1,0 +1,106 @@
+"""Failure-scenario generation.
+
+The evaluation sweeps failures three ways (§5.1):
+
+* single-block: one random data block fails; figures average over every
+  possible position ("a random data block ... is assumed to have failed").
+* multi-block non-worst: ``2 <= l <= k-1`` failures; bars show the mean
+  over **all possible block locations** with min/max caps.
+* multi-block worst: exactly ``k`` failures, again over all locations.
+
+Exhaustive enumeration is feasible at these widths, so the default
+generators enumerate; a seeded random sampler covers larger sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..rs import RSCode
+
+__all__ = [
+    "FailureScenario",
+    "single_failure_scenarios",
+    "multi_failure_scenarios",
+    "worst_case_scenarios",
+    "sample_scenarios",
+    "scenario_count",
+]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One failure event: which blocks of a stripe were lost."""
+
+    failed_blocks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.failed_blocks:
+            raise ValueError("a failure scenario loses at least one block")
+        if list(self.failed_blocks) != sorted(set(self.failed_blocks)):
+            raise ValueError("failed blocks must be sorted and unique")
+
+    @property
+    def size(self) -> int:
+        return len(self.failed_blocks)
+
+
+def single_failure_scenarios(
+    code: RSCode, data_only: bool = True
+) -> list[FailureScenario]:
+    """Every single-block failure (data blocks only by default, matching
+    the paper's single-failure experiments)."""
+    last = code.n if data_only else code.width
+    return [FailureScenario((b,)) for b in range(last)]
+
+
+def multi_failure_scenarios(
+    code: RSCode, failures: int, data_only: bool = False
+) -> list[FailureScenario]:
+    """All :math:`\\binom{w}{l}` block-position combinations for ``l``
+    failures (the paper's "all possible block locations").
+
+    Raises
+    ------
+    ValueError
+        If ``failures`` exceeds the code's tolerance ``k``.
+    """
+    if not 1 <= failures <= code.k:
+        raise ValueError(
+            f"RS({code.n},{code.k}) tolerates 1..{code.k} failures, got {failures}"
+        )
+    last = code.n if data_only else code.width
+    return [
+        FailureScenario(tuple(combo))
+        for combo in itertools.combinations(range(last), failures)
+    ]
+
+
+def worst_case_scenarios(code: RSCode, data_only: bool = False) -> list[FailureScenario]:
+    """All ``k``-failure scenarios — the §4.3 worst case."""
+    return multi_failure_scenarios(code, code.k, data_only=data_only)
+
+
+def scenario_count(code: RSCode, failures: int, data_only: bool = False) -> int:
+    """Size of the exhaustive sweep without materialising it."""
+    last = code.n if data_only else code.width
+    return math.comb(last, failures)
+
+
+def sample_scenarios(
+    code: RSCode, failures: int, count: int, seed: int = 0, data_only: bool = False
+) -> Iterator[FailureScenario]:
+    """Seeded random sample of failure scenarios (with replacement across
+    draws, without replacement within one scenario)."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    last = code.n if data_only else code.width
+    if not 1 <= failures <= min(code.k, last):
+        raise ValueError(f"cannot draw {failures} failures from {last} blocks")
+    for _ in range(count):
+        yield FailureScenario(tuple(sorted(rng.sample(range(last), failures))))

@@ -1,0 +1,144 @@
+"""Tests for the §4.3 limit formulas, cross-checked against the simulator."""
+
+import pytest
+
+from repro.analysis import (
+    is_low_overhead_code,
+    nonworst_cross_timesteps,
+    nonworst_traffic_blocks,
+    worst_case_cross_timesteps,
+    worst_case_improvement,
+    worst_case_traffic_blocks,
+)
+from repro.cluster import SIMICS_BANDWIDTH
+from repro.experiments import build_simics_environment, run_scheme
+from repro.repair import RPRScheme
+
+
+class TestCodeClassification:
+    def test_paper_examples(self):
+        # (n+k)/k <= 3: no worst-case gain.
+        assert not is_low_overhead_code(4, 2)
+        assert not is_low_overhead_code(6, 3)
+        assert not is_low_overhead_code(8, 4)
+        # (n+k)/k > 3: industry codes.
+        assert is_low_overhead_code(6, 2)
+        assert is_low_overhead_code(8, 2)
+        assert is_low_overhead_code(12, 4)
+        assert is_low_overhead_code(10, 4)  # Facebook HDFS-RAID
+
+
+class TestWorstCase:
+    def test_timesteps(self):
+        # (12,4): q=4 -> ceil(log2 4)*4 = 8.
+        assert worst_case_cross_timesteps(12, 4) == 8
+        # (6,2): q=4 -> 2*2 = 4.
+        assert worst_case_cross_timesteps(6, 2) == 4
+
+    def test_improvement_formula(self):
+        # (12,4): 1 - 8/12 = 1/3.
+        assert worst_case_improvement(12, 4) == pytest.approx(1 / 3)
+        # (6,2): 1 - 4/6 = 1/3.
+        assert worst_case_improvement(6, 2) == pytest.approx(1 / 3)
+
+    def test_no_improvement_for_high_overhead(self):
+        assert worst_case_improvement(4, 2) == 0.0
+        assert worst_case_improvement(8, 4) == 0.0
+
+    def test_traffic_equals_n(self):
+        """§4.3.2: worst-case intermediates = (n/k)*k = n."""
+        for n, k in [(6, 2), (8, 2), (12, 4)]:
+            assert worst_case_traffic_blocks(n, k) == n
+
+
+class TestNonWorstCase:
+    def test_timesteps(self):
+        # (8,4): q=3 -> ceil(log2 3)=2 -> 2*l.
+        assert nonworst_cross_timesteps(8, 4, 2) == 4
+        assert nonworst_cross_timesteps(8, 4, 3) == 6
+
+    def test_traffic(self):
+        assert nonworst_traffic_blocks(8, 4, 2) == 4
+        assert nonworst_traffic_blocks(12, 4, 3) == 9
+        assert nonworst_traffic_blocks(6, 3, 2) == 4
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            nonworst_cross_timesteps(8, 4, 0)
+        with pytest.raises(ValueError):
+            nonworst_traffic_blocks(8, 4, 5)
+
+
+class TestSimulatorCrossChecks:
+    """The analytical formulas against measured simulator outcomes."""
+
+    @pytest.mark.parametrize("n,k,l", [(6, 3, 2), (8, 4, 2), (8, 4, 3), (12, 4, 2)])
+    def test_nonworst_traffic_matches_formula(self, n, k, l):
+        """Same-rack failures (the §4.3.3 setting) ship (n/k)*l blocks."""
+        env = build_simics_environment(n, k)
+        outcome = run_scheme(env, RPRScheme(), list(range(l)))
+        assert outcome.cross_rack_blocks == pytest.approx(
+            nonworst_traffic_blocks(n, k, l)
+        )
+
+    @pytest.mark.parametrize("n,k", [(6, 2), (8, 2), (12, 4)])
+    def test_worst_case_traffic_matches_formula(self, n, k):
+        env = build_simics_environment(n, k)
+        outcome = run_scheme(env, RPRScheme(), list(range(k)))
+        assert outcome.cross_rack_blocks == pytest.approx(
+            worst_case_traffic_blocks(n, k)
+        )
+
+    @pytest.mark.parametrize("n,k", [(6, 2), (8, 2), (12, 4)])
+    def test_worst_case_timestep_bound(self, n, k):
+        """The measured worst-case repair stays at or below the paper's
+        un-pipelined k * ceil(log2 q) cross-timestep estimate (our
+        Cross-multi overlaps sub-equations, so it can only be faster)."""
+        env = build_simics_environment(n, k)
+        outcome = run_scheme(env, RPRScheme(), list(range(k)))
+        t_c = env.block_size / SIMICS_BANDWIDTH.cross
+        t_i = env.block_size / SIMICS_BANDWIDTH.intra
+        # Allow the inner stage and decode passes on top of the cross bound.
+        bound = worst_case_cross_timesteps(n, k) * t_c + 2 * k * t_i + 5.0
+        assert outcome.total_repair_time <= bound
+
+
+class TestCARModel:
+    """The closed-form CAR estimate against the simulator."""
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)])
+    def test_matches_simulator_exactly(self, n, k):
+        from repro.analysis import TimeParameters, car_repair_time
+        from repro.repair import CARRepair, rack_aware_helpers, simulate_repair
+        from repro.experiments import context_for
+
+        env = build_simics_environment(n, k)
+        ctx = context_for(env, [1])
+        outcome = simulate_repair(CARRepair(), ctx, env.bandwidth)
+
+        helpers = rack_aware_helpers(ctx, prefer_xor=False)
+        recovery_rack = ctx.rack_of_block(1)
+        by_rack = {}
+        for h in helpers:
+            by_rack.setdefault(ctx.rack_of_block(h), []).append(h)
+        local = len(by_rack.pop(recovery_rack, []))
+        remote_sizes = [len(v) for v in by_rack.values()]
+        params = TimeParameters(
+            t_i=env.block_size / env.bandwidth.intra,
+            t_c=env.block_size / env.bandwidth.cross,
+        )
+        predicted = car_repair_time(
+            local,
+            remote_sizes,
+            params,
+            decode_seconds=env.cost_model.time_with_build(env.block_size),
+        )
+        assert outcome.total_repair_time == pytest.approx(predicted, rel=1e-6)
+
+    def test_validation(self):
+        from repro.analysis import TimeParameters, car_repair_time
+
+        with pytest.raises(ValueError):
+            car_repair_time(-1, [2], TimeParameters())
+        with pytest.raises(ValueError):
+            car_repair_time(1, [0], TimeParameters())

@@ -1,0 +1,112 @@
+"""Tests for the §4.1 closed-form model."""
+
+import pytest
+
+from repro.analysis import (
+    FIG6_PARAMS,
+    TimeParameters,
+    cross_transfer_time,
+    figure6_series,
+    inner_transfer_time,
+    racks_for_code,
+    rpr_worst_case_time,
+    traditional_repair_time,
+    traditional_total_time_eq5,
+)
+
+
+class TestTimeParameters:
+    def test_defaults_are_paper_figure6(self):
+        assert FIG6_PARAMS.t_i == pytest.approx(0.001)
+        assert FIG6_PARAMS.t_c == pytest.approx(0.010)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            TimeParameters(t_i=0, t_c=1)
+        with pytest.raises(ValueError):
+            TimeParameters(t_i=1, t_c=-1)
+
+
+class TestRacksForCode:
+    @pytest.mark.parametrize(
+        "n,k,q",
+        [(4, 2, 3), (6, 2, 4), (8, 2, 5), (6, 3, 3), (8, 4, 3), (12, 4, 4), (10, 4, 4)],
+    )
+    def test_values(self, n, k, q):
+        assert racks_for_code(n, k) == q
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            racks_for_code(0, 2)
+        with pytest.raises(ValueError):
+            racks_for_code(4, 0)
+
+
+class TestEquations:
+    def test_eq10_linear_in_n(self):
+        p = TimeParameters(t_i=1.0, t_c=10.0)
+        assert traditional_repair_time(4, p) == pytest.approx(40.0)
+        assert traditional_repair_time(12, p) == pytest.approx(120.0)
+
+    def test_eq5_matches_paper_example(self):
+        """§2.3: 4 transfers of 256 MB at 128 MB/s + decode at 1000 MB/s."""
+        t = traditional_total_time_eq5(4, 256e6, 128e6, 1000e6)
+        assert t == pytest.approx(4 * 2.0 + 0.256)
+
+    def test_eq5_invalid(self):
+        with pytest.raises(ValueError):
+            traditional_total_time_eq5(0, 1, 1, 1)
+
+    def test_eq11_log_of_max_rack(self):
+        p = TimeParameters(t_i=1.0, t_c=10.0)
+        assert inner_transfer_time([1], p) == pytest.approx(1.0)  # floor(log2 1)+1
+        assert inner_transfer_time([2], p) == pytest.approx(2.0)
+        assert inner_transfer_time([4], p) == pytest.approx(3.0)
+        assert inner_transfer_time([2, 4, 3], p) == pytest.approx(3.0)
+
+    def test_eq11_invalid(self):
+        with pytest.raises(ValueError):
+            inner_transfer_time([], FIG6_PARAMS)
+        with pytest.raises(ValueError):
+            inner_transfer_time([0], FIG6_PARAMS)
+
+    def test_eq12_log_of_racks(self):
+        p = TimeParameters(t_i=1.0, t_c=10.0)
+        assert cross_transfer_time(1, p) == pytest.approx(10.0)
+        assert cross_transfer_time(3, p) == pytest.approx(20.0)
+        assert cross_transfer_time(4, p) == pytest.approx(30.0)
+
+    def test_eq13_combines_inner_and_cross(self):
+        """RS(6,2): k=2 -> 2 t_i; q=4 -> 3 t_c."""
+        p = TimeParameters(t_i=1.0, t_c=10.0)
+        assert rpr_worst_case_time(6, 2, p) == pytest.approx(2.0 + 30.0)
+
+
+class TestFigure6:
+    def test_default_codes(self):
+        rows = figure6_series()
+        assert [r["code"] for r in rows] == [
+            "(4,2)",
+            "(6,2)",
+            "(8,2)",
+            "(6,3)",
+            "(8,4)",
+            "(12,4)",
+        ]
+
+    def test_traditional_grows_linearly_rpr_logarithmically(self):
+        """The figure's visual claim: Tra scales with n, RPR barely moves."""
+        codes = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)]
+        rows = figure6_series(codes)
+        tra = [r["traditional_s"] for r in rows]
+        rpr = [r["rpr_s"] for r in rows]
+        for (n, _k), t in zip(codes, tra):
+            assert t == pytest.approx(n * 0.010)  # strictly linear in n
+        assert max(rpr) < min(tra)  # RPR below traditional everywhere
+        assert max(rpr) / min(rpr) < 2  # flat-ish
+        assert tra[-1] / tra[0] == pytest.approx(3.0)  # 12/4: linear in n
+
+    def test_values_in_ms(self):
+        rows = figure6_series()
+        assert rows[0]["traditional_s"] == pytest.approx(0.040)  # 4 * 10 ms
+        assert rows[0]["rpr_s"] == pytest.approx(0.002 + 0.020)  # (4,2)

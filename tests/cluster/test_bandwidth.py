@@ -1,0 +1,100 @@
+"""Tests for bandwidth models."""
+
+import pytest
+
+from repro.cluster import (
+    SIMICS_BANDWIDTH,
+    Cluster,
+    HierarchicalBandwidth,
+    MatrixBandwidth,
+    gbps,
+    mbps,
+)
+
+
+class TestUnits:
+    def test_gbps(self):
+        assert gbps(1) == 125e6
+
+    def test_mbps(self):
+        assert mbps(8) == 1e6
+
+
+class TestHierarchical:
+    def test_rates_by_rack_relationship(self):
+        c = Cluster.homogeneous(2, 2)
+        bw = HierarchicalBandwidth(intra=100.0, cross=10.0)
+        assert bw.rate(c, 0, 1) == 100.0
+        assert bw.rate(c, 0, 2) == 10.0
+
+    def test_self_transfer_rejected(self):
+        c = Cluster.homogeneous(2, 2)
+        with pytest.raises(ValueError):
+            HierarchicalBandwidth(intra=10, cross=1).rate(c, 0, 0)
+
+    def test_ratio(self):
+        c = Cluster.homogeneous(2, 2)
+        assert HierarchicalBandwidth(intra=100, cross=10).intra_cross_ratio(c) == 10
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            HierarchicalBandwidth(intra=0, cross=1)
+        with pytest.raises(ValueError):
+            HierarchicalBandwidth(intra=1, cross=-1)
+
+    def test_cross_exceeding_intra_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalBandwidth(intra=1, cross=2)
+
+    def test_simics_constants(self):
+        """§5.1: 1 Gb/s intra, 0.1 Gb/s cross, ratio 10."""
+        c = Cluster.homogeneous(2, 2)
+        assert SIMICS_BANDWIDTH.rate(c, 0, 1) == gbps(1)
+        assert SIMICS_BANDWIDTH.rate(c, 0, 2) == gbps(0.1)
+        assert SIMICS_BANDWIDTH.intra_cross_ratio(c) == pytest.approx(10.0)
+
+
+class TestMatrix:
+    def make(self):
+        return MatrixBandwidth(
+            pair_rate={
+                (0, 0): 100.0,
+                (1, 1): 90.0,
+                (0, 1): 10.0,
+            }
+        )
+
+    def test_rates(self):
+        c = Cluster.homogeneous(2, 2)
+        bw = self.make()
+        assert bw.rate(c, 0, 1) == 100.0
+        assert bw.rate(c, 2, 3) == 90.0
+        assert bw.rate(c, 0, 3) == 10.0
+        assert bw.rate(c, 3, 0) == 10.0  # symmetric by construction
+
+    def test_missing_pair(self):
+        c = Cluster.homogeneous(3, 1)
+        with pytest.raises(KeyError):
+            self.make().rate(c, 0, 2)
+
+    def test_unsorted_pair_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixBandwidth(pair_rate={(1, 0): 5.0})
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixBandwidth(pair_rate={(0, 0): 0.0})
+
+    def test_ratio(self):
+        c = Cluster.homogeneous(2, 2)
+        assert self.make().intra_cross_ratio(c) == pytest.approx(95.0 / 10.0)
+
+    def test_ratio_requires_both_kinds(self):
+        c = Cluster.homogeneous(2, 2)
+        with pytest.raises(ValueError):
+            MatrixBandwidth(pair_rate={(0, 0): 1.0}).intra_cross_ratio(c)
+
+    def test_self_transfer_rejected(self):
+        c = Cluster.homogeneous(2, 2)
+        with pytest.raises(ValueError):
+            self.make().rate(c, 1, 1)

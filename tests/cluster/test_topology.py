@@ -1,0 +1,98 @@
+"""Tests for the cluster topology model."""
+
+import pytest
+
+from repro.cluster import Cluster, Node, Rack
+
+
+class TestNode:
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Node(node_id=-1, rack_id=0)
+        with pytest.raises(ValueError):
+            Node(node_id=0, rack_id=-1)
+
+    def test_frozen(self):
+        node = Node(node_id=0, rack_id=0)
+        with pytest.raises(AttributeError):
+            node.node_id = 5
+
+
+class TestRack:
+    def test_size(self):
+        rack = Rack(rack_id=0, nodes=[Node(0, 0), Node(1, 0)])
+        assert rack.size == 2
+        assert rack.node_ids() == [0, 1]
+
+    def test_rack_id_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rack(rack_id=0, nodes=[Node(0, 1)])
+
+    def test_negative_rack_id_rejected(self):
+        with pytest.raises(ValueError):
+            Rack(rack_id=-1)
+
+
+class TestCluster:
+    def test_homogeneous_shape(self):
+        c = Cluster.homogeneous(3, 4)
+        assert c.num_racks == 3
+        assert c.num_nodes == 12
+        assert c.rack_ids() == [0, 1, 2]
+        assert c.node_ids() == list(range(12))
+
+    def test_homogeneous_rack_major_ids(self):
+        c = Cluster.homogeneous(3, 4)
+        assert c.nodes_in_rack(0) == [0, 1, 2, 3]
+        assert c.nodes_in_rack(2) == [8, 9, 10, 11]
+
+    def test_rack_of(self):
+        c = Cluster.homogeneous(3, 4)
+        assert c.rack_of(0) == 0
+        assert c.rack_of(5) == 1
+        assert c.rack_of(11) == 2
+
+    def test_same_rack(self):
+        c = Cluster.homogeneous(2, 3)
+        assert c.same_rack(0, 2)
+        assert not c.same_rack(0, 3)
+
+    def test_lookup_errors(self):
+        c = Cluster.homogeneous(2, 2)
+        with pytest.raises(KeyError):
+            c.node(99)
+        with pytest.raises(KeyError):
+            c.rack(99)
+
+    def test_duplicate_rack_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([Rack(0), Rack(0)])
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(
+                [
+                    Rack(0, nodes=[Node(0, 0)]),
+                    Rack(1, nodes=[Node(0, 1)]),
+                ]
+            )
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_invalid_homogeneous_shape(self):
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(0, 4)
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(4, 0)
+
+    def test_heterogeneous_rack_sizes(self):
+        c = Cluster(
+            [
+                Rack(0, nodes=[Node(0, 0)]),
+                Rack(1, nodes=[Node(1, 1), Node(2, 1), Node(3, 1)]),
+            ]
+        )
+        assert c.rack(1).size == 3
+        assert c.num_nodes == 4

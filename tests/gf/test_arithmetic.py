@@ -1,0 +1,220 @@
+"""Unit and property tests for GF(2^8) element/array arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    gf_sub,
+    linear_combine,
+    scale,
+    scale_accumulate,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+blocks = st.lists(elements, min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestAdd:
+    def test_add_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_sub_is_add(self):
+        assert gf_sub is gf_add
+
+    @given(elements, elements)
+    def test_commutative(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements)
+    def test_self_inverse(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(elements)
+    def test_zero_identity(self, a):
+        assert gf_add(a, 0) == a
+
+    def test_vectorised(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([3, 2, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(gf_add(a, b), np.array([2, 0, 2], dtype=np.uint8))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            gf_add(300, 1)
+
+
+class TestMul:
+    def test_known_products(self):
+        # 2 * 2 = x * x = x^2 = 4; 0x80 * 2 = x^8 = 0x11D ^ 0x100 = 0x1D.
+        assert gf_mul(2, 2) == 4
+        assert gf_mul(0x80, 2) == 0x1D
+
+    @given(elements, elements)
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        lhs = gf_mul(a, gf_add(b, c))
+        rhs = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert lhs == rhs
+
+    @given(elements)
+    def test_one_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero, nonzero)
+    def test_no_zero_divisors(self, a, b):
+        assert gf_mul(a, b) != 0
+
+
+class TestInvDiv:
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    @given(elements, nonzero)
+    def test_div_mul_roundtrip(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    @given(nonzero)
+    def test_self_division(self, a):
+        assert gf_div(a, a) == 1
+
+
+class TestPow:
+    @given(elements)
+    def test_pow_zero_is_one(self, a):
+        assert gf_pow(a, 0) == 1
+
+    @given(elements)
+    def test_pow_one_identity(self, a):
+        assert gf_pow(a, 1) == a
+
+    @given(nonzero, st.integers(min_value=0, max_value=20))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = int(gf_mul(expected, a))
+        assert gf_pow(a, e) == expected
+
+    @given(nonzero)
+    def test_fermat(self, a):
+        assert gf_pow(a, 255) == 1
+
+    def test_zero_powers(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            gf_pow(3, -1)
+
+
+class TestScale:
+    @given(blocks, elements)
+    @settings(max_examples=50)
+    def test_matches_elementwise_mul(self, block, c):
+        np.testing.assert_array_equal(scale(c, block), gf_mul(c, block))
+
+    def test_zero_coefficient_zeroes(self):
+        block = np.array([5, 6, 7], dtype=np.uint8)
+        assert np.all(scale(0, block) == 0)
+
+    def test_one_coefficient_copies(self):
+        block = np.array([5, 6, 7], dtype=np.uint8)
+        out = scale(1, block)
+        np.testing.assert_array_equal(out, block)
+        assert out is not block
+
+    def test_rejects_bad_coefficient(self):
+        with pytest.raises(ValueError):
+            scale(256, np.zeros(4, dtype=np.uint8))
+
+
+class TestScaleAccumulate:
+    @given(blocks, elements, elements)
+    @settings(max_examples=50)
+    def test_matches_scale_then_xor(self, block, c, seed):
+        acc = np.full_like(block, seed)
+        expected = np.bitwise_xor(acc, scale(c, block))
+        result = scale_accumulate(acc, c, block)
+        assert result is acc
+        np.testing.assert_array_equal(acc, expected)
+
+    def test_requires_writable_uint8(self):
+        acc = np.zeros(4, dtype=np.uint16)
+        with pytest.raises(ValueError):
+            scale_accumulate(acc, 1, np.zeros(4, dtype=np.uint8))
+
+    def test_requires_matching_shape(self):
+        with pytest.raises(ValueError):
+            scale_accumulate(
+                np.zeros(4, dtype=np.uint8), 1, np.zeros(5, dtype=np.uint8)
+            )
+
+
+class TestLinearCombine:
+    def test_single_term(self):
+        b = np.array([1, 2, 3], dtype=np.uint8)
+        np.testing.assert_array_equal(linear_combine([3], [b]), scale(3, b))
+
+    def test_xor_of_all_ones_coeffs(self):
+        bs = [np.array([i, i + 1], dtype=np.uint8) for i in range(4)]
+        expected = bs[0] ^ bs[1] ^ bs[2] ^ bs[3]
+        np.testing.assert_array_equal(linear_combine([1, 1, 1, 1], bs), expected)
+
+    @given(
+        st.lists(st.tuples(elements, st.integers(0, 255)), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50)
+    def test_matches_reference(self, pairs, length):
+        rng = np.random.default_rng(42)
+        coeffs = [p[0] for p in pairs]
+        bs = [rng.integers(0, 256, length, dtype=np.uint8) for _ in pairs]
+        expected = np.zeros(length, dtype=np.uint8)
+        for c, b in zip(coeffs, bs):
+            expected ^= scale(c, b)
+        np.testing.assert_array_equal(linear_combine(coeffs, bs), expected)
+
+    def test_out_buffer_reused(self):
+        b = np.array([9, 9], dtype=np.uint8)
+        out = np.array([1, 1], dtype=np.uint8)
+        result = linear_combine([1], [b], out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, b)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            linear_combine([1, 2], [np.zeros(2, dtype=np.uint8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            linear_combine([], [])

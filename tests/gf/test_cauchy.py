@@ -1,0 +1,140 @@
+"""Tests for the Cauchy generator construction."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    cauchy_coding_matrix,
+    mat_identity,
+    mat_inv,
+    systematic_cauchy_generator,
+)
+from repro.rs import RSCode
+
+PAPER_CODES = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)]
+
+
+class TestCauchyMatrix:
+    def test_shape(self):
+        assert cauchy_coding_matrix(6, 3).shape == (3, 6)
+
+    def test_no_zero_entries(self):
+        m = cauchy_coding_matrix(12, 4)
+        assert np.all(m != 0)
+
+    def test_entries_match_definition(self):
+        from repro.gf import gf_add, gf_inv
+
+        m = cauchy_coding_matrix(4, 2)
+        for i in range(2):
+            for j in range(4):
+                assert m[i, j] == gf_inv(gf_add(i, 2 + j))
+
+    @pytest.mark.parametrize("n,k", PAPER_CODES)
+    def test_every_square_submatrix_nonsingular(self, n, k):
+        """The defining Cauchy property, checked exhaustively for size k."""
+        m = cauchy_coding_matrix(n, k)
+        for cols in itertools.combinations(range(n), k):
+            mat_inv(m[:, list(cols)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cauchy_coding_matrix(0, 2)
+        with pytest.raises(ValueError):
+            cauchy_coding_matrix(250, 10)
+
+
+class TestSystematicCauchy:
+    @pytest.mark.parametrize("n,k", PAPER_CODES)
+    def test_top_identity_and_xor_row(self, n, k):
+        g = systematic_cauchy_generator(n, k)
+        np.testing.assert_array_equal(g[:n], mat_identity(n))
+        assert np.all(g[n] == 1)
+
+    @pytest.mark.parametrize("n,k", PAPER_CODES)
+    def test_mds_exhaustive(self, n, k):
+        g = systematic_cauchy_generator(n, k)
+        for rows in itertools.combinations(range(n + k), n):
+            mat_inv(g[list(rows)])
+
+    def test_k_zero(self):
+        np.testing.assert_array_equal(
+            systematic_cauchy_generator(5, 0), mat_identity(5)
+        )
+
+    @given(st.integers(1, 30), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_shapes_construct(self, n, k):
+        g = systematic_cauchy_generator(n, k)
+        assert g.shape == (n + k, n)
+        assert np.all(g[n] == 1)
+
+
+class TestCauchyRSCode:
+    def test_code_constructs(self):
+        code = RSCode(6, 3, matrix="cauchy")
+        assert code.matrix_type == "cauchy"
+
+    def test_p0_is_xor(self):
+        rng = np.random.default_rng(0)
+        code = RSCode(6, 3, matrix="cauchy")
+        data = [rng.integers(0, 256, 32, dtype=np.uint8) for _ in range(6)]
+        blocks = code.encode(data)
+        expected = data[0].copy()
+        for d in data[1:]:
+            expected ^= d
+        np.testing.assert_array_equal(blocks[6], expected)
+
+    def test_roundtrip_with_erasures(self):
+        from repro.rs import decode_blocks
+
+        rng = np.random.default_rng(1)
+        code = RSCode(8, 4, matrix="cauchy")
+        data = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(8)]
+        blocks = {i: b for i, b in enumerate(code.encode(data))}
+        failed = [0, 3, 9, 11]
+        available = {i: b for i, b in blocks.items() if i not in failed}
+        recovered = decode_blocks(code, available, failed)
+        for f in failed:
+            np.testing.assert_array_equal(recovered[f], blocks[f])
+
+    def test_repair_schemes_work_with_cauchy(self):
+        """The whole repair stack is construction-agnostic."""
+        from repro.cluster import Cluster, RPRPlacement, SIMICS_BANDWIDTH
+        from repro.repair import (
+            RepairContext,
+            RPRScheme,
+            execute_plan,
+            initial_store_for,
+        )
+        from repro.rs import MB, DecodeCostModel
+
+        code = RSCode(6, 2, matrix="cauchy")
+        cluster = Cluster.homogeneous(5, 4)
+        placement = RPRPlacement().place(cluster, 6, 2)
+        ctx = RepairContext(
+            code=code,
+            cluster=cluster,
+            placement=placement,
+            failed_blocks=(1,),
+            block_size=64,
+            cost_model=DecodeCostModel(xor_speed=MB),
+        )
+        rng = np.random.default_rng(2)
+        data = [rng.integers(0, 256, 64, dtype=np.uint8) for _ in range(6)]
+        stripe = code.encode_stripe(data)
+        plan = RPRScheme().plan(ctx)
+        store = initial_store_for(stripe, placement, (1,))
+        result = execute_plan(plan, cluster, store)
+        np.testing.assert_array_equal(result.recovered[1], stripe.get_payload(1))
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            RSCode(4, 2, matrix="fourier")
+
+    def test_equality_distinguishes_constructions(self):
+        assert RSCode(4, 2) != RSCode(4, 2, matrix="cauchy")

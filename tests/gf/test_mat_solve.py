@@ -1,0 +1,92 @@
+"""Tests for the general GF(256) linear solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import mat_identity, mat_mul, mat_solve
+
+
+class TestMatSolve:
+    def test_identity_system(self):
+        b = np.array([5, 7, 9], dtype=np.uint8)
+        x = mat_solve(mat_identity(3), b)
+        np.testing.assert_array_equal(x, b)
+
+    def test_unique_solution(self):
+        a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        b = np.array([3, 2], dtype=np.uint8)
+        x = mat_solve(a, b)
+        np.testing.assert_array_equal(mat_mul(a, x.reshape(-1, 1)).ravel(), b)
+
+    def test_underdetermined_prefers_early_columns(self):
+        """Free variables are zeroed, so the solution concentrates on the
+        leading columns — the property the LRC decoder leans on."""
+        a = np.array([[1, 0, 1, 1]], dtype=np.uint8)
+        b = np.array([9], dtype=np.uint8)
+        x = mat_solve(a, b)
+        np.testing.assert_array_equal(x, np.array([9, 0, 0, 0], dtype=np.uint8))
+
+    def test_inconsistent_returns_none(self):
+        a = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        b = np.array([1, 2], dtype=np.uint8)
+        assert mat_solve(a, b) is None
+
+    def test_zero_matrix_zero_rhs(self):
+        a = np.zeros((2, 3), dtype=np.uint8)
+        x = mat_solve(a, np.zeros(2, dtype=np.uint8))
+        np.testing.assert_array_equal(x, np.zeros(3, dtype=np.uint8))
+
+    def test_zero_matrix_nonzero_rhs(self):
+        a = np.zeros((2, 3), dtype=np.uint8)
+        assert mat_solve(a, np.array([1, 0], dtype=np.uint8)) is None
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mat_solve(np.zeros((2, 2), dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            mat_solve(np.zeros(4, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    def test_input_not_mutated(self):
+        a = np.array([[2, 3], [1, 1]], dtype=np.uint8)
+        b = np.array([5, 6], dtype=np.uint8)
+        a0, b0 = a.copy(), b.copy()
+        mat_solve(a, b)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 8),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_constructed_systems_always_solved(self, seed, rows, cols):
+        """Any b = A x_true is solvable and the returned x satisfies it
+        (not necessarily x_true when A is rank-deficient)."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+        x_true = rng.integers(0, 256, cols, dtype=np.uint8)
+        b = mat_mul(a, x_true.reshape(-1, 1)).ravel()
+        x = mat_solve(a, b)
+        assert x is not None
+        np.testing.assert_array_equal(mat_mul(a, x.reshape(-1, 1)).ravel(), b)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_mat_inv_on_square_invertible(self, seed, size):
+        from repro.gf import SingularMatrixError, mat_inv
+
+        rng = np.random.default_rng(seed)
+        while True:
+            a = rng.integers(0, 256, (size, size), dtype=np.uint8)
+            try:
+                inv = mat_inv(a)
+                break
+            except SingularMatrixError:
+                continue
+        b = rng.integers(0, 256, size, dtype=np.uint8)
+        x = mat_solve(a, b)
+        expected = mat_mul(inv, b.reshape(-1, 1)).ravel()
+        np.testing.assert_array_equal(x, expected)

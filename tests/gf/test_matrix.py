@@ -1,0 +1,196 @@
+"""Unit and property tests for GF(2^8) matrix algebra."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    SingularMatrixError,
+    apply_matrix_to_blocks,
+    mat_identity,
+    mat_inv,
+    mat_mul,
+    systematic_vandermonde_generator,
+    vandermonde,
+)
+
+PAPER_CODES = [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)]
+
+
+def random_invertible(rng, size):
+    while True:
+        m = rng.integers(0, 256, (size, size), dtype=np.uint8)
+        try:
+            return m, mat_inv(m)
+        except SingularMatrixError:
+            continue
+
+
+class TestMatMul:
+    def test_identity_neutral(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (4, 4), dtype=np.uint8)
+        np.testing.assert_array_equal(mat_mul(a, mat_identity(4)), a)
+        np.testing.assert_array_equal(mat_mul(mat_identity(4), a), a)
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            mat_mul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25)
+    def test_associative(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (3, 4), dtype=np.uint8)
+        b = rng.integers(0, 256, (4, 2), dtype=np.uint8)
+        c = rng.integers(0, 256, (2, 5), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            mat_mul(mat_mul(a, b), c), mat_mul(a, mat_mul(b, c))
+        )
+
+    def test_zero_matrix_annihilates(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, (3, 3), dtype=np.uint8)
+        z = np.zeros((3, 3), dtype=np.uint8)
+        assert np.all(mat_mul(a, z) == 0)
+
+    def test_matches_scalar_reference(self):
+        from repro.gf import gf_add, gf_mul
+
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 256, (3, 4), dtype=np.uint8)
+        b = rng.integers(0, 256, (4, 2), dtype=np.uint8)
+        expected = np.zeros((3, 2), dtype=np.uint8)
+        for i in range(3):
+            for j in range(2):
+                acc = 0
+                for l in range(4):
+                    acc = int(gf_add(acc, gf_mul(a[i, l], b[l, j])))
+                expected[i, j] = acc
+        np.testing.assert_array_equal(mat_mul(a, b), expected)
+
+
+class TestMatInv:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_roundtrip(self, seed, size):
+        rng = np.random.default_rng(seed)
+        m, m_inv = random_invertible(rng, size)
+        np.testing.assert_array_equal(mat_mul(m, m_inv), mat_identity(size))
+        np.testing.assert_array_equal(mat_mul(m_inv, m), mat_identity(size))
+
+    def test_singular_raises(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            mat_inv(m)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            mat_inv(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_identity_self_inverse(self):
+        np.testing.assert_array_equal(mat_inv(mat_identity(5)), mat_identity(5))
+
+    def test_pivoting_handles_zero_diagonal(self):
+        m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(mat_inv(m), m)
+
+    def test_input_not_mutated(self):
+        m = np.array([[0, 1], [1, 1]], dtype=np.uint8)
+        copy = m.copy()
+        mat_inv(m)
+        np.testing.assert_array_equal(m, copy)
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        v = vandermonde(5, 3)
+        assert v.shape == (5, 3)
+        assert np.all(v[:, 0] == 1)
+
+    def test_second_column_is_points(self):
+        v = vandermonde(5, 3)
+        np.testing.assert_array_equal(v[:, 1], np.arange(5, dtype=np.uint8))
+
+    def test_row_zero(self):
+        # 0^0 = 1 convention, 0^j = 0 for j > 0.
+        v = vandermonde(4, 4)
+        np.testing.assert_array_equal(v[0], np.array([1, 0, 0, 0], dtype=np.uint8))
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde(257, 2)
+
+
+class TestSystematicGenerator:
+    @pytest.mark.parametrize("n,k", PAPER_CODES)
+    def test_top_identity(self, n, k):
+        g = systematic_vandermonde_generator(n, k)
+        np.testing.assert_array_equal(g[:n], mat_identity(n))
+
+    @pytest.mark.parametrize("n,k", PAPER_CODES)
+    def test_first_coding_row_all_ones(self, n, k):
+        """P0 = XOR of the data blocks: the pre-placement optimisation's hook."""
+        g = systematic_vandermonde_generator(n, k)
+        assert np.all(g[n] == 1)
+
+    @pytest.mark.parametrize("n,k", PAPER_CODES)
+    def test_mds_exhaustive(self, n, k):
+        """Every choice of n rows is invertible: the code is MDS."""
+        g = systematic_vandermonde_generator(n, k)
+        for sel in itertools.combinations(range(n + k), n):
+            mat_inv(g[list(sel)])
+
+    def test_k_zero_is_identity(self):
+        np.testing.assert_array_equal(
+            systematic_vandermonde_generator(4, 0), mat_identity(4)
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_vandermonde_generator(0, 2)
+        with pytest.raises(ValueError):
+            systematic_vandermonde_generator(250, 10)
+
+
+class TestApplyMatrixToBlocks:
+    def test_identity_returns_copies(self):
+        rng = np.random.default_rng(3)
+        blocks = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(3)]
+        out = apply_matrix_to_blocks(mat_identity(3), blocks)
+        for a, b in zip(out, blocks):
+            np.testing.assert_array_equal(a, b)
+
+    def test_xor_row(self):
+        blocks = [
+            np.array([1, 2], dtype=np.uint8),
+            np.array([4, 8], dtype=np.uint8),
+        ]
+        out = apply_matrix_to_blocks(np.array([[1, 1]], dtype=np.uint8), blocks)
+        np.testing.assert_array_equal(out[0], np.array([5, 10], dtype=np.uint8))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_matrix_to_blocks(
+                mat_identity(3), [np.zeros(4, dtype=np.uint8)] * 2
+            )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_composition(self, seed):
+        """Applying A then B equals applying B@A."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (3, 3), dtype=np.uint8)
+        b = rng.integers(0, 256, (2, 3), dtype=np.uint8)
+        blocks = [rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(3)]
+        step = apply_matrix_to_blocks(b, apply_matrix_to_blocks(a, blocks))
+        direct = apply_matrix_to_blocks(mat_mul(b, a), blocks)
+        for x, y in zip(step, direct):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,112 @@
+"""Unit tests for GF(2^8) table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf.tables import (
+    DEFAULT_PRIM_POLY,
+    FIELD_SIZE,
+    GROUP_ORDER,
+    GFTableError,
+    GFTables,
+    get_tables,
+)
+
+
+class TestBuild:
+    def test_default_polynomial_builds(self):
+        t = GFTables.build()
+        assert t.prim_poly == DEFAULT_PRIM_POLY
+
+    def test_exp_starts_at_one(self):
+        t = get_tables()
+        assert t.exp[0] == 1
+
+    def test_exp_second_entry_is_generator(self):
+        assert get_tables().exp[1] == 2
+
+    def test_exp_cycle_doubled(self):
+        t = get_tables()
+        np.testing.assert_array_equal(
+            t.exp[:GROUP_ORDER], t.exp[GROUP_ORDER : 2 * GROUP_ORDER]
+        )
+
+    def test_exp_tail_is_zero(self):
+        t = get_tables()
+        assert np.all(t.exp[2 * GROUP_ORDER :] == 0)
+
+    def test_log_exp_roundtrip(self):
+        t = get_tables()
+        for a in range(1, FIELD_SIZE):
+            assert t.exp[t.log[a]] == a
+
+    def test_exp_log_roundtrip(self):
+        t = get_tables()
+        for i in range(GROUP_ORDER):
+            assert t.log[t.exp[i]] == i
+
+    def test_nonzero_exp_values_are_distinct(self):
+        t = get_tables()
+        assert len(set(t.exp[:GROUP_ORDER].tolist())) == GROUP_ORDER
+
+    def test_log_zero_sentinel_lands_in_zero_region(self):
+        t = get_tables()
+        assert t.exp[t.log[0]] == 0
+        assert t.exp[t.log[0] + t.log[255]] == 0
+        assert t.exp[t.log[0] + t.log[0]] == 0
+
+    def test_inverse_table(self):
+        t = get_tables()
+        for a in range(1, FIELD_SIZE):
+            prod = t.mul_table[a, t.inv[a]]
+            assert prod == 1, a
+
+    def test_inv_of_zero_is_sentinel_zero(self):
+        assert get_tables().inv[0] == 0
+
+    def test_mul_table_zero_row_and_column(self):
+        t = get_tables()
+        assert np.all(t.mul_table[0] == 0)
+        assert np.all(t.mul_table[:, 0] == 0)
+
+    def test_mul_table_identity_row(self):
+        t = get_tables()
+        np.testing.assert_array_equal(t.mul_table[1], np.arange(256, dtype=np.uint8))
+
+    def test_mul_table_symmetric(self):
+        t = get_tables()
+        np.testing.assert_array_equal(t.mul_table, t.mul_table.T)
+
+    def test_tables_are_readonly(self):
+        t = get_tables()
+        for arr in (t.exp, t.log, t.inv, t.mul_table):
+            assert not arr.flags.writeable
+
+
+class TestValidation:
+    def test_rejects_low_degree_polynomial(self):
+        with pytest.raises(GFTableError):
+            GFTables.build(0x1B)
+
+    def test_rejects_high_degree_polynomial(self):
+        with pytest.raises(GFTableError):
+            GFTables.build(0x211)
+
+    def test_rejects_reducible_polynomial(self):
+        # x^8 + 1 = (x + 1)^8 over GF(2): reducible.
+        with pytest.raises(GFTableError):
+            GFTables.build(0x101)
+
+    def test_alternative_primitive_polynomial_works(self):
+        # x^8 + x^4 + x^3 + x + 1 (0x11B, the AES polynomial) — x is NOT a
+        # generator there, so our log construction must reject it.
+        with pytest.raises(GFTableError):
+            GFTables.build(0x11B)
+
+    def test_0x12d_polynomial_works(self):
+        # Another polynomial with x as a generator.
+        t = GFTables.build(0x12D)
+        assert t.exp[0] == 1
+
+    def test_cache_returns_same_object(self):
+        assert get_tables() is get_tables()

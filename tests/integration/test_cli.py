@@ -1,0 +1,186 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "6, 7, 8, 9, 10, 11, 12, 13, 14" in out
+        assert "rpr" in out and "car" in out and "traditional" in out
+
+
+class TestFigure:
+    def test_figure6(self, capsys):
+        assert main(["figure", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "(12,4)" in out
+
+    def test_figure8(self, capsys):
+        assert main(["figure", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "rpr_time_s" in out
+
+    def test_capped_figure(self, capsys):
+        assert main(["figure", "11", "--cap", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "(12,4,4)" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestTable:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "583.39" in out
+        assert "Sydney" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "7"]) == 2
+
+
+class TestRepair:
+    def test_default_repair(self, capsys):
+        assert main(["repair"]) == 0
+        out = capsys.readouterr().out
+        assert "total repair time" in out
+        assert "scheme rpr" in out
+
+    def test_multi_failure_ec2(self, capsys):
+        assert (
+            main(
+                [
+                    "repair",
+                    "--code",
+                    "8,4",
+                    "--fail",
+                    "0,3",
+                    "--scheme",
+                    "traditional",
+                    "--testbed",
+                    "ec2",
+                    "--placement",
+                    "contiguous",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failed blocks [0, 3]" in out
+
+    def test_bad_code_format(self, capsys):
+        assert main(["repair", "--code", "12-4"]) == 2
+        assert "--code" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTimeline:
+    def test_timeline_renders(self, capsys):
+        assert main(["timeline", "--code", "6,2", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "n" in out and "|" in out and "#" in out
+
+    def test_timeline_bad_code(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["timeline", "--code", "oops"])
+
+
+class TestRebuild:
+    def test_rebuild_runs(self, capsys):
+        assert main(["rebuild", "--stripes", "6", "--node", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "cross-rack traffic" in out
+
+    def test_rebuild_balanced_sequential(self, capsys):
+        assert (
+            main(
+                [
+                    "rebuild",
+                    "--stripes",
+                    "6",
+                    "--mode",
+                    "sequential",
+                    "--rebuild",
+                    "replacement",
+                    "--balance",
+                ]
+            )
+            == 0
+        )
+
+
+class TestDurability:
+    def test_durability_runs(self, capsys):
+        assert main(["durability", "--code", "6,2"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTDL" in out
+        assert "amplification" in out
+
+    def test_custom_mtbf(self, capsys):
+        assert main(["durability", "--code", "6,2", "--block-mtbf-years", "1"]) == 0
+
+
+class TestJsonOutput:
+    def test_figure_json(self, capsys):
+        import json
+
+        assert main(["figure", "6", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["figure"] == "6"
+        assert len(data["rows"]) == 6
+        assert all("traditional_s" in row for row in data["rows"])
+
+    def test_figure_json_capped(self, capsys):
+        import json
+
+        assert main(["figure", "11", "--cap", "5", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all(row["sampled"] in (True, False) for row in data["rows"])
+
+
+class TestCompare:
+    def test_compare_single_failure(self, capsys):
+        assert main(["compare", "--code", "6,2", "--fail", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "traditional" in out and "car" in out and "rpr" in out
+        assert "vs_traditional_%" in out
+
+    def test_compare_multi_failure_drops_car(self, capsys):
+        assert main(["compare", "--code", "8,4", "--fail", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "car" not in out.splitlines()[-1]
+        assert "rpr" in out
+
+
+class TestExtensionCommand:
+    def test_lists_extensions(self, capsys):
+        main(["list"])
+        assert "node-rebuild" in capsys.readouterr().out
+
+    def test_lrc_extension(self, capsys):
+        assert main(["extension", "lrc"]) == 0
+        out = capsys.readouterr().out
+        assert "lrc(12,2,2)" in out and "rs(12,4)" in out
+
+    def test_durability_extension(self, capsys):
+        assert main(["extension", "durability"]) == 0
+        assert "amplification" in capsys.readouterr().out
+
+    def test_node_rebuild_extension(self, capsys):
+        assert main(["extension", "node-rebuild"]) == 0
+        out = capsys.readouterr().out
+        assert "scatter" in out and "sequential" in out
+
+    def test_unknown_extension(self, capsys):
+        assert main(["extension", "nope"]) == 2

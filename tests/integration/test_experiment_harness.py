@@ -1,0 +1,87 @@
+"""Unit-level tests of the experiments harness internals."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SCENARIO_CAP,
+    SweepStats,
+    build_ec2_env,
+    build_simics_environment,
+    cap_scenarios,
+    context_for,
+    run_scheme,
+    sweep_scheme,
+)
+from repro.repair import RPRScheme
+from repro.rs import get_code
+from repro.workloads import multi_failure_scenarios, single_failure_scenarios
+
+
+class TestEnvironmentBuilders:
+    def test_simics_env_shape(self):
+        env = build_simics_environment(8, 4)
+        assert env.code.n == 8 and env.code.k == 4
+        assert env.label == "(8,4)"
+        # one spare rack beyond the stripe's needs
+        assert env.cluster.num_racks == 4
+        assert env.block_size == 256_000_000
+
+    def test_simics_env_custom_nodes(self):
+        env = build_simics_environment(6, 2, nodes_per_rack=7)
+        assert env.cluster.rack(0).size == 7
+
+    def test_simics_contiguous_placement(self):
+        env = build_simics_environment(6, 2, placement="contiguous")
+        parity_rack = env.placement.rack_of_block(env.cluster, 6)
+        assert env.placement.rack_of_block(env.cluster, 7) == parity_rack
+
+    def test_ec2_env_five_racks(self):
+        env = build_ec2_env(6, 2)
+        assert env.cluster.num_racks == 5
+        assert env.cost_model.time_with_build(256_000_000) == pytest.approx(20.0)
+
+    def test_context_for_carries_env(self):
+        env = build_simics_environment(4, 2)
+        ctx = context_for(env, [1])
+        assert ctx.code is env.code
+        assert ctx.failed_blocks == (1,)
+        assert ctx.block_size == env.block_size
+
+
+class TestSweepStats:
+    def test_from_outcomes(self):
+        env = build_simics_environment(4, 2)
+        scenarios = single_failure_scenarios(env.code)
+        stats = sweep_scheme(env, RPRScheme(), scenarios)
+        assert stats.scenarios == 4
+        assert stats.min_time <= stats.mean_time <= stats.max_time
+        assert stats.min_cross_blocks <= stats.mean_cross_blocks
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepStats.from_outcomes([])
+
+    def test_single_outcome_degenerate(self):
+        env = build_simics_environment(4, 2)
+        outcome = run_scheme(env, RPRScheme(), [0])
+        stats = SweepStats.from_outcomes([outcome])
+        assert stats.min_time == stats.mean_time == stats.max_time
+
+
+class TestCapScenarios:
+    def test_under_cap_untouched(self):
+        code = get_code(6, 3)
+        scenarios = multi_failure_scenarios(code, 2)
+        assert cap_scenarios(scenarios, code, cap=1000) is scenarios
+
+    def test_over_cap_sampled_deterministically(self):
+        code = get_code(12, 4)
+        scenarios = multi_failure_scenarios(code, 3)  # 560 combos
+        a = cap_scenarios(scenarios, code, cap=50)
+        b = cap_scenarios(scenarios, code, cap=50)
+        assert len(a) == 50
+        assert a == b
+        assert all(s.size == 3 for s in a)
+
+    def test_default_cap_value(self):
+        assert DEFAULT_SCENARIO_CAP == 256

@@ -1,0 +1,168 @@
+"""Integration tests: the experiment harness reproduces the paper's shapes.
+
+These are the repository's headline assertions — each one states a
+qualitative claim from the evaluation section and checks the measured
+rows uphold it.  Absolute values are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_simics_environment,
+    figure6_rows,
+    figure9_rows,
+    figure11_rows,
+    figure12_rows,
+    figure14_rows,
+    format_table,
+    model_vs_simulation_rows,
+    run_scheme,
+    single_failure_rows,
+)
+from repro.experiments.single import figure8_rows
+from repro.repair import RPRScheme, TraditionalRepair
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return figure8_rows()
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figure9_rows(cap=40)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return figure11_rows(cap=40)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12_rows()
+
+
+class TestFigure6:
+    def test_rpr_always_below_traditional(self):
+        for row in figure6_rows():
+            assert row["rpr_s"] < row["traditional_s"]
+
+
+class TestFigures7And8:
+    def test_cross_traffic_car_equals_rpr(self, fig8):
+        """Fig. 7: identical bars for CAR and RPR (both partial-decode)."""
+        for row in fig8:
+            assert row["car_cross_blocks"] == pytest.approx(
+                row["rpr_cross_blocks"]
+            )
+
+    def test_cross_traffic_below_traditional(self, fig8):
+        for row in fig8:
+            assert row["rpr_cross_blocks"] < row["tra_cross_blocks"]
+
+    def test_repair_time_ordering(self, fig8):
+        """Fig. 8: RPR <= CAR <= traditional for every configuration."""
+        for row in fig8:
+            assert row["rpr_time_s"] <= row["car_time_s"] + 1e-9
+            assert row["car_time_s"] <= row["tra_time_s"] + 1e-9
+
+    def test_largest_code_gives_largest_reduction(self, fig8):
+        """The paper's 'up to' numbers come from (12,4)."""
+        best = max(fig8, key=lambda r: r["rpr_vs_tra_pct"])
+        assert best["code"] == "(12,4)"
+        assert best["rpr_vs_tra_pct"] > 70.0
+
+    def test_rpr_vs_car_gap_grows_with_rack_count(self, fig8):
+        """Pipelining pays when there are more racks to pipeline across:
+        the k=2 family's gap grows monotonically from (4,2) to (8,2)."""
+        by_code = {r["code"]: r["rpr_vs_car_pct"] for r in fig8}
+        assert by_code["(4,2)"] < by_code["(6,2)"]
+        assert by_code["(8,2)"] > 20.0
+
+
+class TestFigures9And10:
+    def test_rpr_faster_everywhere(self, fig9):
+        for row in fig9:
+            assert row["rpr_time_s"] < row["tra_time_s"]
+            assert row["time_reduction_pct"] > 30.0
+
+    def test_traffic_reduced_everywhere(self, fig9):
+        for row in fig9:
+            assert row["traffic_reduction_pct"] > 0.0
+
+    def test_min_max_caps_bracket_mean(self, fig9):
+        for row in fig9:
+            assert (
+                row["rpr_time_min_s"]
+                <= row["rpr_time_s"]
+                <= row["rpr_time_max_s"]
+            )
+
+
+class TestFigure11:
+    def test_worst_case_still_faster_for_low_overhead_codes(self, fig11):
+        for row in fig11:
+            assert row["rpr_time_s"] < row["tra_time_s"]
+
+    def test_worst_case_reduction_smaller_than_nonworst(self, fig9, fig11):
+        """§4.3: the worst case is RPR's weakest scenario."""
+        worst_12_4 = next(r for r in fig11 if r["code"] == "(12,4,4)")
+        nonworst_12_4 = next(r for r in fig9 if r["code"] == "(12,4,2)")
+        assert (
+            worst_12_4["time_reduction_pct"]
+            < nonworst_12_4["time_reduction_pct"]
+        )
+
+
+class TestFigure12:
+    def test_ordering_on_ec2(self, fig12):
+        for row in fig12:
+            assert row["rpr_time_s"] <= row["car_time_s"] <= row["tra_time_s"]
+
+    def test_car_gap_bigger_than_simics(self, fig8, fig12):
+        """§5.2.1: the decode-time gap makes RPR's lead over CAR larger on
+        EC2 than on Simics (averaged over codes)."""
+        simics_gap = sum(r["rpr_vs_car_pct"] for r in fig8) / len(fig8)
+        ec2_gap = sum(r["rpr_vs_car_pct"] for r in fig12) / len(fig12)
+        assert ec2_gap > simics_gap
+
+
+class TestFigure14:
+    def test_worst_case_on_ec2(self):
+        rows = figure14_rows(cap=20)
+        for row in rows:
+            assert row["rpr_time_s"] < row["tra_time_s"]
+
+
+class TestModelCrossChecks:
+    def test_eq10_is_upper_bound_for_sim_traditional(self):
+        """Simulated traditional <= n * t_c (local helpers go intra-rack)."""
+        for row in model_vs_simulation_rows():
+            assert row["sim_tra_s"] <= row["eq10_tra_s"] * 1.05
+
+    def test_eq13_bounds_simulated_rpr(self):
+        """The un-pipelined eq. (13) estimate upper-bounds real RPR up to
+        decode overhead."""
+        for row in model_vs_simulation_rows():
+            assert row["sim_rpr_s"] <= row["eq13_rpr_bound_s"] + 5.0
+
+
+class TestHarnessUtilities:
+    def test_format_table_renders(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+
+    def test_single_failure_rows_custom_codes(self):
+        rows = single_failure_rows(build_simics_environment, codes=[(4, 2)])
+        assert len(rows) == 1
+        assert rows[0]["scenarios"] == 4
+
+    def test_run_scheme_roundtrip(self):
+        env = build_simics_environment(4, 2)
+        outcome = run_scheme(env, RPRScheme(), [0])
+        assert outcome.total_repair_time > 0
+        tra = run_scheme(env, TraditionalRepair(), [0])
+        assert outcome.total_repair_time < tra.total_repair_time

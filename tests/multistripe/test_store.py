@@ -1,0 +1,107 @@
+"""Tests for the stripe store and placement rotation."""
+
+import pytest
+
+from repro.cluster import Cluster, FlatPlacement, PlacementError, Rack, Node
+from repro.multistripe import StripeStore, rotate_placement
+from repro.rs import get_code
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(5, 6)
+
+
+class TestRotatePlacement:
+    def test_identity_rotation(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 1, rotate=False)
+        base = store.stripe(0).placement
+        rotated = rotate_placement(cluster, base, rack_offset=0)
+        assert rotated.block_to_node == dict(base.block_to_node)
+
+    def test_full_cycle_is_identity(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 1, rotate=False)
+        base = store.stripe(0).placement
+        rotated = rotate_placement(cluster, base, rack_offset=cluster.num_racks)
+        assert rotated.block_to_node == dict(base.block_to_node)
+
+    def test_rack_shift(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 1, rotate=False)
+        base = store.stripe(0).placement
+        rotated = rotate_placement(cluster, base, rack_offset=2)
+        for block in range(8):
+            old_rack = base.rack_of_block(cluster, block)
+            new_rack = rotated.rack_of_block(cluster, block)
+            assert new_rack == (old_rack + 2) % cluster.num_racks
+
+    def test_slot_shift_changes_nodes_not_racks(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 1, rotate=False)
+        base = store.stripe(0).placement
+        rotated = rotate_placement(cluster, base, rack_offset=0, slot_offset=1)
+        for block in range(8):
+            assert rotated.rack_of_block(cluster, block) == base.rack_of_block(
+                cluster, block
+            )
+            assert rotated.node_of(block) != base.node_of(block)
+
+    def test_heterogeneous_racks_rejected(self):
+        cluster = Cluster(
+            [
+                Rack(0, nodes=[Node(0, 0), Node(1, 0)]),
+                Rack(1, nodes=[Node(2, 1)]),
+            ]
+        )
+        from repro.cluster import Placement
+
+        placement = Placement(n=2, k=0, block_to_node={0: 0, 1: 2})
+        with pytest.raises(PlacementError):
+            rotate_placement(cluster, placement, 1)
+
+
+class TestStripeStore:
+    def test_build_shapes(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 12)
+        assert len(store) == 12
+        assert [s.stripe_id for s in store] == list(range(12))
+
+    def test_rotation_declusters(self, cluster):
+        """Enough rotated stripes load every node equally."""
+        # 30 stripes over 5 racks x 6 slots: each node gets 8 blocks
+        # (stripe width 8, 30 * 8 / 30 nodes).
+        store = StripeStore.build(cluster, get_code(6, 2), 30)
+        counts = store.blocks_per_node()
+        assert set(counts.values()) == {8}
+
+    def test_no_rotation_concentrates(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 10, rotate=False)
+        counts = store.blocks_per_node()
+        assert 0 in counts.values()
+        assert max(counts.values()) == 10
+
+    def test_blocks_on_node(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 5)
+        found = store.blocks_on_node(0)
+        for stripe_id, block_id in found:
+            assert store.stripe(stripe_id).placement.node_of(block_id) == 0
+
+    def test_blocks_on_unknown_node(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 2)
+        with pytest.raises(KeyError):
+            store.blocks_on_node(999)
+
+    def test_flat_placement_store(self):
+        cluster = Cluster.homogeneous(10, 3)
+        store = StripeStore.build(
+            cluster, get_code(6, 2), 4, placement_policy=FlatPlacement()
+        )
+        placement = store.stripe(0).placement
+        assert all(v == 1 for v in placement.rack_histogram(cluster).values())
+
+    def test_invalid_count(self, cluster):
+        with pytest.raises(ValueError):
+            StripeStore.build(cluster, get_code(6, 2), 0)
+
+    def test_stripe_lookup_error(self, cluster):
+        store = StripeStore.build(cluster, get_code(6, 2), 2)
+        with pytest.raises(KeyError):
+            store.stripe(9)

@@ -1,0 +1,116 @@
+"""Property fuzzing of the discrete-event engine with random job DAGs.
+
+Generates random layered DAGs of transfers and computes, runs them, and
+checks structural invariants that must hold for *any* graph:
+
+* no resource (port/CPU) ever carries two jobs at once;
+* every job starts at or after all of its dependencies' ends;
+* the makespan is at least the critical-path lower bound and at most
+  the serialised sum of all durations;
+* total busy time per resource never exceeds the makespan.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, HierarchicalBandwidth
+from repro.sim import EventKind, JobGraph, SimulationEngine
+
+CLUSTER = Cluster.homogeneous(4, 4)
+BW = HierarchicalBandwidth(intra=100.0, cross=10.0)
+ENGINE = SimulationEngine(CLUSTER, BW)
+NODES = CLUSTER.num_nodes
+
+
+@st.composite
+def random_graphs(draw):
+    """Layered DAGs: jobs may only depend on earlier jobs."""
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    count = draw(st.integers(1, 25))
+    graph = JobGraph()
+    ids = []
+    durations = {}
+    for i in range(count):
+        jid = f"j{i}"
+        max_deps = min(len(ids), 3)
+        dep_count = int(rng.integers(0, max_deps + 1))
+        deps = list(
+            rng.choice(ids, size=dep_count, replace=False)
+        ) if dep_count else []
+        if rng.random() < 0.6:
+            src = int(rng.integers(0, NODES))
+            dst = int(rng.integers(0, NODES - 1))
+            if dst >= src:
+                dst += 1
+            nbytes = float(rng.integers(1, 500))
+            graph.add_transfer(jid, src, dst, nbytes, deps=deps)
+            durations[jid] = nbytes / BW.rate(CLUSTER, src, dst)
+        else:
+            seconds = float(rng.integers(0, 50)) / 10.0
+            graph.add_compute(jid, int(rng.integers(0, NODES)), seconds, deps=deps)
+            durations[jid] = seconds
+        ids.append(jid)
+    return graph, durations
+
+
+def resource_intervals(graph, result):
+    intervals: dict[tuple, list[tuple[float, float]]] = {}
+    for jid, job in graph.jobs.items():
+        timing = result.timings[jid]
+        if hasattr(job, "src"):
+            keys = [("up", job.src), ("down", job.dst)]
+        else:
+            keys = [("cpu", job.node)]
+        for key in keys:
+            intervals.setdefault(key, []).append((timing.start, timing.end))
+    return intervals
+
+
+class TestEngineFuzz:
+    @given(random_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, case):
+        graph, durations = case
+        result = ENGINE.run(graph)
+
+        # every job ran with its exact duration
+        for jid, timing in result.timings.items():
+            assert timing.end - timing.start == pytest.approx(durations[jid])
+
+        # dependencies respected
+        for jid, job in graph.jobs.items():
+            for dep in job.deps:
+                assert (
+                    result.timings[jid].start
+                    >= result.timings[dep].end - 1e-9
+                )
+
+        # no resource carries overlapping jobs
+        for key, spans in resource_intervals(graph, result).items():
+            spans = sorted(spans)
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-9, (key, spans)
+
+        # makespan bounds
+        total = sum(durations.values())
+        # critical path over declared deps only (resources can only delay)
+        longest: dict[str, float] = {}
+        for jid, job in graph.jobs.items():  # insertion order is topological
+            longest[jid] = durations[jid] + max(
+                (longest[d] for d in job.deps), default=0.0
+            )
+        critical = max(longest.values(), default=0.0)
+        assert result.makespan >= critical - 1e-9
+        assert result.makespan <= total + 1e-9
+
+        # trace completeness: one start and one end event per job
+        starts = [e for e in result.events if e.kind.endswith("start")]
+        ends = [
+            e
+            for e in result.events
+            if e.kind in (EventKind.TRANSFER_END, EventKind.COMPUTE_END)
+        ]
+        assert len(starts) == len(graph.jobs)
+        assert len(ends) == len(graph.jobs)

@@ -1,0 +1,48 @@
+"""Shared fixtures for repair tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ContiguousPlacement, RPRPlacement
+from repro.rs import MB, DecodeCostModel, RSCode
+from repro.repair import RepairContext
+
+#: Small block size so concrete execution is instant; the cost model keeps
+#: the Simics shape (matrix build = 4x).
+BLOCK_SIZE = 512
+COST = DecodeCostModel(xor_speed=1000 * MB, matrix_build_factor=4.0)
+
+
+def make_cluster(n, k, spares_factor=2):
+    """Cluster sized for a contiguous placement with k spares per rack."""
+    racks = -(-(n + k) // k) + 1
+    return Cluster.homogeneous(racks, spares_factor * k)
+
+
+def make_context(n, k, failed, placement="rpr", block_size=BLOCK_SIZE):
+    code = RSCode(n, k)
+    cluster = make_cluster(n, k)
+    policy = RPRPlacement() if placement == "rpr" else ContiguousPlacement()
+    pl = policy.place(cluster, n, k)
+    return RepairContext(
+        code=code,
+        cluster=cluster,
+        placement=pl,
+        failed_blocks=tuple(failed),
+        block_size=block_size,
+        cost_model=COST,
+    )
+
+
+def make_stripe(ctx, seed=0):
+    rng = np.random.default_rng(seed)
+    data = [
+        rng.integers(0, 256, ctx.block_size, dtype=np.uint8)
+        for _ in range(ctx.code.n)
+    ]
+    return ctx.code.encode_stripe(data)
+
+
+@pytest.fixture
+def ctx42():
+    return make_context(4, 2, failed=[1])

@@ -1,0 +1,120 @@
+"""Tests for the concrete plan executor."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.repair import (
+    ExecutionError,
+    RepairPlan,
+    block_key,
+    execute_plan,
+    initial_store_for,
+)
+from repro.gf import scale
+
+from .conftest import make_context, make_stripe
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(2, 2)
+
+
+def store_with(node, key, payload):
+    return {node: {key: payload}}
+
+
+class TestSends:
+    def test_send_copies_payload(self, cluster):
+        payload = np.array([1, 2, 3, 4], dtype=np.uint8)
+        plan = RepairPlan(block_size=4)
+        plan.add_send("s", 0, 1, "x")
+        plan.mark_output(0, 1, "x")
+        store = store_with(0, "x", payload)
+        result = execute_plan(plan, cluster, store)
+        np.testing.assert_array_equal(store[1]["x"], payload)
+        np.testing.assert_array_equal(result.recovered[0], payload)
+
+    def test_missing_payload_fails(self, cluster):
+        plan = RepairPlan(block_size=4)
+        plan.add_send("s", 0, 1, "ghost")
+        plan.mark_output(0, 1, "ghost")
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, cluster, {})
+
+    def test_traffic_accounting(self, cluster):
+        payload = np.zeros(4, dtype=np.uint8)
+        plan = RepairPlan(block_size=4)
+        plan.add_send("intra", 0, 1, "x")
+        plan.add_send("cross", 1, 2, "x", deps=["intra"])
+        plan.mark_output(0, 2, "x")
+        result = execute_plan(plan, cluster, store_with(0, "x", payload))
+        assert result.intra_rack_bytes == 4
+        assert result.cross_rack_bytes == 4
+        assert result.sends_executed == 2
+
+
+class TestCombines:
+    def test_combine_applies_coefficients(self, cluster):
+        a = np.array([3, 5], dtype=np.uint8)
+        b = np.array([7, 9], dtype=np.uint8)
+        plan = RepairPlan(block_size=2)
+        plan.add_combine("c", 0, "out", [("a", 2), ("b", 3)])
+        plan.mark_output(0, 0, "out")
+        store = {0: {"a": a, "b": b}}
+        result = execute_plan(plan, cluster, store)
+        expected = scale(2, a) ^ scale(3, b)
+        np.testing.assert_array_equal(result.recovered[0], expected)
+        assert result.combine_count == 1
+
+    def test_combine_missing_input_fails(self, cluster):
+        plan = RepairPlan(block_size=2)
+        plan.add_combine("c", 0, "out", [("a", 1), ("b", 1)])
+        plan.mark_output(0, 0, "out")
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, cluster, {0: {"a": np.zeros(2, dtype=np.uint8)}})
+
+    def test_dataflow_dependency_enforced(self, cluster):
+        """An op consuming a not-yet-produced payload must fail, even if
+        the op order would accidentally work out at runtime: topological
+        order respects deps, and deps must carry the data flow."""
+        plan = RepairPlan(block_size=2)
+        # combine consumes "made" but declares no dep on its producer and
+        # appears first in insertion order.
+        plan.add_combine("consumer", 0, "out", [("made", 1)])
+        plan.add_combine("producer", 0, "made", [("raw", 1)])
+        plan.mark_output(0, 0, "out")
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, cluster, {0: {"raw": np.zeros(2, dtype=np.uint8)}})
+
+
+class TestOutputs:
+    def test_missing_output_fails(self, cluster):
+        plan = RepairPlan(block_size=2)
+        plan.add_send("s", 0, 1, "x")
+        plan.mark_output(5, 0, "never-made")
+        with pytest.raises(ExecutionError):
+            execute_plan(
+                plan, cluster, store_with(0, "x", np.zeros(2, dtype=np.uint8))
+            )
+
+
+class TestInitialStore:
+    def test_survivors_only(self):
+        ctx = make_context(4, 2, failed=[1])
+        stripe = make_stripe(ctx)
+        store = initial_store_for(stripe, ctx.placement, [1])
+        present = {key for bucket in store.values() for key in bucket}
+        assert block_key(1) not in present
+        assert present == {block_key(b) for b in [0, 2, 3, 4, 5]}
+
+    def test_payloads_on_placement_nodes(self):
+        ctx = make_context(4, 2, failed=[1])
+        stripe = make_stripe(ctx)
+        store = initial_store_for(stripe, ctx.placement, [1])
+        for b in [0, 2, 3, 4, 5]:
+            node = ctx.placement.node_of(b)
+            np.testing.assert_array_equal(
+                store[node][block_key(b)], stripe.get_payload(b)
+            )

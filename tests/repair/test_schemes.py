@@ -1,0 +1,237 @@
+"""Correctness and structural tests for the three repair schemes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SIMICS_BANDWIDTH
+from repro.repair import (
+    CARRepair,
+    RepairContext,
+    RepairPlanningError,
+    RPRScheme,
+    TraditionalRepair,
+    execute_plan,
+    initial_store_for,
+    recovery_targets,
+    simulate_repair,
+)
+from repro.rs import PAPER_SINGLE_FAILURE_CODES
+
+from .conftest import make_context, make_stripe
+
+ALL_SCHEMES = [TraditionalRepair(), CARRepair(), RPRScheme()]
+
+
+def run_concrete(scheme, ctx, seed=0):
+    stripe = make_stripe(ctx, seed)
+    plan = scheme.plan(ctx)
+    store = initial_store_for(stripe, ctx.placement, ctx.failed_blocks)
+    result = execute_plan(plan, ctx.cluster, store)
+    for b in ctx.failed_blocks:
+        np.testing.assert_array_equal(result.recovered[b], stripe.get_payload(b))
+    return plan, result
+
+
+class TestRecoveryTargets:
+    def test_target_in_failed_rack(self):
+        ctx = make_context(6, 3, failed=[1])
+        targets = recovery_targets(ctx)
+        assert ctx.cluster.rack_of(targets[1]) == ctx.rack_of_block(1)
+
+    def test_targets_are_spares(self):
+        ctx = make_context(6, 3, failed=[0, 1])
+        targets = recovery_targets(ctx)
+        used = set(ctx.placement.block_to_node.values())
+        for node in targets.values():
+            assert node not in used
+
+    def test_distinct_targets_for_same_rack_failures(self):
+        ctx = make_context(8, 4, failed=[0, 1, 2])
+        targets = recovery_targets(ctx)
+        assert len(set(targets.values())) == 3
+
+
+class TestSingleFailureCorrectness:
+    @pytest.mark.parametrize("n,k", PAPER_SINGLE_FAILURE_CODES)
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_every_data_failure_reconstructs(self, n, k, scheme):
+        for f in range(n):
+            ctx = make_context(n, k, failed=[f])
+            run_concrete(scheme, ctx, seed=f)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_parity_failure_reconstructs(self, scheme):
+        for f in [6, 7, 8]:
+            ctx = make_context(6, 3, failed=[f])
+            run_concrete(scheme, ctx, seed=f)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_contiguous_placement_also_works(self, scheme):
+        for f in [0, 3, 5]:
+            ctx = make_context(8, 4, failed=[f], placement="contiguous")
+            run_concrete(scheme, ctx, seed=f)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_recovered_payload_lands_on_spare_in_failed_rack(self, scheme):
+        ctx = make_context(6, 2, failed=[2])
+        plan, _ = run_concrete(scheme, ctx)
+        (node, _key) = plan.outputs[2]
+        assert ctx.cluster.rack_of(node) == ctx.rack_of_block(2)
+
+
+class TestMultiFailureCorrectness:
+    CASES = [
+        (6, 3, [0, 1]),
+        (6, 3, [2, 7]),
+        (8, 4, [0, 1, 2]),
+        (8, 4, [0, 4, 9]),
+        (8, 4, [0, 1, 2, 3]),
+        (12, 4, [0, 4, 8]),
+        (12, 4, [0, 1, 2, 3]),
+        (12, 4, [10, 11, 13, 15]),
+        (6, 2, [0, 1]),
+        (8, 2, [3, 9]),
+    ]
+
+    @pytest.mark.parametrize("n,k,failed", CASES)
+    def test_traditional_multi(self, n, k, failed):
+        run_concrete(TraditionalRepair(), make_context(n, k, failed=failed))
+
+    @pytest.mark.parametrize("n,k,failed", CASES)
+    def test_rpr_multi(self, n, k, failed):
+        run_concrete(RPRScheme(), make_context(n, k, failed=failed))
+
+    def test_car_rejects_multi(self):
+        ctx = make_context(6, 3, failed=[0, 1])
+        with pytest.raises(RepairPlanningError):
+            CARRepair().plan(ctx)
+
+
+class TestPlanShapes:
+    def test_traditional_sends_n_helpers_to_one_node(self):
+        ctx = make_context(6, 2, failed=[1])
+        plan = TraditionalRepair().plan(ctx)
+        gathers = [op for op in plan.sends() if op.op_id.startswith("tra:gather")]
+        assert len(gathers) == 6
+        assert len({op.dst for op in gathers}) == 1
+
+    def test_traditional_pays_matrix_build(self):
+        ctx = make_context(6, 2, failed=[1])
+        plan = TraditionalRepair().plan(ctx)
+        builds = [c for c in plan.combines() if c.with_matrix_build]
+        assert len(builds) == 1
+
+    def test_car_one_cross_send_per_remote_rack(self):
+        ctx = make_context(12, 4, failed=[1])
+        plan = CARRepair().plan(ctx)
+        cross = [
+            op
+            for op in plan.sends()
+            if not ctx.cluster.same_rack(op.src, op.dst)
+        ]
+        # all cross sends go straight to the recovery node (no pipeline)
+        assert len({op.dst for op in cross}) == 1
+
+    def test_car_always_builds_matrix(self):
+        ctx = make_context(6, 2, failed=[1])
+        plan = CARRepair().plan(ctx)
+        final = [c for c in plan.combines() if c.op_id.startswith("car:decode")]
+        assert len(final) == 1 and final[0].with_matrix_build
+
+    def test_rpr_single_data_failure_skips_matrix_build(self):
+        """Pre-placement + XOR helper set: no decoding-matrix cost (§3.3)."""
+        for n, k in PAPER_SINGLE_FAILURE_CODES:
+            ctx = make_context(n, k, failed=[1], placement="rpr")
+            plan = RPRScheme().plan(ctx)
+            assert not any(c.with_matrix_build for c in plan.combines()), (n, k)
+
+    def test_rpr_parity_failure_builds_matrix(self):
+        ctx = make_context(6, 2, failed=[7])
+        plan = RPRScheme().plan(ctx)
+        assert any(c.with_matrix_build for c in plan.combines())
+
+    def test_rpr_multi_failure_builds_matrix(self):
+        ctx = make_context(8, 4, failed=[0, 1])
+        plan = RPRScheme().plan(ctx)
+        finals = [c for c in plan.combines() if c.op_id.endswith(":final")]
+        assert len(finals) == 2
+        assert all(c.with_matrix_build for c in finals)
+
+    def test_rpr_cross_sends_form_pipeline(self):
+        """RPR's cross sends do NOT all target the recovery node."""
+        ctx = make_context(12, 4, failed=[1])
+        plan = RPRScheme().plan(ctx)
+        cross = [
+            op for op in plan.sends() if not ctx.cluster.same_rack(op.src, op.dst)
+        ]
+        assert len({op.dst for op in cross}) > 1
+
+    def test_prefer_xor_flag_off_may_build_matrix(self):
+        ctx = make_context(6, 2, failed=[1], placement="contiguous")
+        plan = RPRScheme(prefer_xor=False).plan(ctx)
+        assert any(c.with_matrix_build for c in plan.combines())
+
+
+class TestSimulatedOrdering:
+    """The paper's headline inequalities under the Simics model."""
+
+    @pytest.mark.parametrize("n,k", PAPER_SINGLE_FAILURE_CODES)
+    def test_rpr_fastest_single_failure(self, n, k):
+        ctx = make_context(n, k, failed=[1])
+        times = {
+            s.name: simulate_repair(s, ctx, SIMICS_BANDWIDTH).total_repair_time
+            for s in ALL_SCHEMES
+        }
+        assert times["rpr"] <= times["car"] <= times["traditional"]
+
+    @pytest.mark.parametrize("n,k", PAPER_SINGLE_FAILURE_CODES)
+    def test_partial_decoding_traffic_equal_car_rpr(self, n, k):
+        """Fig. 7: CAR and RPR move the same cross-rack volume."""
+        ctx = make_context(n, k, failed=[1])
+        car = simulate_repair(CARRepair(), ctx, SIMICS_BANDWIDTH)
+        rpr = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+        assert car.cross_rack_blocks == rpr.cross_rack_blocks
+        tra = simulate_repair(TraditionalRepair(), ctx, SIMICS_BANDWIDTH)
+        assert rpr.cross_rack_blocks <= tra.cross_rack_blocks
+
+    def test_multi_failure_rpr_beats_traditional(self):
+        for n, k, failed in [(6, 3, [0, 1]), (8, 4, [0, 1, 2]), (12, 4, [0, 4])]:
+            ctx = make_context(n, k, failed=failed)
+            tra = simulate_repair(TraditionalRepair(), ctx, SIMICS_BANDWIDTH)
+            rpr = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+            assert rpr.total_repair_time < tra.total_repair_time
+
+    def test_worst_case_traffic_not_reduced(self):
+        """§4.3.2: with k failures RPR moves n blocks, same as traditional."""
+        ctx = make_context(12, 4, failed=[0, 1, 2, 3])
+        rpr = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+        assert rpr.cross_rack_blocks == pytest.approx(12)
+
+    def test_nonworst_traffic_formula(self):
+        """§4.3.3: l failures in one rack move (n/k) * l intermediates."""
+        for n, k, l in [(6, 3, 2), (8, 4, 2), (8, 4, 3), (12, 4, 2), (12, 4, 3)]:
+            ctx = make_context(n, k, failed=list(range(l)))
+            rpr = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+            assert rpr.cross_rack_blocks == pytest.approx((n // k) * l), (n, k, l)
+
+
+class TestErrorHandling:
+    def test_no_failed_blocks_rejected_by_schemes(self):
+        """An empty failure set is a valid context (updates use it) but
+        every repair scheme refuses to plan against it."""
+        ctx = make_context(4, 2, failed=[])
+        for scheme in ALL_SCHEMES:
+            with pytest.raises(RepairPlanningError):
+                scheme.plan(ctx)
+
+    def test_too_many_failures_rejected(self):
+        with pytest.raises(RepairPlanningError):
+            make_context(4, 2, failed=[0, 1, 2])
+
+    def test_out_of_range_failure_rejected(self):
+        with pytest.raises(RepairPlanningError):
+            make_context(4, 2, failed=[9])
+
+    def test_duplicate_failures_rejected(self):
+        with pytest.raises(RepairPlanningError):
+            make_context(4, 2, failed=[1, 1])

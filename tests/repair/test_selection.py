@@ -1,0 +1,99 @@
+"""Tests for helper-block selection."""
+
+import pytest
+
+from repro.repair import (
+    first_n_helpers,
+    group_survivors_by_rack,
+    rack_aware_helpers,
+    remote_rack_count,
+)
+
+from .conftest import make_context
+
+
+class TestFirstN:
+    def test_lowest_ids(self):
+        ctx = make_context(4, 2, failed=[1])
+        assert first_n_helpers(ctx) == [0, 2, 3, 4]
+
+    def test_skips_failed(self):
+        ctx = make_context(6, 3, failed=[0, 2])
+        assert first_n_helpers(ctx) == [1, 3, 4, 5, 6, 7]
+
+
+class TestGrouping:
+    def test_groups_match_placement(self):
+        ctx = make_context(4, 2, failed=[1])
+        groups = group_survivors_by_rack(ctx)
+        for rack, blocks in groups.items():
+            for b in blocks:
+                assert ctx.rack_of_block(b) == rack
+        total = sum(len(v) for v in groups.values())
+        assert total == ctx.code.width - 1
+
+
+class TestRemoteRackCount:
+    def test_recovery_rack_not_counted(self):
+        ctx = make_context(4, 2, failed=[1])  # rack 0
+        local = [b for b in ctx.surviving_blocks if ctx.rack_of_block(b) == 0]
+        assert remote_rack_count(ctx, local) == 0
+
+    def test_counts_distinct_remote_racks(self):
+        ctx = make_context(4, 2, failed=[1])
+        helpers = rack_aware_helpers(ctx)
+        assert remote_rack_count(ctx, helpers) == 2
+
+
+class TestRackAware:
+    def test_returns_exactly_n(self):
+        for n, k in [(4, 2), (6, 3), (8, 4), (12, 4)]:
+            for failed in range(n + k):
+                ctx = make_context(n, k, failed=[failed])
+                helpers = rack_aware_helpers(ctx)
+                assert len(helpers) == n
+                assert failed not in helpers
+
+    def test_prefers_xor_set_under_rpr_placement(self):
+        """With pre-placement, a data failure selects other-data + P0."""
+        for n, k in [(4, 2), (6, 2), (8, 2), (6, 3), (8, 4), (12, 4)]:
+            ctx = make_context(n, k, failed=[1], placement="rpr")
+            helpers = rack_aware_helpers(ctx, prefer_xor=True)
+            expected = sorted([b for b in range(n) if b != 1] + [n])
+            assert helpers == expected, (n, k, helpers)
+
+    def test_xor_preference_never_adds_racks(self):
+        for n, k in [(4, 2), (6, 3), (8, 4), (12, 4)]:
+            for placement in ("rpr", "contiguous"):
+                for f in range(n):
+                    ctx = make_context(n, k, failed=[f], placement=placement)
+                    with_xor = rack_aware_helpers(ctx, prefer_xor=True)
+                    without = rack_aware_helpers(ctx, prefer_xor=False)
+                    assert remote_rack_count(ctx, with_xor) <= remote_rack_count(
+                        ctx, without
+                    )
+
+    def test_parity_failure_no_xor_path(self):
+        ctx = make_context(6, 3, failed=[7])
+        helpers = rack_aware_helpers(ctx, prefer_xor=True)
+        assert len(helpers) == 6
+        # eq. (6) does not apply to parity failures; greedy pick is used.
+        assert helpers == rack_aware_helpers(ctx, prefer_xor=False)
+
+    def test_multi_failure_selection(self):
+        ctx = make_context(8, 4, failed=[0, 1, 5])
+        helpers = rack_aware_helpers(ctx)
+        assert len(helpers) == 8
+        assert not set(helpers) & {0, 1, 5}
+
+    def test_rack_aware_beats_or_ties_first_n_on_remote_racks(self):
+        for n, k in [(6, 2), (8, 2), (6, 3), (8, 4), (12, 4)]:
+            for f in range(n + k):
+                ctx = make_context(n, k, failed=[f])
+                aware = rack_aware_helpers(ctx)
+                naive = first_n_helpers(ctx)
+                assert remote_rack_count(ctx, aware) <= remote_rack_count(ctx, naive)
+
+    def test_deterministic(self):
+        ctx = make_context(12, 4, failed=[3])
+        assert rack_aware_helpers(ctx) == rack_aware_helpers(ctx)

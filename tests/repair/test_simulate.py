@@ -1,0 +1,59 @@
+"""Tests for the simulate_repair wrapper (plan → engine → outcome)."""
+
+import pytest
+
+from repro.cluster import SIMICS_BANDWIDTH, HierarchicalBandwidth
+from repro.repair import RPRScheme, TraditionalRepair, simulate_repair
+
+from .conftest import make_context
+
+
+class TestRepairOutcome:
+    def test_fields_populated(self):
+        ctx = make_context(6, 2, failed=[1])
+        outcome = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+        assert outcome.scheme == "rpr"
+        assert outcome.total_repair_time > 0
+        assert outcome.cross_rack_bytes > 0
+        assert outcome.intra_rack_bytes >= 0
+        assert outcome.plan is not None
+        assert outcome.sim.makespan == outcome.total_repair_time
+
+    def test_cross_rack_blocks_unit(self):
+        ctx = make_context(6, 2, failed=[1])
+        outcome = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+        assert outcome.cross_rack_blocks == pytest.approx(
+            outcome.cross_rack_bytes / ctx.block_size
+        )
+
+    def test_uses_context_cost_model(self):
+        """The matrix-build surcharge must show up in the makespan."""
+        from repro.rs import MB, DecodeCostModel
+        from dataclasses import replace
+
+        base = make_context(6, 2, failed=[7])  # parity: matrix build
+        slow = replace(
+            base, cost_model=DecodeCostModel(xor_speed=MB, matrix_build_factor=100.0)
+        )
+        fast_outcome = simulate_repair(RPRScheme(), base, SIMICS_BANDWIDTH)
+        slow_outcome = simulate_repair(RPRScheme(), slow, SIMICS_BANDWIDTH)
+        assert slow_outcome.total_repair_time > fast_outcome.total_repair_time
+
+    def test_bandwidth_model_drives_timing(self):
+        ctx = make_context(6, 2, failed=[1])
+        fast = simulate_repair(
+            TraditionalRepair(), ctx, HierarchicalBandwidth(intra=1e9, cross=1e8)
+        )
+        slow = simulate_repair(
+            TraditionalRepair(), ctx, HierarchicalBandwidth(intra=1e8, cross=1e7)
+        )
+        assert slow.total_repair_time == pytest.approx(
+            10 * fast.total_repair_time, rel=0.2
+        )
+
+    def test_plan_is_fresh_per_call(self):
+        ctx = make_context(6, 2, failed=[1])
+        a = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+        b = simulate_repair(RPRScheme(), ctx, SIMICS_BANDWIDTH)
+        assert a.plan is not b.plan
+        assert a.total_repair_time == b.total_repair_time

@@ -1,0 +1,92 @@
+"""Tests for the aggregation-switch capacity cap."""
+
+import pytest
+
+from repro.cluster import Cluster, HierarchicalBandwidth
+from repro.sim import JobGraph, SimulationEngine
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(4, 3)
+
+
+BW = HierarchicalBandwidth(intra=100.0, cross=10.0)
+
+
+def three_parallel_cross(cluster):
+    """Three cross transfers over fully disjoint port pairs."""
+    g = JobGraph()
+    g.add_transfer("a", 0, 3, 100)
+    g.add_transfer("b", 6, 9, 100)
+    g.add_transfer("c", 1, 4, 100)
+    return g
+
+
+class TestCapacity:
+    def test_unlimited_by_default(self, cluster):
+        engine = SimulationEngine(cluster, BW)
+        assert engine.run(three_parallel_cross(cluster)).makespan == pytest.approx(
+            10.0
+        )
+
+    def test_cap_one_serialises_everything(self, cluster):
+        engine = SimulationEngine(cluster, BW, cross_capacity=1)
+        assert engine.run(three_parallel_cross(cluster)).makespan == pytest.approx(
+            30.0
+        )
+
+    def test_cap_two(self, cluster):
+        engine = SimulationEngine(cluster, BW, cross_capacity=2)
+        assert engine.run(three_parallel_cross(cluster)).makespan == pytest.approx(
+            20.0
+        )
+
+    def test_intra_transfers_unaffected(self, cluster):
+        engine = SimulationEngine(cluster, BW, cross_capacity=1)
+        g = JobGraph()
+        g.add_transfer("x", 0, 1, 100)
+        g.add_transfer("y", 3, 4, 100)
+        g.add_transfer("z", 6, 7, 100)
+        assert engine.run(g).makespan == pytest.approx(1.0)
+
+    def test_mixed_traffic(self, cluster):
+        engine = SimulationEngine(cluster, BW, cross_capacity=1)
+        g = JobGraph()
+        g.add_transfer("cross1", 0, 3, 100)   # 10 s
+        g.add_transfer("cross2", 6, 9, 100)   # waits for token
+        g.add_transfer("intra", 1, 2, 100)    # 1 s, free to go
+        result = engine.run(g)
+        assert result.timings["intra"].start == 0.0
+        assert result.makespan == pytest.approx(20.0)
+
+    def test_token_released_on_completion(self, cluster):
+        engine = SimulationEngine(cluster, BW, cross_capacity=1)
+        g = JobGraph()
+        g.add_transfer("first", 0, 3, 50)     # 5 s
+        g.add_transfer("second", 6, 9, 50, deps=["first"])
+        result = engine.run(g)
+        assert result.timings["second"].start == pytest.approx(5.0)
+
+    def test_invalid_capacity(self, cluster):
+        with pytest.raises(ValueError):
+            SimulationEngine(cluster, BW, cross_capacity=0)
+
+    def test_rpr_degrades_gracefully_under_tight_switch(self, cluster):
+        """RPR's pipeline needs concurrent cross transfers; with the
+        switch capped at 1 it falls back toward CAR-like serial timing
+        but must never beat physics (>= uncapped time)."""
+        from repro.experiments import build_simics_environment, context_for
+        from repro.repair import RPRScheme
+
+        env = build_simics_environment(12, 4)
+        ctx = context_for(env, [1])
+        plan = RPRScheme().plan(ctx)
+        graph = plan.to_job_graph(ctx.cost_model)
+        free = SimulationEngine(env.cluster, env.bandwidth).run(graph)
+        graph2 = RPRScheme().plan(ctx).to_job_graph(ctx.cost_model)
+        tight = SimulationEngine(
+            env.cluster, env.bandwidth, cross_capacity=1
+        ).run(graph2)
+        assert tight.makespan >= free.makespan - 1e-9
+        assert tight.cross_rack_bytes() == free.cross_rack_bytes()

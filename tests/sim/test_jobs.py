@@ -1,0 +1,67 @@
+"""Tests for the job-graph structure."""
+
+import pytest
+
+from repro.sim import ComputeJob, JobGraph, JobGraphError, TransferJob
+
+
+class TestJobValidation:
+    def test_self_transfer_rejected(self):
+        with pytest.raises(JobGraphError):
+            TransferJob(job_id="t", src=1, dst=1, nbytes=10)
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(JobGraphError):
+            TransferJob(job_id="t", src=0, dst=1, nbytes=0)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(JobGraphError):
+            ComputeJob(job_id="c", node=0, seconds=-1)
+
+    def test_zero_compute_allowed(self):
+        assert ComputeJob(job_id="c", node=0, seconds=0).seconds == 0
+
+
+class TestJobGraph:
+    def test_add_and_len(self):
+        g = JobGraph()
+        g.add_transfer("t0", 0, 1, 100)
+        g.add_compute("c0", 1, 0.5, deps=["t0"])
+        assert len(g) == 2
+
+    def test_duplicate_id_rejected(self):
+        g = JobGraph()
+        g.add_compute("x", 0, 1)
+        with pytest.raises(JobGraphError):
+            g.add_compute("x", 0, 2)
+
+    def test_validate_accepts_dag(self):
+        g = JobGraph()
+        g.add_compute("a", 0, 1)
+        g.add_compute("b", 0, 1, deps=["a"])
+        g.add_compute("c", 0, 1, deps=["a", "b"])
+        g.validate()
+
+    def test_dangling_dep_rejected(self):
+        g = JobGraph()
+        g.add_compute("a", 0, 1, deps=["ghost"])
+        with pytest.raises(JobGraphError):
+            g.validate()
+
+    def test_cycle_rejected(self):
+        g = JobGraph()
+        g.add(ComputeJob(job_id="a", node=0, seconds=1, deps=("b",)))
+        g.add(ComputeJob(job_id="b", node=0, seconds=1, deps=("a",)))
+        with pytest.raises(JobGraphError):
+            g.validate()
+
+    def test_self_cycle_rejected(self):
+        g = JobGraph()
+        g.add(ComputeJob(job_id="a", node=0, seconds=1, deps=("a",)))
+        with pytest.raises(JobGraphError):
+            g.validate()
+
+    def test_tags_preserved(self):
+        g = JobGraph()
+        g.add_transfer("t", 0, 1, 5, tag="inner")
+        assert g.jobs["t"].tag == "inner"

@@ -1,0 +1,103 @@
+"""Tests for per-transfer link latency (model extension)."""
+
+import pytest
+
+from repro.cluster import Cluster, HierarchicalBandwidth, MatrixBandwidth
+from repro.ec2 import GEO_LATENCY_S, table1_bandwidth
+from repro.sim import JobGraph, SimulationEngine
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(2, 2)
+
+
+class TestHierarchicalLatency:
+    def test_defaults_to_zero(self, cluster):
+        bw = HierarchicalBandwidth(intra=100.0, cross=10.0)
+        assert bw.latency(cluster, 0, 1) == 0.0
+        assert bw.latency(cluster, 0, 2) == 0.0
+
+    def test_per_class_latency(self, cluster):
+        bw = HierarchicalBandwidth(
+            intra=100.0, cross=10.0, intra_latency=0.001, cross_latency=0.05
+        )
+        assert bw.latency(cluster, 0, 1) == 0.001
+        assert bw.latency(cluster, 0, 2) == 0.05
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalBandwidth(intra=1, cross=1, intra_latency=-1)
+
+    def test_self_transfer_rejected(self, cluster):
+        bw = HierarchicalBandwidth(intra=1.0, cross=1.0)
+        with pytest.raises(ValueError):
+            bw.latency(cluster, 1, 1)
+
+
+class TestMatrixLatency:
+    def test_defaults_to_zero(self, cluster):
+        bw = MatrixBandwidth(pair_rate={(0, 0): 10.0, (0, 1): 5.0, (1, 1): 10.0})
+        assert bw.latency(cluster, 0, 2) == 0.0
+
+    def test_explicit_latency(self, cluster):
+        bw = MatrixBandwidth(
+            pair_rate={(0, 0): 10.0, (0, 1): 5.0, (1, 1): 10.0},
+            pair_latency={(0, 1): 0.1},
+        )
+        assert bw.latency(cluster, 0, 2) == 0.1
+        assert bw.latency(cluster, 0, 1) == 0.0  # absent pair -> 0
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixBandwidth(pair_rate={(0, 0): 1.0}, pair_latency={(0, 0): -0.5})
+        with pytest.raises(ValueError):
+            MatrixBandwidth(pair_rate={(0, 0): 1.0}, pair_latency={(1, 0): 0.5})
+
+
+class TestEngineWithLatency:
+    def test_latency_added_to_duration(self, cluster):
+        bw = HierarchicalBandwidth(
+            intra=100.0, cross=10.0, cross_latency=2.0
+        )
+        engine = SimulationEngine(cluster, bw)
+        g = JobGraph()
+        g.add_transfer("t", 0, 2, 100)  # 10 s transfer + 2 s latency
+        assert engine.run(g).makespan == pytest.approx(12.0)
+
+    def test_latency_holds_ports(self, cluster):
+        """Latency occupies the ports like transfer time (store-and-forward
+        pessimism, consistent with the whole-transfer timestep model)."""
+        bw = HierarchicalBandwidth(intra=100.0, cross=10.0, cross_latency=2.0)
+        engine = SimulationEngine(cluster, bw)
+        g = JobGraph()
+        g.add_transfer("a", 0, 2, 100)
+        g.add_transfer("b", 1, 2, 100)  # same destination port
+        assert engine.run(g).makespan == pytest.approx(24.0)
+
+    def test_zero_latency_unchanged(self, cluster):
+        engine = SimulationEngine(
+            cluster, HierarchicalBandwidth(intra=100.0, cross=10.0)
+        )
+        g = JobGraph()
+        g.add_transfer("t", 0, 2, 100)
+        assert engine.run(g).makespan == pytest.approx(10.0)
+
+
+class TestEC2Latency:
+    def test_table1_latency_off_by_default(self, cluster):
+        bw = table1_bandwidth()
+        env_cluster = Cluster.homogeneous(5, 2)
+        assert bw.latency(env_cluster, 0, 2) == 0.0
+
+    def test_geo_latency_attached(self):
+        bw = table1_bandwidth(with_latency=True)
+        env_cluster = Cluster.homogeneous(5, 2)
+        # ohio (rack 0) -> tokyo (rack 1)
+        assert bw.latency(env_cluster, 0, 2) == pytest.approx(
+            GEO_LATENCY_S[("ohio", "tokyo")]
+        )
+
+    def test_geo_latency_complete(self):
+        assert len(GEO_LATENCY_S) == 15
+        assert all(v >= 0 for v in GEO_LATENCY_S.values())

@@ -1,0 +1,375 @@
+"""Tests for the StorageSystem facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.rs import get_code
+from repro.repair import CARRepair, TraditionalRepair
+from repro.system import DegradedObjectError, StorageError, StorageSystem
+
+
+def make_system(n=6, k=2, block_size=256, scheme=None):
+    cluster = Cluster.homogeneous(5, 6)
+    return StorageSystem(
+        cluster, get_code(n, k), block_size=block_size, scheme=scheme
+    )
+
+
+def payload(size, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, size, dtype=np.uint8)
+
+
+class TestPutGet:
+    def test_roundtrip_single_stripe(self):
+        system = make_system()
+        data = payload(100)
+        system.put("a", data)
+        np.testing.assert_array_equal(system.get("a"), data)
+
+    def test_roundtrip_multi_stripe(self):
+        system = make_system()
+        data = payload(5000)  # > 6 * 256 bytes -> several stripes
+        info = system.put("big", data)
+        assert len(info.stripe_ids) > 1
+        np.testing.assert_array_equal(system.get("big"), data)
+
+    def test_bytes_input(self):
+        system = make_system()
+        system.put("b", b"hello world")
+        assert bytes(system.get("b")) == b"hello world"
+
+    def test_empty_object(self):
+        system = make_system()
+        system.put("empty", b"")
+        assert system.get("empty").size == 0
+
+    def test_multiple_objects(self):
+        system = make_system()
+        blobs = {f"o{i}": payload(300 + i, seed=i) for i in range(5)}
+        for name, data in blobs.items():
+            system.put(name, data)
+        for name, data in blobs.items():
+            np.testing.assert_array_equal(system.get(name), data)
+        assert len(system.objects()) == 5
+
+    def test_duplicate_name_rejected(self):
+        system = make_system()
+        system.put("a", b"x")
+        with pytest.raises(StorageError):
+            system.put("a", b"y")
+
+    def test_missing_object(self):
+        with pytest.raises(StorageError):
+            make_system().get("ghost")
+
+    def test_verify_clean_system(self):
+        system = make_system()
+        system.put("a", payload(2000))
+        assert system.verify()
+
+
+class TestFailures:
+    def test_fail_node_reports_lost_blocks(self):
+        system = make_system()
+        system.put("a", payload(5000))
+        lost = system.fail_node(0)
+        assert lost >= 0
+        assert (lost > 0) == bool(system.degraded_stripes())
+
+    def test_fail_node_idempotent(self):
+        system = make_system()
+        system.put("a", payload(5000))
+        first = system.fail_node(0)
+        assert system.fail_node(0) == 0
+        assert first >= 0
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            make_system().fail_node(999)
+
+    def test_plain_get_raises_when_degraded(self):
+        system = make_system()
+        data = payload(5000)
+        system.put("a", data)
+        # fail nodes until a data block of the object is gone
+        for node in system.cluster.node_ids():
+            system.fail_node(node)
+            if system.degraded_stripes():
+                break
+        with pytest.raises(DegradedObjectError):
+            system.get("a")
+
+    def test_degraded_get_returns_original(self):
+        system = make_system()
+        data = payload(5000)
+        system.put("a", data)
+        system.fail_node(0)
+        live = [n for n in system.cluster.node_ids() if n != 0]
+        np.testing.assert_array_equal(
+            system.get("a", client_node=live[-1]), data
+        )
+
+    def test_verify_false_when_degraded(self):
+        system = make_system()
+        system.put("a", payload(5000))
+        system.fail_node(0)
+        if system.degraded_stripes():
+            assert not system.verify()
+
+
+class TestRepair:
+    def test_repair_restores_everything(self):
+        system = make_system()
+        data = payload(8000)
+        system.put("a", data)
+        lost = system.fail_node(0)
+        report = system.repair()
+        assert report.blocks_repaired == lost
+        assert system.degraded_stripes() == []
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("a"), data)
+
+    def test_repair_reports_simulated_cost(self):
+        system = make_system()
+        system.put("a", payload(8000))
+        system.fail_node(0)
+        report = system.repair()
+        if report.blocks_repaired:
+            assert report.simulated_seconds > 0
+            assert report.simulated_cross_rack_bytes > 0
+
+    def test_repair_noop_when_clean(self):
+        system = make_system()
+        system.put("a", payload(1000))
+        report = system.repair()
+        assert report.blocks_repaired == 0
+        assert report.simulated_seconds == 0
+
+    def test_placement_updated_to_live_nodes(self):
+        system = make_system()
+        system.put("a", payload(8000))
+        system.fail_node(0)
+        system.repair()
+        for state in system._stripes:
+            for node in state.stored.placement.block_to_node.values():
+                assert node not in system._dead_nodes
+
+    def test_sequential_failures_up_to_tolerance(self):
+        """k=2: two separate failure+repair cycles keep everything intact."""
+        system = make_system()
+        data = payload(8000)
+        system.put("a", data)
+        system.fail_node(0)
+        system.repair()
+        system.fail_node(6)
+        system.repair()
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("a"), data)
+
+    def test_concurrent_failures_within_tolerance(self):
+        system = make_system()
+        data = payload(8000)
+        system.put("a", data)
+        # two nodes in different racks: at most 2 blocks per stripe lost
+        system.fail_node(0)
+        system.fail_node(6)
+        system.repair()
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("a"), data)
+
+    def test_revive_node_restores_capacity(self):
+        system = make_system()
+        system.put("a", payload(2000))
+        system.fail_node(0)
+        system.repair()
+        system.revive_node(0)
+        system.put("b", payload(500, seed=9))
+        assert system.verify()
+
+    @pytest.mark.parametrize(
+        "scheme", [TraditionalRepair(), CARRepair()], ids=lambda s: s.name
+    )
+    def test_alternative_schemes(self, scheme):
+        system = make_system(scheme=scheme)
+        data = payload(5000)
+        system.put("a", data)
+        system.fail_node(0)
+        # CAR handles one failure per stripe — a single node failure
+        # qualifies (one block per stripe).
+        system.repair()
+        np.testing.assert_array_equal(system.get("a"), data)
+
+
+class TestPropertyRoundtrips:
+    @given(
+        st.integers(1, 6000),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([(4, 2), (6, 2), (6, 3)]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_put_fail_repair_get(self, size, seed, nk):
+        n, k = nk
+        system = make_system(n=n, k=k)
+        data = payload(size, seed=seed)
+        system.put("obj", data)
+        victim = seed % system.cluster.num_nodes
+        system.fail_node(victim)
+        system.repair()
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("obj"), data)
+
+
+class TestScrubbing:
+    def test_clean_system_scrubs_empty(self):
+        system = make_system()
+        system.put("a", payload(2000))
+        assert system.scrub() == []
+
+    def test_corruption_detected_and_localised(self):
+        system = make_system()
+        system.put("a", payload(5000))
+        system.corrupt_block(0, 2, byte_index=17)
+        assert system.scrub() == [(0, 2)]
+
+    def test_corruption_invisible_to_fail_tracking(self):
+        system = make_system()
+        system.put("a", payload(5000))
+        system.corrupt_block(0, 1)
+        assert system.degraded_stripes() == []  # silent!
+        assert not system.verify()              # ...but data is wrong
+
+    def test_repair_corruption_restores_bytes(self):
+        system = make_system()
+        data = payload(5000)
+        system.put("a", data)
+        system.corrupt_block(0, 0, byte_index=3)
+        system.corrupt_block(1, 4, byte_index=9)
+        report = system.repair_corruption()
+        assert report.blocks_repaired == 2
+        assert system.scrub() == []
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("a"), data)
+
+    def test_corrupt_parity_repaired_too(self):
+        system = make_system()
+        data = payload(3000)
+        system.put("a", data)
+        parity_block = system.code.n  # P0
+        system.corrupt_block(0, parity_block)
+        assert system.scrub() == [(0, parity_block)]
+        system.repair_corruption()
+        assert system.verify()
+
+    def test_corrupt_unknown_block_rejected(self):
+        system = make_system()
+        system.put("a", payload(100))
+        with pytest.raises(IndexError):
+            system.corrupt_block(99, 0)
+        # corrupting a block on a dead node is an error (payload is gone)
+        system.fail_node(system._stripes[0].stored.placement.node_of(0))
+        with pytest.raises(StorageError):
+            system.corrupt_block(0, 0)
+
+    def test_corruption_plus_node_failure(self):
+        """Corruption and an erasure in the same stripe (within k=2)."""
+        system = make_system()
+        data = payload(5000)
+        system.put("a", data)
+        system.corrupt_block(0, 1)
+        victim = system._stripes[0].stored.placement.node_of(3)
+        system.fail_node(victim)
+        system.repair_corruption()
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("a"), data)
+
+
+class TestOverwrite:
+    def test_overwrite_changes_content(self):
+        system = make_system()
+        old = payload(3000, seed=1)
+        new = payload(3000, seed=2)
+        system.put("a", old)
+        updated = system.overwrite("a", new)
+        assert updated > 0
+        np.testing.assert_array_equal(system.get("a"), new)
+
+    def test_overwrite_keeps_codewords_valid(self):
+        system = make_system()
+        system.put("a", payload(5000, seed=3))
+        system.overwrite("a", payload(5000, seed=4))
+        assert system.verify()
+        assert system.scrub() == []
+
+    def test_unchanged_blocks_skipped(self):
+        system = make_system()
+        data = payload(3000, seed=5)
+        system.put("a", data)
+        modified = data.copy()
+        modified[0] ^= 0xFF  # touch only the first block
+        updated = system.overwrite("a", modified)
+        assert updated == 1
+        np.testing.assert_array_equal(system.get("a"), modified)
+
+    def test_identical_overwrite_is_noop(self):
+        system = make_system()
+        data = payload(2000, seed=6)
+        system.put("a", data)
+        assert system.overwrite("a", data) == 0
+
+    def test_size_change_rejected(self):
+        system = make_system()
+        system.put("a", payload(1000))
+        with pytest.raises(StorageError):
+            system.overwrite("a", payload(1001))
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(StorageError):
+            make_system().overwrite("ghost", b"x")
+
+    def test_degraded_stripe_rejected(self):
+        system = make_system()
+        data = payload(5000, seed=7)
+        system.put("a", data)
+        # kill nodes until some stripe of the object is degraded
+        for node in system.cluster.node_ids():
+            system.fail_node(node)
+            if system.degraded_stripes():
+                break
+        with pytest.raises(StorageError):
+            system.overwrite("a", payload(5000, seed=8))
+
+    def test_overwrite_then_failure_then_repair(self):
+        """Updated parities must support later repairs."""
+        system = make_system()
+        system.put("a", payload(4000, seed=9))
+        new = payload(4000, seed=10)
+        system.overwrite("a", new)
+        system.fail_node(1)
+        system.repair()
+        assert system.verify()
+        np.testing.assert_array_equal(system.get("a"), new)
+
+
+class TestParallelRepairReport:
+    def test_parallel_at_most_serial(self):
+        system = make_system()
+        system.put("a", payload(8000))
+        system.fail_node(0)
+        report = system.repair()
+        if report.blocks_repaired > 1:
+            assert report.simulated_seconds <= report.simulated_serial_seconds + 1e-9
+            assert report.simulated_seconds > 0
+
+    def test_single_stripe_parallel_equals_serial(self):
+        system = make_system()
+        system.put("a", payload(100))  # one stripe
+        victim = system._stripes[0].stored.placement.node_of(0)
+        system.fail_node(victim)
+        report = system.repair()
+        assert report.blocks_repaired == 1
+        assert report.simulated_seconds == pytest.approx(
+            report.simulated_serial_seconds
+        )

@@ -1,0 +1,63 @@
+"""Tests for the Poisson failure-trace generator."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.workloads import DAY, YEAR, FailureEvent, poisson_node_failures
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(4, 5)
+
+
+class TestPoissonTrace:
+    def test_deterministic(self, cluster):
+        a = list(poisson_node_failures(cluster, YEAR, YEAR, seed=3))
+        b = list(poisson_node_failures(cluster, YEAR, YEAR, seed=3))
+        assert a == b
+
+    def test_seed_changes_trace(self, cluster):
+        a = list(poisson_node_failures(cluster, YEAR, YEAR, seed=1))
+        b = list(poisson_node_failures(cluster, YEAR, YEAR, seed=2))
+        assert a != b
+
+    def test_time_ordered_within_horizon(self, cluster):
+        events = list(poisson_node_failures(cluster, YEAR, YEAR, seed=4))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t <= YEAR for t in times)
+        assert all(e.node_id in cluster.node_ids() for e in events)
+
+    def test_rate_roughly_matches(self, cluster):
+        """20 nodes at MTBF 1y over 10y ≈ 200 failures (±30%)."""
+        events = list(poisson_node_failures(cluster, YEAR, 10 * YEAR, seed=5))
+        assert 140 < len(events) < 260
+
+    def test_no_repeat_mode(self, cluster):
+        events = list(
+            poisson_node_failures(
+                cluster, 30 * DAY, 100 * YEAR, seed=6, allow_repeat=False
+            )
+        )
+        nodes = [e.node_id for e in events]
+        assert len(nodes) == len(set(nodes))
+        assert len(nodes) <= cluster.num_nodes
+
+    def test_repeat_mode_can_refail(self, cluster):
+        events = list(
+            poisson_node_failures(cluster, 10 * DAY, 5 * YEAR, seed=7)
+        )
+        nodes = [e.node_id for e in events]
+        assert len(nodes) > len(set(nodes))
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            list(poisson_node_failures(cluster, 0, YEAR))
+        with pytest.raises(ValueError):
+            list(poisson_node_failures(cluster, YEAR, -1))
+
+    def test_event_is_frozen(self):
+        event = FailureEvent(time=1.0, node_id=2)
+        with pytest.raises(AttributeError):
+            event.time = 5.0
