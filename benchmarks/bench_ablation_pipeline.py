@@ -7,8 +7,8 @@ the recovery node (no-pipeline, CAR-style cross stage).
 """
 
 from conftest import emit
-from repro.experiments import build_simics_environment, format_table, sweep_scheme
-from repro.metrics import percent_reduction
+from repro.experiments import build_simics_environment, format_table, run_scheme, sweep_scheme
+from repro.metrics import UtilizationSummary, percent_reduction
 from repro.repair import RPRScheme
 from repro.rs import PAPER_SINGLE_FAILURE_CODES
 from repro.workloads import single_failure_scenarios
@@ -62,3 +62,56 @@ def test_ablation_pipeline_vs_direct(bench_once):
     by_code = {r["code"]: r for r in rows}
     assert by_code["(6,2)"]["gain_pct"] > 10.0
     assert by_code["(12,4)"]["gain_pct"] > 10.0
+
+
+def idle_rack_rows():
+    """The Fig. 5 idle-rack argument, measured (one scenario per code).
+
+    Same traffic, same partial decoding — but under the direct schedule
+    each remote rack uploads once and then sits idle while the others
+    drain serially into the recovery node; the pipeline overlaps those
+    uploads, so racks spend less of the (shorter) run idle.
+    """
+    rows = []
+    piped, direct = RPRScheme(pipeline=True), RPRScheme(pipeline=False)
+    for n, k in PAPER_SINGLE_FAILURE_CODES:
+        env = build_simics_environment(n, k)
+        pipe_util = UtilizationSummary.from_trace(run_scheme(env, piped, [1]).trace())
+        direct_util = UtilizationSummary.from_trace(run_scheme(env, direct, [1]).trace())
+        rows.append(
+            {
+                "code": env.label,
+                "pipe_idle_pct": 100 * pipe_util.mean_rack_upload_idle,
+                "direct_idle_pct": 100 * direct_util.mean_rack_upload_idle,
+                "pipe_mean_util_pct": 100 * pipe_util.mean_port_utilization,
+                "direct_mean_util_pct": 100 * direct_util.mean_port_utilization,
+            }
+        )
+    return rows
+
+
+def test_ablation_pipeline_idle_racks(bench_once):
+    rows = bench_once(idle_rack_rows)
+    emit(
+        "Ablation annotation — mean rack upload idle fraction "
+        "(Fig. 5: schedule 1 leaves racks idle)",
+        format_table(
+            ["code", "pipelined_idle_%", "direct_idle_%", "pipelined_util_%", "direct_util_%"],
+            [
+                [
+                    r["code"],
+                    r["pipe_idle_pct"],
+                    r["direct_idle_pct"],
+                    r["pipe_mean_util_pct"],
+                    r["direct_mean_util_pct"],
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    by_code = {r["code"]: r for r in rows}
+    for r in rows:
+        assert r["pipe_idle_pct"] <= r["direct_idle_pct"] + 1e-9
+    # With >= 3 remote racks the pipeline strictly reduces idle time.
+    assert by_code["(6,2)"]["pipe_idle_pct"] < by_code["(6,2)"]["direct_idle_pct"]
+    assert by_code["(12,4)"]["pipe_idle_pct"] < by_code["(12,4)"]["direct_idle_pct"]

@@ -9,6 +9,7 @@ Usage (installed as ``rpr`` or via ``python -m repro.cli``):
     rpr repair --code 12,4 --fail 1 --scheme rpr [--testbed ec2]
     rpr compare --code 12,4 --fail 1                # all schemes, one table
     rpr timeline --code 6,2 --fail 1 --scheme rpr   # ASCII schedule chart
+    rpr trace --code 6,4 --fail 1 --scheme rpr      # utilization + bottleneck report
     rpr rebuild --code 6,2 --stripes 30 --node 0    # full-node rebuild
     rpr durability --code 12,4                      # MTTDL per scheme
     rpr extension lrc                               # extension experiments
@@ -236,6 +237,35 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .sim import render_gantt, render_report
+
+    n, k = _parse_code(args.code)
+    failed = sorted(int(x) for x in args.fail.split(","))
+    builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+    env = builder(n, k, placement=args.placement)
+    scheme = _SCHEMES[args.scheme]()
+    outcome = run_scheme(env, scheme, failed)
+    trace = outcome.trace()
+    if args.json:
+        import json
+
+        print(json.dumps(trace.to_dict(), indent=2))
+        return 0
+    if args.jsonl:
+        print(trace.to_json_lines())
+        return 0
+    print(
+        f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
+        f"{args.testbed} testbed, {args.placement} placement"
+    )
+    print(render_report(trace))
+    if args.gantt:
+        print()
+        print(render_gantt(trace, width=args.width))
+    return 0
+
+
 def _cmd_rebuild(args) -> int:
     from .cluster import Cluster
     from .multistripe import StripeStore, repair_node_failure
@@ -363,6 +393,21 @@ def build_parser() -> argparse.ArgumentParser:
     tl.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
     tl.add_argument("--width", type=int, default=64)
     tl.set_defaults(func=_cmd_timeline)
+
+    tc = sub.add_parser(
+        "trace",
+        help="per-rack utilization + critical-path bottleneck report for one repair",
+    )
+    tc.add_argument("--code", default="6,4")
+    tc.add_argument("--fail", default="1")
+    tc.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    tc.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    tc.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    tc.add_argument("--gantt", action="store_true", help="append the utilization Gantt chart")
+    tc.add_argument("--width", type=int, default=64, help="Gantt chart width")
+    tc.add_argument("--json", action="store_true", help="emit the trace as one JSON object")
+    tc.add_argument("--jsonl", action="store_true", help="emit the trace as JSON lines")
+    tc.set_defaults(func=_cmd_trace)
 
     rb = sub.add_parser("rebuild", help="rebuild everything a failed node held")
     rb.add_argument("--code", default="6,2")

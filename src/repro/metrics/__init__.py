@@ -1,13 +1,17 @@
-"""Metrics over simulation traces: traffic, repair time, load balance."""
+"""Metrics over simulation traces: traffic, repair time, load balance,
+utilization and critical-path attribution (the observability rollups)."""
 
 from .loadbalance import coefficient_of_variation, imbalance_summary, max_mean_ratio
 from .repairtime import TimeBreakdown, percent_reduction
 from .traffic import TrafficLedger
+from .utilization import UtilizationSummary, critical_path_breakdown
 
 __all__ = [
     "TimeBreakdown",
     "TrafficLedger",
+    "UtilizationSummary",
     "coefficient_of_variation",
+    "critical_path_breakdown",
     "imbalance_summary",
     "max_mean_ratio",
     "percent_reduction",

@@ -1,0 +1,93 @@
+"""Utilization and critical-path metrics over simulation traces.
+
+Rollups of :class:`repro.sim.RunTrace` into the scalar quantities the
+benchmarks annotate figures with: how busy the cluster's ports were, who
+the bottleneck resource was, how idle each rack sat (the paper's Fig. 5
+schedule-1 complaint), and where the makespan went along the critical
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import Cluster
+from ..sim import RunTrace, SimResult
+
+__all__ = ["UtilizationSummary", "critical_path_breakdown"]
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Scalar utilization rollup of one simulated run.
+
+    Attributes
+    ----------
+    makespan:
+        The run's total time.
+    mean_port_utilization / peak_port_utilization:
+        Busy fraction across all *active* ports (up + down; a port that
+        never carried a transfer does not appear in the trace and is not
+        averaged in).
+    peak_resource:
+        Label of the single busiest resource of any kind — the bottleneck
+        candidate.
+    rack_upload_idle:
+        Per participating rack, the fraction of the run its upload ports
+        were all silent (union-of-intervals accounting).
+    """
+
+    makespan: float
+    mean_port_utilization: float
+    peak_port_utilization: float
+    peak_resource: str
+    rack_upload_idle: dict[int, float]
+
+    @property
+    def mean_rack_upload_idle(self) -> float:
+        """Mean idle fraction across participating racks (Fig. 5's number)."""
+        if not self.rack_upload_idle:
+            return 0.0
+        values = self.rack_upload_idle.values()
+        return sum(values) / len(values)
+
+    @classmethod
+    def from_sim(cls, result: SimResult, cluster: Cluster) -> "UtilizationSummary":
+        return cls.from_trace(RunTrace.from_result(result, cluster))
+
+    @classmethod
+    def from_trace(cls, trace: RunTrace) -> "UtilizationSummary":
+        ports = [r for r in trace.resources if r.kind in ("up", "down")]
+        if not ports or trace.makespan <= 0:
+            return cls(
+                makespan=trace.makespan,
+                mean_port_utilization=0.0,
+                peak_port_utilization=0.0,
+                peak_resource="",
+                rack_upload_idle={},
+            )
+        utils = [p.utilization(trace.makespan) for p in ports]
+        return cls(
+            makespan=trace.makespan,
+            mean_port_utilization=sum(utils) / len(utils),
+            peak_port_utilization=max(utils),
+            peak_resource=trace.busiest().label,
+            rack_upload_idle=trace.rack_idle_fraction("up"),
+        )
+
+
+def critical_path_breakdown(trace: RunTrace) -> dict[str, float]:
+    """Percentage attribution of the makespan along the critical path.
+
+    Returns the :meth:`RunTrace.path_attribution` seconds plus
+    ``*_pct`` shares of the makespan for each category — the numbers a
+    figure caption can quote ("61 % of RPR's repair time is cross-rack
+    transfer on the critical path").
+    """
+    attribution = trace.path_attribution()
+    span = attribution["makespan_s"]
+    out = dict(attribution)
+    for key in ("cross_transfer_s", "intra_transfer_s", "compute_s", "wait_s"):
+        share = 100.0 * attribution[key] / span if span > 0 else 0.0
+        out[key.replace("_s", "_pct")] = share
+    return out

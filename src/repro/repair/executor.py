@@ -40,6 +40,11 @@ class ExecutionResult:
         tests enforce it).
     combine_count:
         Number of (partial) decodes performed.
+    uploaded_by_node / downloaded_by_node / cross_uploaded_by_rack:
+        Per-participant byte ledgers, mirroring
+        :class:`repro.metrics.TrafficLedger` so the byte-level and
+        simulated accountings can be pinned to each other per node, not
+        just in aggregate.
     """
 
     recovered: dict[int, np.ndarray]
@@ -47,6 +52,22 @@ class ExecutionResult:
     cross_rack_bytes: int = 0
     combine_count: int = 0
     sends_executed: int = 0
+    uploaded_by_node: dict[int, int] = field(default_factory=dict)
+    downloaded_by_node: dict[int, int] = field(default_factory=dict)
+    cross_uploaded_by_rack: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable ledger summary (payload bytes omitted)."""
+        return {
+            "recovered_blocks": sorted(self.recovered),
+            "intra_rack_bytes": self.intra_rack_bytes,
+            "cross_rack_bytes": self.cross_rack_bytes,
+            "combine_count": self.combine_count,
+            "sends_executed": self.sends_executed,
+            "uploaded_by_node": dict(self.uploaded_by_node),
+            "downloaded_by_node": dict(self.downloaded_by_node),
+            "cross_uploaded_by_rack": dict(self.cross_uploaded_by_rack),
+        }
 
 
 def initial_store_for(
@@ -121,10 +142,20 @@ def execute_plan(
             payload = src_store[op.key]
             store.setdefault(op.dst, {})[op.key] = payload
             nbytes = int(payload.nbytes)
+            result.uploaded_by_node[op.src] = (
+                result.uploaded_by_node.get(op.src, 0) + nbytes
+            )
+            result.downloaded_by_node[op.dst] = (
+                result.downloaded_by_node.get(op.dst, 0) + nbytes
+            )
             if cluster.same_rack(op.src, op.dst):
                 result.intra_rack_bytes += nbytes
             else:
                 result.cross_rack_bytes += nbytes
+                rack = cluster.rack_of(op.src)
+                result.cross_uploaded_by_rack[rack] = (
+                    result.cross_uploaded_by_rack.get(rack, 0) + nbytes
+                )
             result.sends_executed += 1
         else:
             assert isinstance(op, CombineOp)

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cluster import BandwidthModel
-from ..sim import SimResult, SimulationEngine
+from ..cluster import BandwidthModel, Cluster
+from ..sim import RunTrace, SimResult, SimulationEngine
 from .base import RepairContext, RepairScheme
 from .plan import RepairPlan
 
@@ -35,6 +35,9 @@ class RepairOutcome:
         Full simulation result for deeper inspection.
     plan:
         The executed plan.
+    cluster:
+        Topology the repair ran on (kept so :meth:`trace` can attribute
+        resources to racks without re-threading the context).
     """
 
     scheme: str
@@ -44,6 +47,13 @@ class RepairOutcome:
     cross_rack_blocks: float
     sim: SimResult
     plan: RepairPlan
+    cluster: Cluster | None = None
+
+    def trace(self) -> RunTrace:
+        """Observability view of this repair (see :mod:`repro.sim.tracing`)."""
+        if self.cluster is None:
+            raise ValueError("outcome has no cluster; build RunTrace.from_result directly")
+        return RunTrace.from_result(self.sim, self.cluster)
 
 
 def simulate_repair(
@@ -66,4 +76,5 @@ def simulate_repair(
         cross_rack_blocks=sim.cross_rack_bytes() / ctx.block_size,
         sim=sim,
         plan=plan,
+        cluster=ctx.cluster,
     )

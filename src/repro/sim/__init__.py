@@ -3,24 +3,45 @@
 Substitutes the paper's Simics + wondershaper testbed: per-node full-duplex
 ports, per-class link bandwidths, one-at-a-time port occupancy, and
 dependency-driven job starts.  See DESIGN.md ("Simulator semantics").
+
+The observability layer lives in :mod:`repro.sim.tracing`: per-resource
+utilization timelines, critical-path extraction, switch profiles, JSON
+export and ASCII reports over a finished :class:`SimResult` (see
+``docs/OBSERVABILITY.md``).
 """
 
 from .engine import JobTiming, SimResult, SimulationEngine
 from .events import EventKind, TraceEvent
 from .jobs import ComputeJob, JobGraph, JobGraphError, TransferJob
 from .timeline import TimelineRow, render_timeline, timeline_rows
+from .tracing import (
+    Interval,
+    PathSegment,
+    ResourceUsage,
+    RunTrace,
+    critical_path,
+    render_gantt,
+    render_report,
+)
 
 __all__ = [
     "ComputeJob",
     "EventKind",
+    "Interval",
     "JobGraph",
     "JobGraphError",
     "JobTiming",
+    "PathSegment",
+    "ResourceUsage",
+    "RunTrace",
     "SimResult",
     "SimulationEngine",
     "TimelineRow",
     "TraceEvent",
     "TransferJob",
+    "critical_path",
+    "render_gantt",
+    "render_report",
     "render_timeline",
     "timeline_rows",
 ]

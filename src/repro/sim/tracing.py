@@ -1,0 +1,686 @@
+"""Resource-utilization tracing and bottleneck analysis over sim runs.
+
+The engine's :class:`~repro.sim.engine.SimResult` is a flat record —
+makespan, per-job timings, event list.  This module post-processes one
+run into the quantities the paper argues with:
+
+* **Per-resource busy/idle timelines** — one :class:`ResourceUsage` per
+  upload port, download port and CPU, with its occupied intervals, busy
+  seconds and bytes carried.  These are the rows behind Fig. 5's
+  schedule comparison: serialised bars stack on one resource, pipelined
+  bars spread across many.
+* **Critical-path extraction** — the chain of jobs the makespan was
+  actually waiting on, walked backwards from the last job to finish.
+  Each hop records *why* the job started when it did: a declared
+  dependency finished, a port/CPU it needed was released, or some other
+  completion (the aggregation-switch token under ``cross_capacity``).
+  The path is contiguous, starts at t=0 and ends at the makespan.
+* **Rack activity / idle accounting** — union-of-intervals busy time per
+  rack per resource kind, quantifying the paper's "schedule 1 leaves
+  racks idle" argument (§3.2, Fig. 5) with machine-checkable numbers.
+* **Switch profiles** — time-bucketed bytes through the aggregation
+  switch and each TOR switch.
+* **Structured export** — ``to_dict``/``from_dict`` round-trip plus a
+  JSON-lines emitter, and ASCII renderers (:func:`render_gantt`,
+  :func:`render_report`) for terminals, docs and tests.
+
+Everything here is derived — tracing never changes what the engine
+computes, so traced and untraced runs are byte-identical.  See
+``docs/OBSERVABILITY.md`` for the data model and a worked example.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from ..cluster import Cluster
+from .engine import SimResult
+from .events import EventKind
+
+__all__ = [
+    "Interval",
+    "PathSegment",
+    "ResourceUsage",
+    "RunTrace",
+    "critical_path",
+    "render_gantt",
+    "render_report",
+]
+
+#: Display/sort order of resource kinds on a node.
+RESOURCE_KINDS = ("up", "down", "cpu")
+
+
+def _close(a: float, b: float) -> bool:
+    """Engine-compatible instant equality (the engine batches at 1e-12)."""
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One occupancy interval of a resource: ``[start, end)`` by ``job_id``.
+
+    ``nbytes`` is the transfer's size for port intervals, 0.0 for CPU
+    intervals — kept per-interval so byte profiles stay exact even when
+    one port carries transfers at different link rates.
+    """
+
+    start: float
+    end: float
+    job_id: str
+    nbytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "job_id": self.job_id,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Interval":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Busy timeline of one simulated resource (a port or a CPU).
+
+    Attributes
+    ----------
+    kind:
+        ``"up"`` / ``"down"`` (the node's two ports) or ``"cpu"``.
+    node / rack:
+        Owning node and its rack.
+    intervals:
+        Occupied intervals, sorted by start.  Port exclusivity means they
+        never overlap; ``busy`` is therefore also their union measure.
+    """
+
+    kind: str
+    node: int
+    rack: int
+    intervals: tuple[Interval, ...]
+
+    @property
+    def label(self) -> str:
+        """Row label, matching :func:`repro.sim.timeline.timeline_rows`."""
+        return f"n{self.node}:{self.kind}"
+
+    @property
+    def nbytes(self) -> float:
+        """Bytes carried through this resource (0.0 for CPUs)."""
+        return sum(iv.nbytes for iv in self.intervals)
+
+    @property
+    def busy(self) -> float:
+        """Total occupied seconds."""
+        return sum(iv.duration for iv in self.intervals)
+
+    def utilization(self, makespan: float) -> float:
+        """Busy fraction of the run, in [0, 1]."""
+        if makespan <= 0:
+            return 0.0
+        return self.busy / makespan
+
+    def idle(self, makespan: float) -> float:
+        """Seconds this resource sat unused while the repair ran."""
+        return max(0.0, makespan - self.busy)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "rack": self.rack,
+            "intervals": [iv.to_dict() for iv in self.intervals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceUsage":
+        return cls(
+            kind=data["kind"],
+            node=data["node"],
+            rack=data["rack"],
+            intervals=tuple(Interval.from_dict(d) for d in data["intervals"]),
+        )
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One job on the critical path.
+
+    ``entered_via`` records what the job was waiting on immediately
+    before it started: ``"start"`` (path head, t=0), ``"dependency"`` (a
+    declared dependency finished), ``"resource"`` (a port/CPU it needed
+    was released), or ``"completion"`` (another job's end unblocked it —
+    e.g. the cross-rack token under ``cross_capacity``).
+    """
+
+    job_id: str
+    kind: str  # "transfer" | "compute"
+    start: float
+    end: float
+    node: int
+    peer: int = -1
+    cross_rack: bool = False
+    nbytes: float = 0.0
+    entered_via: str = "start"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "node": self.node,
+            "peer": self.peer,
+            "cross_rack": self.cross_rack,
+            "nbytes": self.nbytes,
+            "entered_via": self.entered_via,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PathSegment":
+        return cls(**data)
+
+
+def _job_meta(result: SimResult) -> dict[str, dict]:
+    """Per-job descriptors (kind, endpoints, bytes) from the event trace."""
+    meta: dict[str, dict] = {}
+    for event in result.events:
+        if event.kind == EventKind.TRANSFER_END:
+            meta[event.job_id] = {
+                "kind": "transfer",
+                "node": event.node,
+                "peer": event.peer,
+                "cross_rack": event.cross_rack,
+                "nbytes": event.nbytes,
+            }
+        elif event.kind == EventKind.COMPUTE_END:
+            meta[event.job_id] = {
+                "kind": "compute",
+                "node": event.node,
+                "peer": -1,
+                "cross_rack": False,
+                "nbytes": 0.0,
+            }
+    return meta
+
+
+def _resources_of(meta: dict) -> frozenset[tuple[str, int]]:
+    if meta["kind"] == "transfer":
+        return frozenset({("up", meta["node"]), ("down", meta["peer"])})
+    return frozenset({("cpu", meta["node"])})
+
+
+def critical_path(result: SimResult) -> list[PathSegment]:
+    """Extract the chain of jobs the makespan was waiting on.
+
+    Walks backwards from the last job to finish.  At each hop the
+    predecessor is a job that finished exactly when the current job
+    started — preferring declared dependencies, then jobs that released
+    a port/CPU the current job needs, then any completion (the engine
+    only starts jobs at completion instants, so one always exists for
+    ``start > 0``).  The result is chronological and contiguous: the
+    head starts at 0, each segment starts at its predecessor's end, and
+    the tail ends at ``result.makespan``.
+    """
+    timings = result.timings
+    if not timings:
+        return []
+    meta = _job_meta(result)
+
+    tail_candidates = sorted(
+        (jid for jid, t in timings.items() if _close(t.end, result.makespan)),
+    )
+    cur = tail_candidates[0]
+    chain = [cur]
+    via: dict[str, str] = {}
+    while timings[cur].start > 1e-12:
+        start = timings[cur].start
+        enders = [
+            jid
+            for jid, t in timings.items()
+            if jid != cur and _close(t.end, start)
+        ]
+        if not enders:  # pragma: no cover - engine starts only at completions
+            via[cur] = "start"
+            break
+        deps = set()
+        job = result.jobs.get(cur)
+        if job is not None:
+            deps = set(job.deps)
+        needed = _resources_of(meta[cur])
+
+        def rank(jid: str) -> int:
+            if jid in deps:
+                return 0
+            if needed & _resources_of(meta[jid]):
+                return 1
+            return 2
+
+        enders.sort(key=lambda j: (rank(j), -timings[j].duration, j))
+        prev = enders[0]
+        via[cur] = ("dependency", "resource", "completion")[rank(prev)]
+        chain.append(prev)
+        cur = prev
+
+    segments = []
+    for jid in reversed(chain):
+        m = meta[jid]
+        t = timings[jid]
+        segments.append(
+            PathSegment(
+                job_id=jid,
+                kind=m["kind"],
+                start=t.start,
+                end=t.end,
+                node=m["node"],
+                peer=m["peer"],
+                cross_rack=m["cross_rack"],
+                nbytes=m["nbytes"],
+                entered_via=via.get(jid, "start"),
+            )
+        )
+    return segments
+
+
+def _union_measure(intervals) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    spans = sorted((iv.start, iv.end) for iv in intervals)
+    covered = 0.0
+    cur_start, cur_end = None, None
+    for start, end in spans:
+        if cur_end is None or start > cur_end:
+            if cur_end is not None:
+                covered += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    if cur_end is not None:
+        covered += cur_end - cur_start
+    return covered
+
+
+@dataclass
+class RunTrace:
+    """The observability view of one simulation run.
+
+    Build with :meth:`from_result`; everything is derived from the
+    engine's timings/events plus the cluster topology.  Export with
+    :meth:`to_dict` / :meth:`to_json_lines`; render with
+    :func:`render_gantt` / :func:`render_report`.
+    """
+
+    makespan: float
+    resources: list[ResourceUsage] = field(default_factory=list)
+    path: list[PathSegment] = field(default_factory=list)
+
+    @classmethod
+    def from_result(cls, result: SimResult, cluster: Cluster) -> "RunTrace":
+        """Post-process ``result`` into utilization timelines + critical path."""
+        acc: dict[tuple[str, int], list[Interval]] = {}
+        for event in result.events:
+            if event.kind == EventKind.TRANSFER_END:
+                timing = result.timings[event.job_id]
+                for key in (("up", event.node), ("down", event.peer)):
+                    acc.setdefault(key, []).append(
+                        Interval(timing.start, timing.end, event.job_id, event.nbytes)
+                    )
+            elif event.kind == EventKind.COMPUTE_END:
+                timing = result.timings[event.job_id]
+                key = ("cpu", event.node)
+                acc.setdefault(key, []).append(
+                    Interval(timing.start, timing.end, event.job_id)
+                )
+
+        def sort_key(key):
+            kind, node = key
+            return (node, RESOURCE_KINDS.index(kind))
+
+        resources = [
+            ResourceUsage(
+                kind=kind,
+                node=node,
+                rack=cluster.rack_of(node),
+                intervals=tuple(sorted(acc[(kind, node)], key=lambda iv: iv.start)),
+            )
+            for kind, node in sorted(acc, key=sort_key)
+        ]
+        return cls(
+            makespan=result.makespan,
+            resources=resources,
+            path=critical_path(result),
+        )
+
+    # -- lookups ---------------------------------------------------------
+
+    def resource(self, label: str) -> ResourceUsage:
+        """Fetch one resource by its ``"n<id>:<kind>"`` label."""
+        for res in self.resources:
+            if res.label == label:
+                return res
+        raise KeyError(f"no resource {label!r} in trace")
+
+    def busiest(self, kind: str | None = None) -> ResourceUsage:
+        """The resource with the most busy seconds (optionally one kind)."""
+        pool = [r for r in self.resources if kind is None or r.kind == kind]
+        if not pool:
+            raise ValueError("trace has no resources" + (f" of kind {kind!r}" if kind else ""))
+        return max(pool, key=lambda r: (r.busy, r.label))
+
+    def utilization_rows(self) -> list[dict]:
+        """One summary dict per resource (label, busy, utilization, bytes)."""
+        return [
+            {
+                "resource": res.label,
+                "kind": res.kind,
+                "node": res.node,
+                "rack": res.rack,
+                "busy_s": res.busy,
+                "utilization": res.utilization(self.makespan),
+                "nbytes": res.nbytes,
+            }
+            for res in self.resources
+        ]
+
+    # -- rack accounting -------------------------------------------------
+
+    def rack_activity(self, kind: str = "up") -> dict[int, float]:
+        """Union busy seconds per rack for one resource kind.
+
+        Unlike summed busy time, overlapping activity on two nodes of the
+        same rack counts once — this measures *when the rack was doing
+        anything*, which is the Fig. 5 idle-rack quantity.
+        """
+        by_rack: dict[int, list[Interval]] = {}
+        for res in self.resources:
+            if res.kind == kind:
+                by_rack.setdefault(res.rack, []).extend(res.intervals)
+        return {rack: _union_measure(ivs) for rack, ivs in sorted(by_rack.items())}
+
+    def rack_idle_fraction(self, kind: str = "up") -> dict[int, float]:
+        """Per participating rack: fraction of the run it spent idle."""
+        if self.makespan <= 0:
+            return {}
+        return {
+            rack: max(0.0, 1.0 - active / self.makespan)
+            for rack, active in self.rack_activity(kind).items()
+        }
+
+    def rack_rows(self) -> list[dict]:
+        """Per-rack busy seconds and idle fractions for the report table."""
+        racks = sorted({res.rack for res in self.resources})
+        busy: dict[tuple[int, str], float] = {}
+        bytes_up: dict[int, float] = {}
+        for res in self.resources:
+            busy[(res.rack, res.kind)] = busy.get((res.rack, res.kind), 0.0) + res.busy
+            if res.kind == "up":
+                bytes_up[res.rack] = bytes_up.get(res.rack, 0.0) + res.nbytes
+        idle = self.rack_idle_fraction("up")
+        return [
+            {
+                "rack": rack,
+                "up_busy_s": busy.get((rack, "up"), 0.0),
+                "down_busy_s": busy.get((rack, "down"), 0.0),
+                "cpu_busy_s": busy.get((rack, "cpu"), 0.0),
+                "uploaded_bytes": bytes_up.get(rack, 0.0),
+                "up_idle_fraction": idle.get(rack, 1.0),
+            }
+            for rack in racks
+        ]
+
+    # -- critical path ---------------------------------------------------
+
+    def path_attribution(self) -> dict[str, float]:
+        """Where the makespan went, summed along the critical path.
+
+        Keys: ``cross_transfer_s``, ``intra_transfer_s``, ``compute_s``,
+        ``wait_s`` (any residue not covered by path segments — 0 for a
+        contiguous path), and ``makespan_s``.
+        """
+        cross = intra = compute = 0.0
+        for seg in self.path:
+            if seg.kind == "compute":
+                compute += seg.duration
+            elif seg.cross_rack:
+                cross += seg.duration
+            else:
+                intra += seg.duration
+        covered = cross + intra + compute
+        return {
+            "cross_transfer_s": cross,
+            "intra_transfer_s": intra,
+            "compute_s": compute,
+            "wait_s": max(0.0, self.makespan - covered),
+            "makespan_s": self.makespan,
+        }
+
+    # -- switch profiles -------------------------------------------------
+
+    def switch_profile(self, buckets: int = 32) -> dict:
+        """Time-bucketed byte profiles for the aggregation and TOR switches.
+
+        Each transfer contributes its bytes uniformly over its duration
+        (the engine's constant-rate model).  Cross-rack transfers load
+        the aggregation switch and *both* endpoint TORs; intra-rack
+        transfers load only their rack's TOR.
+        """
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        width = self.makespan / buckets if self.makespan > 0 else 0.0
+        agg = [0.0] * buckets
+        tor: dict[int, list[float]] = {}
+
+        def deposit(series: list[float], start: float, end: float, nbytes: float):
+            if end <= start or width == 0.0:
+                return
+            rate = nbytes / (end - start)
+            first = min(buckets - 1, int(start / width))
+            last = min(buckets - 1, int(end / width))
+            for b in range(first, last + 1):
+                lo = max(start, b * width)
+                hi = min(end, (b + 1) * width)
+                if hi > lo:
+                    series[b] += rate * (hi - lo)
+
+        down_rack = {
+            iv.job_id: r.rack
+            for r in self.resources
+            if r.kind == "down"
+            for iv in r.intervals
+        }
+        for res in self.resources:
+            if res.kind != "up":
+                continue
+            for iv in res.intervals:
+                src_rack = res.rack
+                dst_rack = down_rack.get(iv.job_id, src_rack)
+                tor.setdefault(src_rack, [0.0] * buckets)
+                deposit(tor[src_rack], iv.start, iv.end, iv.nbytes)
+                if dst_rack != src_rack:
+                    tor.setdefault(dst_rack, [0.0] * buckets)
+                    deposit(tor[dst_rack], iv.start, iv.end, iv.nbytes)
+                    deposit(agg, iv.start, iv.end, iv.nbytes)
+        return {
+            "bucket_seconds": width,
+            "aggregation_bytes": agg,
+            "tor_bytes": {rack: series for rack, series in sorted(tor.items())},
+        }
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump; inverse of :meth:`from_dict`."""
+        return {
+            "makespan": self.makespan,
+            "resources": [res.to_dict() for res in self.resources],
+            "critical_path": [seg.to_dict() for seg in self.path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunTrace":
+        return cls(
+            makespan=data["makespan"],
+            resources=[ResourceUsage.from_dict(d) for d in data["resources"]],
+            path=[PathSegment.from_dict(d) for d in data["critical_path"]],
+        )
+
+    def to_json_lines(self) -> str:
+        """One JSON record per line: a header, each resource, each path hop."""
+        lines = [json.dumps({"record": "trace", "makespan": self.makespan})]
+        for res in self.resources:
+            lines.append(json.dumps({"record": "resource", **res.to_dict()}))
+        for seg in self.path:
+            lines.append(json.dumps({"record": "path", **seg.to_dict()}))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_json_lines(cls, text: str) -> "RunTrace":
+        makespan = 0.0
+        resources: list[dict] = []
+        path: list[dict] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            kind = record.pop("record")
+            if kind == "trace":
+                makespan = record["makespan"]
+            elif kind == "resource":
+                resources.append(record)
+            elif kind == "path":
+                path.append(record)
+            else:
+                raise ValueError(f"unknown trace record kind {kind!r}")
+        return cls.from_dict(
+            {"makespan": makespan, "resources": resources, "critical_path": path}
+        )
+
+
+# -- renderers -------------------------------------------------------------
+
+
+def render_gantt(trace: RunTrace, width: int = 64) -> str:
+    """Utilization-annotated ASCII Gantt: one row per resource.
+
+    Like :func:`repro.sim.render_timeline` but driven by a
+    :class:`RunTrace` and prefixed with each resource's busy percentage.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    if not trace.resources or trace.makespan <= 0:
+        return "(empty trace)"
+    span = trace.makespan
+    label_width = max(len(r.label) for r in trace.resources) + 1
+    lines = []
+    for res in trace.resources:
+        cells = ["."] * width
+        for iv in res.intervals:
+            first = min(width - 1, int(iv.start / span * width))
+            last = min(width - 1, max(first, int(iv.end / span * width) - 1))
+            for c in range(first, last + 1):
+                cells[c] = "#"
+        pct = f"{100 * res.utilization(span):5.1f}%"
+        lines.append(f"{res.label.rjust(label_width)} {pct} |{''.join(cells)}|")
+    scale = f"{'0'.rjust(label_width + 7)} +{'-' * (width - 2)}+ {span:.2f}s"
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def _fmt_row(cells, widths) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    table = [headers] + rows
+    widths = [max(len(str(r[i])) for r in table) for i in range(len(headers))]
+    out = [_fmt_row(headers, widths), _fmt_row(["-" * w for w in widths], widths)]
+    out.extend(_fmt_row(row, widths) for row in rows)
+    return out
+
+
+def render_report(trace: RunTrace, top: int = 5) -> str:
+    """The bottleneck report: rack utilization, hot resources, critical path."""
+    if trace.makespan <= 0 or not trace.resources:
+        return "(empty trace)"
+    span = trace.makespan
+    lines = [f"bottleneck report — makespan {span:.2f} s"]
+
+    lines.append("")
+    lines.append("per-rack utilization (busy seconds; up_idle% = upload ports fully idle):")
+    rack_rows = [
+        [
+            f"r{row['rack']}",
+            f"{row['up_busy_s']:.2f}",
+            f"{row['down_busy_s']:.2f}",
+            f"{row['cpu_busy_s']:.2f}",
+            f"{row['uploaded_bytes'] / 1e6:.0f}",
+            f"{100 * row['up_idle_fraction']:.1f}",
+        ]
+        for row in trace.rack_rows()
+    ]
+    lines.extend(
+        _table(["rack", "up_s", "down_s", "cpu_s", "up_MB", "up_idle_%"], rack_rows)
+    )
+
+    lines.append("")
+    lines.append(f"busiest resources (top {top}):")
+    hot = sorted(
+        trace.resources, key=lambda r: (-r.busy, r.label)
+    )[:top]
+    hot_rows = [
+        [
+            res.label,
+            f"{res.busy:.2f}",
+            f"{100 * res.utilization(span):.1f}",
+            f"{res.nbytes / 1e6:.0f}",
+        ]
+        for res in hot
+    ]
+    lines.extend(_table(["resource", "busy_s", "util_%", "MB"], hot_rows))
+
+    lines.append("")
+    attribution = trace.path_attribution()
+    lines.append(
+        "critical path ({} segments): cross-transfer {:.2f} s ({:.0f}%), "
+        "intra-transfer {:.2f} s ({:.0f}%), compute {:.2f} s ({:.0f}%), "
+        "wait {:.2f} s".format(
+            len(trace.path),
+            attribution["cross_transfer_s"],
+            100 * attribution["cross_transfer_s"] / span,
+            attribution["intra_transfer_s"],
+            100 * attribution["intra_transfer_s"] / span,
+            attribution["compute_s"],
+            100 * attribution["compute_s"] / span,
+            attribution["wait_s"],
+        )
+    )
+    path_rows = []
+    for seg in trace.path:
+        if seg.kind == "transfer":
+            what = f"n{seg.node}->n{seg.peer}" + (" x-rack" if seg.cross_rack else "")
+        else:
+            what = f"decode@n{seg.node}"
+        path_rows.append(
+            [
+                f"{seg.start:.2f}",
+                f"{seg.end:.2f}",
+                seg.job_id,
+                what,
+                seg.entered_via,
+            ]
+        )
+    lines.extend(_table(["start_s", "end_s", "job", "what", "entered_via"], path_rows))
+    return "\n".join(lines)

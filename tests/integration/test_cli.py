@@ -95,6 +95,51 @@ class TestTimeline:
             main(["timeline", "--code", "oops"])
 
 
+class TestTrace:
+    def test_trace_prints_rack_and_path_report(self, capsys):
+        assert main(["trace", "--code", "6,4", "--fail", "1", "--scheme", "rpr"]) == 0
+        out = capsys.readouterr().out
+        assert "per-rack utilization" in out
+        assert "critical path" in out
+        assert "up_idle_%" in out
+
+    def test_trace_critical_path_ends_at_makespan(self, capsys):
+        """The acceptance contract: the JSON trace's critical path is
+        contiguous and its end equals the simulated makespan."""
+        import json
+
+        assert main(["trace", "--code", "6,4", "--fail", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        path = data["critical_path"]
+        assert path[0]["start"] == pytest.approx(0.0, abs=1e-9)
+        for prev, cur in zip(path, path[1:]):
+            assert cur["start"] == pytest.approx(prev["end"], rel=1e-9)
+        assert path[-1]["end"] == pytest.approx(data["makespan"], rel=1e-9)
+
+    def test_trace_gantt(self, capsys):
+        assert main(["trace", "--code", "6,2", "--gantt", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "|" in out and "%" in out
+
+    def test_trace_jsonl(self, capsys):
+        import json
+
+        from repro.sim import RunTrace
+
+        assert main(["trace", "--code", "6,2", "--jsonl"]) == 0
+        text = capsys.readouterr().out
+        records = [json.loads(line) for line in text.strip().splitlines()]
+        assert records[0]["record"] == "trace"
+        assert RunTrace.from_json_lines(text).makespan == records[0]["makespan"]
+
+    def test_trace_ec2_traditional(self, capsys):
+        assert (
+            main(["trace", "--code", "6,2", "--scheme", "traditional", "--testbed", "ec2"])
+            == 0
+        )
+        assert "bottleneck report" in capsys.readouterr().out
+
+
 class TestRebuild:
     def test_rebuild_runs(self, capsys):
         assert main(["rebuild", "--stripes", "6", "--node", "1"]) == 0

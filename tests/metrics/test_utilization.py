@@ -1,0 +1,80 @@
+"""Tests for utilization/critical-path metrics (repro.metrics.utilization)."""
+
+import pytest
+
+from repro.cluster import Cluster, HierarchicalBandwidth
+from repro.experiments import build_simics_environment, run_scheme
+from repro.metrics import UtilizationSummary, critical_path_breakdown
+from repro.repair import RPRScheme, TraditionalRepair
+from repro.sim import JobGraph, RunTrace, SimulationEngine
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine(
+        Cluster.homogeneous(2, 2), HierarchicalBandwidth(intra=100.0, cross=10.0)
+    )
+
+
+class TestUtilizationSummary:
+    def test_hand_built_graph(self, engine):
+        g = JobGraph()
+        g.add_transfer("a", 0, 1, 100)  # 1 s on n0:up and n1:down
+        summary = UtilizationSummary.from_sim(engine.run(g), engine.cluster)
+        assert summary.makespan == pytest.approx(1.0)
+        assert summary.mean_port_utilization == pytest.approx(1.0)
+        assert summary.peak_port_utilization == pytest.approx(1.0)
+        # Rack 0 uploads the whole run; rack 1 (download only) never uploads.
+        assert summary.rack_upload_idle[0] == pytest.approx(0.0)
+
+    def test_empty_run(self, engine):
+        summary = UtilizationSummary.from_sim(engine.run(JobGraph()), engine.cluster)
+        assert summary.peak_resource == ""
+        assert summary.mean_rack_upload_idle == 0.0
+
+    def test_traditional_bottleneck_is_recovery_download(self):
+        """§2.3 measured: the busiest resource of a traditional repair is
+        the recovery node's download port, at near-total utilization."""
+        env = build_simics_environment(12, 4)
+        out = run_scheme(env, TraditionalRepair(), [1])
+        summary = UtilizationSummary.from_trace(out.trace())
+        assert summary.peak_resource.endswith(":down")
+        assert summary.peak_port_utilization > 0.9
+
+    def test_rpr_less_idle_than_traditional(self):
+        env = build_simics_environment(12, 4)
+        tra = UtilizationSummary.from_sim(
+            run_scheme(env, TraditionalRepair(), [1]).sim, env.cluster
+        )
+        rpr = UtilizationSummary.from_sim(
+            run_scheme(env, RPRScheme(), [1]).sim, env.cluster
+        )
+        assert rpr.mean_rack_upload_idle < tra.mean_rack_upload_idle
+
+
+class TestCriticalPathBreakdown:
+    def test_percentages_sum_to_hundred(self):
+        env = build_simics_environment(8, 2)
+        trace = run_scheme(env, RPRScheme(), [1]).trace()
+        breakdown = critical_path_breakdown(trace)
+        total_pct = (
+            breakdown["cross_transfer_pct"]
+            + breakdown["intra_transfer_pct"]
+            + breakdown["compute_pct"]
+            + breakdown["wait_pct"]
+        )
+        assert total_pct == pytest.approx(100.0, rel=1e-6)
+        assert breakdown["makespan_s"] == pytest.approx(trace.makespan)
+
+    def test_cross_transfers_dominate_at_paper_scale(self):
+        """At 256 MB blocks over 0.1 Gb/s cross links, the critical path is
+        mostly cross-rack transfer for every scheme — the paper's premise."""
+        env = build_simics_environment(6, 2)
+        for scheme in (TraditionalRepair(), RPRScheme()):
+            trace = run_scheme(env, scheme, [1]).trace()
+            assert critical_path_breakdown(trace)["cross_transfer_pct"] > 50.0
+
+    def test_empty_trace(self):
+        breakdown = critical_path_breakdown(RunTrace(makespan=0.0))
+        assert breakdown["cross_transfer_pct"] == 0.0
+        assert breakdown["wait_s"] == 0.0

@@ -118,3 +118,44 @@ class TestInitialStore:
             np.testing.assert_array_equal(
                 store[node][block_key(b)], stripe.get_payload(b)
             )
+
+
+class TestLedgers:
+    """The executor's per-node byte ledgers mirror the simulator's.
+
+    Both interpreters consume the same plan; under tracing the per-node
+    (not just aggregate) byte accounting must agree exactly."""
+
+    @pytest.mark.parametrize("n,k,failed", [(4, 2, [1]), (6, 2, [0]), (8, 4, [1, 5])])
+    def test_executor_matches_simulator_per_node(self, n, k, failed):
+        from repro.cluster import SIMICS_BANDWIDTH
+        from repro.metrics import TrafficLedger
+        from repro.repair import RPRScheme, simulate_repair
+
+        ctx = make_context(n, k, failed=failed)
+        stripe = make_stripe(ctx)
+        scheme = RPRScheme()
+        plan = scheme.plan(ctx)
+        store = initial_store_for(stripe, ctx.placement, failed)
+        concrete = execute_plan(plan, ctx.cluster, store)
+        simulated = simulate_repair(scheme, ctx, SIMICS_BANDWIDTH)
+        ledger = TrafficLedger.from_sim(simulated.sim, ctx.cluster)
+        assert concrete.uploaded_by_node == pytest.approx(ledger.uploaded_by_node)
+        assert concrete.downloaded_by_node == pytest.approx(ledger.downloaded_by_node)
+        assert concrete.cross_uploaded_by_rack == pytest.approx(
+            ledger.cross_uploaded_by_rack
+        )
+
+    def test_to_dict_is_json_serializable(self, cluster):
+        import json
+
+        payload = np.zeros(4, dtype=np.uint8)
+        plan = RepairPlan(block_size=4)
+        plan.add_send("s", 0, 2, "x")
+        plan.mark_output(0, 2, "x")
+        result = execute_plan(plan, cluster, store_with(0, "x", payload))
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["cross_rack_bytes"] == 4
+        assert data["uploaded_by_node"] == {"0": 4}
+        assert data["cross_uploaded_by_rack"] == {"0": 4}
+        assert data["recovered_blocks"] == [0]
