@@ -9,10 +9,13 @@ C kernels).
 
 import numpy as np
 
-from repro.gf import linear_combine, mat_inv, scale, scale_accumulate
+from repro.gf import gf_matmul_blocks, linear_combine, mat_inv, scale, scale_accumulate
 from repro.rs import get_code, recovery_equations
 
 BLOCK = 4 * 1024 * 1024  # 4 MiB per block keeps rounds fast but realistic
+#: Batched-kernel shape: 64 stripes of 64 KiB blocks — the node-rebuild
+#: regime run_perf.py's acceptance ratios are measured at.
+STRIPES, STRIPE_BLOCK = 64, 64 * 1024
 rng = np.random.default_rng(42)
 
 
@@ -49,6 +52,41 @@ def test_rs_encode_throughput(benchmark):
     data = [rng.integers(0, 256, BLOCK // 4, dtype=np.uint8) for _ in range(12)]
     out = benchmark(code.encode, data)
     assert len(out) == 16
+
+
+def test_rs_encode_many_throughput(benchmark):
+    """Batched stripe-stack encode into a reused arena (the fast path)."""
+    code = get_code(6, 2)
+    data = rng.integers(0, 256, (STRIPES, code.n, STRIPE_BLOCK), dtype=np.uint8)
+    arena = np.empty((STRIPES, code.width, STRIPE_BLOCK), dtype=np.uint8)
+    out = benchmark(code.encode_many, data, arena)
+    assert out.shape == arena.shape
+
+
+def test_rs_decode_many_throughput(benchmark):
+    """Batched two-failure decode over a 64-stripe stack."""
+    code = get_code(6, 2)
+    data = rng.integers(0, 256, (STRIPES, code.n, STRIPE_BLOCK), dtype=np.uint8)
+    encoded = code.encode_many(data)
+    failed = [0, code.n + 1]
+    available = {
+        b: np.ascontiguousarray(encoded[:, b, :])
+        for b in range(code.width)
+        if b not in failed
+    }
+    recovered = benchmark(code.decode_many, available, failed)
+    assert sorted(recovered) == failed
+
+
+def test_gf_matmul_blocks_throughput(benchmark):
+    """Raw batched kernel: 2x6 coding matrix over six stacked blocks."""
+    code = get_code(6, 2)
+    blocks = [
+        rng.integers(0, 256, (STRIPES, STRIPE_BLOCK), dtype=np.uint8)
+        for _ in range(code.n)
+    ]
+    out = benchmark(gf_matmul_blocks, code.generator[code.n :], blocks, code.tables)
+    assert out.shape == (code.k, STRIPES, STRIPE_BLOCK)
 
 
 def test_decoding_matrix_build_cost(benchmark):

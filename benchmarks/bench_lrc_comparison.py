@@ -16,7 +16,6 @@ from conftest import emit
 from repro.cluster import Cluster, ContiguousPlacement, SIMICS_BANDWIDTH
 from repro.experiments import format_table
 from repro.lrc import LRCCode, LRCLocalRepair, is_recoverable
-from repro.metrics import percent_reduction
 from repro.repair import RepairContext, RPRScheme, simulate_repair
 from repro.rs import SIMICS_DECODE, get_code
 

@@ -10,7 +10,6 @@ the CAR-style cross-stripe balancing ablation on a flat-placement store.
 from conftest import emit
 from repro.cluster import Cluster, FlatPlacement, SIMICS_BANDWIDTH
 from repro.experiments import format_table
-from repro.metrics import percent_reduction
 from repro.multistripe import StripeStore, repair_node_failure
 from repro.repair import CARRepair, RPRScheme, TraditionalRepair
 from repro.rs import MB, get_code

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Perf-regression entry point: refresh BENCH_engine.json / BENCH_coding.json.
+
+Thin wrapper around :mod:`repro.perfharness` that defaults the output
+directory to the repository root (where the checked-in reports live), so
+
+    python benchmarks/run_perf.py [--quick]
+
+regenerates them in place regardless of the current directory.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perfharness import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(a.startswith("--out-dir") for a in argv):
+        argv = [*argv, "--out-dir", str(REPO_ROOT)]
+    sys.exit(main(argv))

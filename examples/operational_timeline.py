@@ -41,7 +41,7 @@ def replay(scheme) -> tuple[int, float, float]:
     incidents = 0
     parallel_cost = serial_cost = 0.0
     for event in poisson_node_failures(cluster, MTBF, HORIZON, seed=SEED):
-        lost = system.fail_node(event.node_id)
+        system.fail_node(event.node_id)
         report = system.repair()
         system.revive_node(event.node_id)  # node replaced after rebuild
         incidents += 1

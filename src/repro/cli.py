@@ -13,6 +13,7 @@ Usage (installed as ``rpr`` or via ``python -m repro.cli``):
     rpr rebuild --code 6,2 --stripes 30 --node 0    # full-node rebuild
     rpr durability --code 12,4                      # MTTDL per scheme
     rpr extension lrc                               # extension experiments
+    rpr perf --quick                                # refresh BENCH_*.json reports
 """
 
 from __future__ import annotations
@@ -267,9 +268,8 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_rebuild(args) -> int:
-    from .cluster import Cluster
     from .multistripe import StripeStore, repair_node_failure
-    from .rs import MB, get_code
+    from .rs import get_code
 
     n, k = _parse_code(args.code)
     builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
@@ -338,6 +338,15 @@ def _cmd_durability(args) -> int:
         f"{results['rpr'] / results['traditional']:.1f}x"
     )
     return 0
+
+
+def _cmd_perf(args) -> int:
+    from .perfharness import main as perf_main
+
+    argv = ["--out-dir", str(args.out_dir)]
+    if args.quick:
+        argv.append("--quick")
+    return perf_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -430,6 +439,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean time between failures per block, in years",
     )
     du.set_defaults(func=_cmd_durability)
+
+    pf = sub.add_parser(
+        "perf", help="time the engine and coding hot paths, write BENCH_*.json"
+    )
+    pf.add_argument(
+        "--quick", action="store_true", help="CI-sized run (fewer reps, smaller sizes)"
+    )
+    pf.add_argument(
+        "--out-dir",
+        default=".",
+        help="where to write BENCH_engine.json / BENCH_coding.json",
+    )
+    pf.set_defaults(func=_cmd_perf)
     return parser
 
 

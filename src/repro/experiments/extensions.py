@@ -13,7 +13,6 @@ from __future__ import annotations
 import itertools
 
 from ..cluster import Cluster, ContiguousPlacement, SIMICS_BANDWIDTH
-from ..metrics import percent_reduction
 from ..multistripe import StripeStore, repair_node_failure
 from ..reliability import mttdl_from_repair_times
 from ..repair import RepairContext, RPRScheme, TraditionalRepair, simulate_repair

@@ -17,6 +17,8 @@ from .arithmetic import (
     scale,
     scale_accumulate,
 )
+from .batch import gf_matmul_blocks
+from .bufferpool import BufferPool, scratch_pool
 from .cauchy import cauchy_coding_matrix, systematic_cauchy_generator
 from .matrix import (
     SingularMatrixError,
@@ -31,6 +33,7 @@ from .matrix import (
 from .tables import DEFAULT_PRIM_POLY, FIELD_SIZE, GFTableError, GFTables, get_tables
 
 __all__ = [
+    "BufferPool",
     "DEFAULT_PRIM_POLY",
     "FIELD_SIZE",
     "GFTableError",
@@ -42,10 +45,12 @@ __all__ = [
     "gf_add",
     "gf_div",
     "gf_inv",
+    "gf_matmul_blocks",
     "gf_mul",
     "gf_pow",
     "gf_sub",
     "linear_combine",
+    "scratch_pool",
     "mat_identity",
     "mat_inv",
     "mat_mul",

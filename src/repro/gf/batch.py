@@ -1,0 +1,157 @@
+"""Batched GF(2^8) kernels: one coefficient matrix, many stacked blocks.
+
+The per-stripe kernels in :mod:`repro.gf.arithmetic` pay their Python
+dispatch and temporary-allocation cost once per block.  At store scale a
+node rebuild touches thousands of stripes with the *same* generator or
+recovery matrix, so the batched path amortises both: stripes are stacked
+along a leading axis and every non-zero coefficient becomes one table
+translation over the whole stack instead of one call per stripe.
+
+Two implementation choices matter for throughput here (both measured on
+this numpy build; see docs/PERFORMANCE.md):
+
+* Gathers run through :meth:`bytes.translate` — CPython's 256-entry table
+  lookup loop — which outperforms both ``np.take`` and fancy indexing for
+  uint8 table translation and never materialises the 8x-sized ``intp``
+  index temporary that numpy gathers build internally.
+* The row/term loops are *tiled* along the flattened block axis so each
+  source tile is loaded from memory once and then reused by every output
+  row while still cache-resident, instead of streaming the whole
+  multi-MiB stack once per matrix row.
+
+Coefficient fast paths mirror the scalar kernels: zero coefficients are
+skipped outright, and unit coefficients (the XOR-parity row, eq. (2), and
+every eq. (6) recovery row) bypass the multiplication table entirely and
+reduce to ``bitwise_xor`` passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tables import GFTables, get_tables
+
+__all__ = ["gf_matmul_blocks"]
+
+#: Elements per cache tile.  The working set of one tile is roughly
+#: ``(num_blocks + num_rows) * _TILE`` bytes; 256 KiB keeps realistic
+#: matmul shapes (6-12 blocks, 2-12 rows) inside the last-level cache.
+_TILE = 256 * 1024
+
+
+def _block_rows(blocks) -> list[np.ndarray]:
+    """Normalise ``blocks`` into equal-shaped contiguous uint8 arrays.
+
+    Contiguous inputs pass through as views; only strided views (e.g. a
+    stripe-major slice) pay a copy, which the tiled kernel needs so block
+    tiles can be sliced out of a flat layout.
+    """
+    if isinstance(blocks, np.ndarray):
+        if blocks.ndim < 2:
+            raise ValueError(
+                "blocks array must have at least 2 dims (block axis first)"
+            )
+        arr = np.asarray(blocks, dtype=np.uint8)
+        return [np.ascontiguousarray(arr[j]) for j in range(arr.shape[0])]
+    rows = [np.ascontiguousarray(np.asarray(b, dtype=np.uint8)) for b in blocks]
+    if not rows:
+        raise ValueError("gf_matmul_blocks needs at least one block")
+    shape = rows[0].shape
+    if any(r.shape != shape for r in rows):
+        raise ValueError("all blocks must share one shape")
+    return rows
+
+
+def gf_matmul_blocks(
+    matrix,
+    blocks,
+    tables: GFTables | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply an ``r x c`` GF matrix to ``c`` stacked block arrays at once.
+
+    ``out[i] = sum_j matrix[i, j] * blocks[j]`` over GF(256), where each
+    ``blocks[j]`` may have any shape (typically ``(block_size,)`` for one
+    stripe or ``(num_stripes, block_size)`` for a stripe stack) as long as
+    all of them agree.  This is the batched generalisation of
+    :func:`repro.gf.matrix.apply_matrix_to_blocks`: one table translation
+    per non-zero coefficient per tile, XOR-only rows touch no tables.
+
+    Parameters
+    ----------
+    matrix:
+        ``r x c`` coefficient matrix (anything `_as_u8`-compatible).
+    blocks:
+        A sequence of ``c`` equal-shaped uint8 arrays, or one array whose
+        leading axis indexes the ``c`` blocks.
+    out:
+        Optional pre-allocated ``(r, *block_shape)`` C-contiguous uint8
+        output.
+
+    Returns
+    -------
+    ``(r, *block_shape)`` uint8 array of output blocks.
+    """
+    m = np.asarray(matrix, dtype=np.uint8)
+    if m.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {m.shape}")
+    rows = _block_rows(blocks)
+    if m.shape[1] != len(rows):
+        raise ValueError(
+            f"matrix shape {m.shape} incompatible with {len(rows)} blocks"
+        )
+    block_shape = rows[0].shape
+    out_shape = (m.shape[0],) + block_shape
+    if out is None:
+        out = np.empty(out_shape, dtype=np.uint8)
+    elif (
+        out.shape != out_shape
+        or out.dtype != np.uint8
+        or not out.flags.c_contiguous
+    ):
+        raise ValueError(
+            f"out buffer must be C-contiguous uint8 with shape {out_shape}"
+        )
+
+    t = tables or get_tables()
+    mul_table = t.mul_table
+    num_rows = m.shape[0]
+    num_blocks = len(rows)
+    # Python ints once, not per tile; translate tables lazily per coeff.
+    coeffs = [[int(m[i, j]) for j in range(num_blocks)] for i in range(num_rows)]
+    translate: dict[int, bytes] = {}
+
+    flat_blocks = [b.reshape(-1) for b in rows]
+    size = flat_blocks[0].size if num_blocks else 0
+    flat_out = out.reshape(num_rows, -1) if num_rows else out
+
+    for lo in range(0, size, _TILE):
+        hi = lo + _TILE
+        if hi > size:
+            hi = size
+        for i in range(num_rows):
+            acc = flat_out[i, lo:hi]
+            first = True
+            for j in range(num_blocks):
+                coeff = coeffs[i][j]
+                if coeff == 0:
+                    continue
+                src = flat_blocks[j][lo:hi]
+                if coeff == 1:
+                    term = src
+                else:
+                    tr = translate.get(coeff)
+                    if tr is None:
+                        tr = mul_table[coeff].tobytes()
+                        translate[coeff] = tr
+                    term = np.frombuffer(
+                        src.tobytes().translate(tr), dtype=np.uint8
+                    )
+                if first:
+                    np.copyto(acc, term)
+                    first = False
+                else:
+                    np.bitwise_xor(acc, term, out=acc)
+            if first:  # all-zero row
+                acc[...] = 0
+    return out

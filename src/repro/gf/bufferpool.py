@@ -1,0 +1,76 @@
+"""Reusable scratch buffers for the GF hot loops.
+
+Every fused multiply-XOR (``acc ^= coeff * block``) needs one gathered
+temporary the size of a block.  At store scale (thousands of combines per
+rebuild, 4-256 MiB blocks) allocating that temporary per call dominates
+allocator time and churns the page cache; the pool below hands the same
+flat ``uint8`` buffers back out instead.
+
+The pool is deliberately tiny: buffers are keyed by byte size, a bounded
+number are retained per size, and everything is thread-unsafe by design —
+the kernels run single-threaded under the GIL, and a pool per thread is
+the correct pattern if that ever changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferPool", "scratch_pool"]
+
+
+class BufferPool:
+    """A free-list of flat ``uint8`` arrays, keyed by element count.
+
+    Parameters
+    ----------
+    max_per_size:
+        How many buffers to retain per distinct size; further ``give``
+        calls drop the buffer for the garbage collector.
+    """
+
+    def __init__(self, max_per_size: int = 4) -> None:
+        if max_per_size < 1:
+            raise ValueError("max_per_size must be >= 1")
+        self.max_per_size = max_per_size
+        self._free: dict[int, list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, size: int) -> np.ndarray:
+        """A flat ``uint8`` buffer of ``size`` elements (contents arbitrary)."""
+        if size < 1:
+            raise ValueError("buffer size must be positive")
+        stack = self._free.get(size)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(size, dtype=np.uint8)
+
+    def give(self, buf: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`take` to the pool."""
+        if buf.dtype != np.uint8 or buf.ndim != 1:
+            raise ValueError("pool buffers are flat uint8 arrays")
+        stack = self._free.setdefault(buf.shape[0], [])
+        if len(stack) < self.max_per_size:
+            stack.append(buf)
+
+    def clear(self) -> None:
+        """Drop every retained buffer (tests / memory pressure)."""
+        self._free.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters and retained byte total."""
+        retained = sum(
+            size * len(stack) for size, stack in self._free.items()
+        )
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "retained_bytes": retained,
+        }
+
+
+#: The process-wide pool the GF kernels draw their temporaries from.
+scratch_pool = BufferPool()

@@ -6,6 +6,7 @@ parallel/sequential orchestration and CAR-style cross-stripe traffic
 balancing.
 """
 
+from .payloads import encode_store_payloads, rebuild_node_payloads
 from .nodefail import (
     NodeFailure,
     node_failure_contexts,
@@ -25,7 +26,9 @@ __all__ = [
     "NodeFailure",
     "StoredStripe",
     "StripeStore",
+    "encode_store_payloads",
     "merge_plans",
+    "rebuild_node_payloads",
     "node_failure_contexts",
     "pick_replacement_node",
     "rack_failure_contexts",

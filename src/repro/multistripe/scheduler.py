@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 
 from ..cluster import BandwidthModel
 from ..metrics import TrafficLedger, imbalance_summary
-from ..repair import RepairContext, RepairScheme
+from ..repair import RepairScheme
 from ..repair.plan import CombineOp, RepairPlan, SendOp
 from ..rs import MB, DecodeCostModel, SIMICS_DECODE
 from ..sim import JobGraph, SimResult, SimulationEngine

@@ -1,0 +1,247 @@
+"""Performance-regression harness for the two hot paths.
+
+Times the event engine on merged node-rebuild graphs and the GF/RS
+coding kernels (single-stripe vs batched), then writes machine-readable
+reports — ``BENCH_engine.json`` and ``BENCH_coding.json`` — so perf
+changes show up in review diffs instead of anecdotes.  Run it via
+``benchmarks/run_perf.py``, ``rpr perf``, or ``python -m
+repro.perfharness``; pass ``--quick`` for the CI-sized variant.
+
+Timing style: best-of-N wall clock around whole calls.  Best-of (not
+mean) because the quantity under regression test is the code's cost, and
+every slower sample is noise from elsewhere on the machine; N is small
+because the workloads are already sized to dominate per-call overhead.
+
+See ``docs/PERFORMANCE.md`` for how to read and regenerate the reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["engine_suite", "coding_suite", "write_reports", "main"]
+
+SCHEMA_VERSION = 1
+
+
+def _measure(fn, reps: int, warmup: int = 1) -> dict:
+    """Best-of-``reps`` seconds for ``fn()``, after ``warmup`` calls."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return {"best_s": best, "reps": reps}
+
+
+def _env_info(quick: bool) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def engine_suite(quick: bool = False) -> dict:
+    """Event-engine timings on merged node-rebuild graphs.
+
+    Exercises the resource-indexed scheduler end to end: RS(6,2) over a
+    5x8 cluster, scatter rebuild of node 0, all stripes' plans merged
+    into one graph (the ``benchmarks/bench_engine_scale.py`` scenario).
+    """
+    from .cluster import Cluster, SIMICS_BANDWIDTH
+    from .multistripe import StripeStore, merge_plans, node_failure_contexts
+    from .repair import RPRScheme
+    from .rs import SIMICS_DECODE, get_code
+    from .sim import SimulationEngine
+
+    stripe_counts = [40] if quick else [40, 200]
+    reps = 3 if quick else 7
+    report = _env_info(quick)
+    report["results"] = {}
+    for num_stripes in stripe_counts:
+        cluster = Cluster.homogeneous(5, 8)
+        store = StripeStore.build(cluster, get_code(6, 2), num_stripes)
+        _, contexts = node_failure_contexts(store, 0, mode="scatter")
+        plans = [RPRScheme().plan(ctx) for ctx in contexts]
+        graph = merge_plans(plans, SIMICS_DECODE)
+        engine = SimulationEngine(cluster, SIMICS_BANDWIDTH)
+        result = engine.run(graph)
+        timing = _measure(lambda: engine.run(graph), reps)
+        timing.update(
+            jobs=len(graph),
+            events=len(result.events),
+            makespan_s=result.makespan,
+        )
+        report["results"][f"node_rebuild_{num_stripes}_stripes"] = timing
+    return report
+
+
+def coding_suite(quick: bool = False) -> dict:
+    """GF/RS kernel timings: per-stripe baselines vs the batched stack.
+
+    The ``derived`` section holds the speedup ratios the acceptance bars
+    track (batched encode/decode vs N single-stripe calls at the same
+    total byte count).
+    """
+    from .gf import linear_combine, scale, scale_accumulate, scratch_pool
+    from .multistripe import (
+        StripeStore,
+        encode_store_payloads,
+        rebuild_node_payloads,
+    )
+    from .cluster import Cluster
+    from .rs import get_code
+    from .rs.decode import decode_blocks
+
+    reps = 3 if quick else 9
+    num_stripes, block = 64, 64 * 1024
+    big = (1 if quick else 4) * 1024 * 1024
+    rng = np.random.default_rng(42)
+    code = get_code(6, 2)
+
+    report = _env_info(quick)
+    results: dict = {}
+    report["results"] = results
+
+    # -- scalar kernels ----------------------------------------------------
+    buf = rng.integers(0, 256, big, dtype=np.uint8)
+    acc = np.zeros(big, dtype=np.uint8)
+    results["scale_4MiB" if not quick else "scale_1MiB"] = _measure(
+        lambda: scale(37, buf), reps
+    )
+    results["scale_accumulate"] = _measure(
+        lambda: scale_accumulate(acc, 91, buf), reps
+    )
+    terms = [rng.integers(0, 256, big, dtype=np.uint8) for _ in range(6)]
+    results["linear_combine_6"] = _measure(
+        lambda: linear_combine([3, 7, 19, 33, 101, 250], terms), reps
+    )
+
+    # -- batched encode vs per-stripe --------------------------------------
+    data = rng.integers(0, 256, (num_stripes, code.n, block), dtype=np.uint8)
+    arena = np.empty((num_stripes, code.width, block), dtype=np.uint8)
+
+    def encode_per_stripe():
+        return [
+            code.encode([data[s, j] for j in range(code.n)])
+            for s in range(num_stripes)
+        ]
+
+    results["encode_per_stripe"] = _measure(encode_per_stripe, reps)
+    results["encode_many"] = _measure(lambda: code.encode_many(data), reps)
+    results["encode_many_arena"] = _measure(
+        lambda: code.encode_many(data, out=arena), reps
+    )
+
+    # -- batched decode vs per-stripe --------------------------------------
+    encoded = code.encode_many(data)
+    failed = [0, code.n + 1]
+    available = {
+        b: np.ascontiguousarray(encoded[:, b, :])
+        for b in range(code.width)
+        if b not in failed
+    }
+
+    def decode_per_stripe():
+        return [
+            decode_blocks(
+                code, {b: available[b][s] for b in available}, failed
+            )
+            for s in range(num_stripes)
+        ]
+
+    results["decode_per_stripe"] = _measure(decode_per_stripe, reps)
+    results["decode_many"] = _measure(
+        lambda: code.decode_many(available, failed), reps
+    )
+
+    # -- store-level rebuild through the batched stack ---------------------
+    cluster = Cluster.homogeneous(5, 8)
+    store = StripeStore.build(cluster, code, 40)
+    payloads = encode_store_payloads(store, block)
+    results["store_rebuild_40_stripes"] = _measure(
+        lambda: rebuild_node_payloads(store, 0, payloads), reps
+    )
+
+    results["buffer_pool"] = scratch_pool.stats()
+    report["derived"] = {
+        "stripes": num_stripes,
+        "block_bytes": block,
+        "encode_many_speedup_x": round(
+            results["encode_per_stripe"]["best_s"]
+            / results["encode_many"]["best_s"],
+            3,
+        ),
+        "encode_many_arena_speedup_x": round(
+            results["encode_per_stripe"]["best_s"]
+            / results["encode_many_arena"]["best_s"],
+            3,
+        ),
+        "decode_many_speedup_x": round(
+            results["decode_per_stripe"]["best_s"]
+            / results["decode_many"]["best_s"],
+            3,
+        ),
+    }
+    return report
+
+
+def write_reports(out_dir: Path, quick: bool = False) -> list[Path]:
+    """Run both suites and write the two ``BENCH_*.json`` reports."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, suite in (
+        ("BENCH_engine.json", engine_suite),
+        ("BENCH_coding.json", coding_suite),
+    ):
+        report = suite(quick)
+        path = out_dir / name
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="time the engine and coding hot paths, write BENCH_*.json"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: fewer reps, smaller graphs and blocks",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path.cwd(),
+        help="where to write the reports (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+    for path in write_reports(args.out_dir, quick=args.quick):
+        report = json.loads(path.read_text())
+        print(f"wrote {path}")
+        for name, entry in sorted(report["results"].items()):
+            if "best_s" in entry:
+                print(f"  {name:<28} {entry['best_s'] * 1e3:9.2f} ms")
+        for name, value in sorted(report.get("derived", {}).items()):
+            print(f"  {name:<28} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

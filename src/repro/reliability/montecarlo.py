@@ -34,7 +34,6 @@ import math
 import random
 from dataclasses import dataclass
 
-from ..cluster import BandwidthModel
 from ..repair import RepairContext, RepairScheme, simulate_repair
 from ..experiments.common import ExperimentEnv
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cluster import Cluster, Placement
 from ..rs import MB, DecodeCostModel, RSCode, SIMICS_DECODE

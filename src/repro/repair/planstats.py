@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster import Cluster
-from .plan import CombineOp, RepairPlan, SendOp
+from .plan import RepairPlan, SendOp
 
 __all__ = ["PlanStats", "critical_path_hops"]
 

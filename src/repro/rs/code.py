@@ -21,6 +21,7 @@ from ..gf import (
     GFTables,
     apply_matrix_to_blocks,
     get_tables,
+    gf_matmul_blocks,
     systematic_vandermonde_generator,
 )
 from .stripe import Stripe
@@ -145,6 +146,105 @@ class RSCode:
         if len(data_blocks) != self.n:
             raise ValueError(f"expected {self.n} data blocks, got {len(data_blocks)}")
         return apply_matrix_to_blocks(self.generator, data_blocks, self.tables)
+
+    def encode_many(
+        self, data: "np.ndarray", out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Encode many stripes in one batched kernel pass.
+
+        Parameters
+        ----------
+        data:
+            ``(num_stripes, n, block_size)`` uint8 array (or nested
+            sequence coercible to one): stripe-major stacks of data
+            blocks.
+        out:
+            Optional pre-allocated ``(num_stripes, n + k, block_size)``
+            C-contiguous uint8 destination.  Reusing one arena across
+            calls matters at stack sizes past the allocator's mmap
+            threshold (~32 MiB), where a fresh output pays page-fault
+            and unmap churn on every call.
+
+        Returns
+        -------
+        ``(num_stripes, n + k, block_size)`` uint8 array with data blocks
+        first and parities last, byte-identical to running
+        :meth:`encode` per stripe.
+
+        The code is systematic, so the ``n`` identity rows of the
+        generator reduce to one bulk copy of the data into the output
+        stack; only the ``k`` parity rows are computed, stripe tile by
+        stripe tile, through :func:`repro.gf.batch.gf_matmul_blocks` so
+        every slice the kernel touches is contiguous in the stripe-major
+        layout (no transpose copies of the stack are ever made).
+        """
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.uint8))
+        if arr.ndim != 3 or arr.shape[1] != self.n:
+            raise ValueError(
+                f"expected (num_stripes, {self.n}, block_size) data, "
+                f"got shape {arr.shape}"
+            )
+        num_stripes, _, block_size = arr.shape
+        out_shape = (num_stripes, self.width, block_size)
+        if out is None:
+            out = np.empty(out_shape, dtype=np.uint8)
+        elif (
+            out.shape != out_shape
+            or out.dtype != np.uint8
+            or not out.flags.c_contiguous
+        ):
+            raise ValueError(
+                f"out buffer must be C-contiguous uint8 with shape {out_shape}"
+            )
+        out[:, : self.n] = arr
+        if self.k:
+            coding = self.generator[self.n :]
+            for s in range(num_stripes):
+                # arr[s] is a contiguous (n, B) stack and out[s, n:] a
+                # contiguous (k, B) target: the kernel runs copy-free.
+                gf_matmul_blocks(coding, arr[s], self.tables, out=out[s, self.n :])
+        return out
+
+    def decode_many(self, available: dict, failed_ids) -> dict:
+        """Batched counterpart of :func:`repro.rs.decode.decode_blocks`.
+
+        Parameters
+        ----------
+        available:
+            Block id -> stacked payloads.  Every array must share one
+            shape; the natural layout is ``(num_stripes, block_size)``,
+            but any common shape works (a single stripe's ``(block_size,)``
+            included).
+        failed_ids:
+            Blocks to reconstruct.
+
+        Returns
+        -------
+        Failed block id -> reconstructed stack, byte-identical to
+        decoding stripe by stripe.
+
+        The recovery equations (eq. (8)) are derived once — helpers are
+        shared across the whole stack because every stripe uses the same
+        code — and applied as one coefficient matrix over the stacked
+        helper blocks.
+        """
+        from .decode import InsufficientHelpersError, recovery_equations
+
+        failed_ids = list(failed_ids)
+        candidates = sorted(set(available) - set(failed_ids))
+        if len(candidates) < self.n:
+            raise InsufficientHelpersError(
+                f"only {len(candidates)} surviving blocks; need {self.n}"
+            )
+        helpers = candidates[: self.n]
+        equations = recovery_equations(self, failed_ids, helpers)
+        matrix = np.zeros((len(equations), self.n), dtype=np.uint8)
+        for row, eq in enumerate(equations):
+            for helper, coeff in eq.terms:
+                matrix[row, helpers.index(helper)] = coeff
+        blocks = [np.asarray(available[h], dtype=np.uint8) for h in helpers]
+        recovered = gf_matmul_blocks(matrix, blocks, self.tables)
+        return {eq.target: recovered[i] for i, eq in enumerate(equations)}
 
     def encode_stripe(self, data_blocks, block_size: int | None = None) -> Stripe:
         """Encode and package into a :class:`Stripe` with payloads attached."""

@@ -9,7 +9,7 @@ integers: ``0 .. n-1`` are data blocks, ``n .. n+k-1`` are parity blocks
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterator
 
 import numpy as np
 

@@ -19,6 +19,21 @@ contract:
 Transfer durations are ``nbytes / rate(src, dst)`` with the rate supplied
 by the bandwidth model; there is no flow sharing, matching the paper's
 whole-transfer "timestep" accounting.
+
+Scheduling is *resource-indexed*: a blocked job registers as a waiter on
+one of the busy resources it needs (or on the cross-rack token when the
+switch cap is the blocker), and a completion only reconsiders the waiters
+of the resources it actually freed — never the whole pending set.  Waking
+a job through any one of its busy resources is sufficient because a job
+can only become startable once *every* resource it needs is free, so the
+registered one must free first; if the woken job is still blocked it
+re-registers on whichever resource blocks it now.  Candidates woken at
+one instant are processed in (ready-time, insertion-order) priority, so
+the schedule is bit-for-bit the one the original rescan-everything
+scheduler produced (golden tests in ``tests/sim/test_engine_golden.py``
+pin this).  Per-job durations, resource tuples and rack relations are
+precomputed once per run with per-endpoint-pair caching; see
+``docs/PERFORMANCE.md`` for measurements.
 """
 
 from __future__ import annotations
@@ -192,17 +207,68 @@ class SimulationEngine:
     def _cpu(node: int) -> tuple[str, int]:
         return ("cpu", node)
 
-    def _resources_of(self, job) -> tuple[tuple[str, int], ...]:
-        if isinstance(job, TransferJob):
-            return (self._uplink(job.src), self._downlink(job.dst))
-        return (self._cpu(job.node),)
+    # -- precomputation ----------------------------------------------------
 
-    def _duration_of(self, job) -> float:
-        if isinstance(job, TransferJob):
-            return self.bandwidth.latency(
-                self.cluster, job.src, job.dst
-            ) + job.nbytes / self.bandwidth.rate(self.cluster, job.src, job.dst)
-        return job.seconds
+    def _job_table(self, jobs: dict[str, TransferJob | ComputeJob]):
+        """Precompute per-job facts, caching per-endpoint-pair lookups.
+
+        Merged multi-stripe graphs reuse a handful of (src, dst) pairs
+        across hundreds of transfers, so ``bandwidth.rate`` / ``latency``
+        and ``cluster.same_rack`` are resolved once per pair instead of
+        once per scheduling decision.  The lookups double as the fail-fast
+        validation of unknown nodes / missing bandwidth entries.
+
+        Returns ``(table, num_resources)`` where ``table`` maps job id to
+        ``(resource_ids, duration, cross, start_kind, end_kind, node,
+        peer, nbytes)`` and resource ids are dense ints (ports and CPUs
+        interned per run) so the scheduler's busy/waiter bookkeeping runs
+        on flat lists instead of hashed tuples.
+        """
+        pair_cache: dict[tuple[int, int], tuple[float, float, bool]] = {}
+        resource_ids: dict[tuple[str, int], int] = {}
+
+        def rid(key: tuple[str, int]) -> int:
+            found = resource_ids.get(key)
+            if found is None:
+                found = resource_ids[key] = len(resource_ids)
+            return found
+
+        table: dict[str, tuple] = {}
+        for jid, job in jobs.items():
+            if isinstance(job, TransferJob):
+                pair = (job.src, job.dst)
+                cached = pair_cache.get(pair)
+                if cached is None:
+                    cached = (
+                        self.bandwidth.rate(self.cluster, job.src, job.dst),
+                        self.bandwidth.latency(self.cluster, job.src, job.dst),
+                        self.cluster.same_rack(job.src, job.dst),
+                    )
+                    pair_cache[pair] = cached
+                rate, latency, same_rack = cached
+                table[jid] = (
+                    (rid(self._uplink(job.src)), rid(self._downlink(job.dst))),
+                    latency + job.nbytes / rate,
+                    not same_rack,
+                    EventKind.TRANSFER_START,
+                    EventKind.TRANSFER_END,
+                    job.src,
+                    job.dst,
+                    job.nbytes,
+                )
+            else:
+                self.cluster.node(job.node)
+                table[jid] = (
+                    (rid(self._cpu(job.node)),),
+                    job.seconds,
+                    False,
+                    EventKind.COMPUTE_START,
+                    EventKind.COMPUTE_END,
+                    job.node,
+                    -1,
+                    0.0,
+                )
+        return table, len(resource_ids)
 
     # -- execution ---------------------------------------------------------
 
@@ -213,12 +279,8 @@ class SimulationEngine:
         if not jobs:
             return SimResult(makespan=0.0, timings={}, events=[])
 
-        for job in jobs.values():
-            if isinstance(job, TransferJob):
-                # Fail fast on unknown nodes / missing bandwidth entries.
-                self.bandwidth.rate(self.cluster, job.src, job.dst)
-            else:
-                self.cluster.node(job.node)
+        info, num_resources = self._job_table(jobs)
+        heappush, heappop, isclose = heapq.heappush, heapq.heappop, math.isclose
 
         order = {jid: i for i, jid in enumerate(jobs)}
         remaining_deps = {jid: set(job.deps) for jid, job in jobs.items()}
@@ -227,108 +289,122 @@ class SimulationEngine:
             for dep in set(job.deps):
                 dependents[dep].append(jid)
 
-        busy: set[tuple[str, int]] = set()
+        busy = bytearray(num_resources)
+        # Resource id -> jobs (as (ready_time, seq, jid) keys) blocked on it.
+        waiters: list[list[tuple[float, int, str]] | None] = [None] * num_resources
+        # Jobs blocked solely on the cross-rack switch token.
+        token_waiters: list[tuple[float, int, str]] = []
         cross_inflight = 0
+        cap = self.cross_capacity
 
-        def is_cross(job) -> bool:
-            return isinstance(job, TransferJob) and not self.cluster.same_rack(
-                job.src, job.dst
-            )
-        # Ready jobs keyed for deterministic greedy pick.
-        ready: list[tuple[float, int, str]] = []
+        # Candidate heap: jobs to (re)consider at the current instant, in
+        # deterministic (ready-time, insertion-order) priority.  A job's key
+        # is fixed when its last dependency finishes and never changes, so
+        # the greedy tie-break matches the original full-rescan scheduler.
+        candidates: list[tuple[float, int, str]] = []
         for jid, deps in remaining_deps.items():
             if not deps:
-                heapq.heappush(ready, (0.0, order[jid], jid))
+                heappush(candidates, (0.0, order[jid], jid))
 
         running: list[tuple[float, int, str]] = []  # (end, order, jid)
-        waiting_resources: list[tuple[float, int, str]] = []
         timings: dict[str, JobTiming] = {}
         events: list[TraceEvent] = []
         now = 0.0
         finished = 0
+        total = len(jobs)
 
-        def try_start(queue):
-            """Start every queued job whose resources are free; requeue rest."""
-            still_blocked = []
-            started_any = False
-            # Pop in deterministic priority order.
-            items = []
-            while queue:
-                items.append(heapq.heappop(queue))
-            nonlocal cross_inflight
-            for ready_time, seq, jid in items:
-                job = jobs[jid]
-                res = self._resources_of(job)
-                needs_token = is_cross(job) and self.cross_capacity is not None
-                if any(r in busy for r in res) or (
-                    needs_token and cross_inflight >= self.cross_capacity
-                ):
-                    still_blocked.append((ready_time, seq, jid))
+        while finished < total:
+            # Start every candidate whose resources are free; park the rest
+            # on the resource (or token) that blocks them.  Starting a job
+            # frees nothing, so a single pass over the candidates suffices.
+            while candidates:
+                item = heappop(candidates)
+                jid = item[2]
+                res, duration, cross, start_kind, _, node, peer, nbytes = info[jid]
+                blocker = -1
+                for r in res:
+                    if busy[r]:
+                        blocker = r
+                        break
+                if blocker >= 0:
+                    parked = waiters[blocker]
+                    if parked is None:
+                        waiters[blocker] = [item]
+                    else:
+                        parked.append(item)
                     continue
-                busy.update(res)
+                needs_token = cross and cap is not None
+                if needs_token and cross_inflight >= cap:
+                    token_waiters.append(item)
+                    continue
+                for r in res:
+                    busy[r] = 1
                 if needs_token:
                     cross_inflight += 1
-                end = now + self._duration_of(job)
-                heapq.heappush(running, (end, seq, jid))
+                end = now + duration
+                heappush(running, (end, item[1], jid))
                 timings[jid] = JobTiming(job_id=jid, start=now, end=end)
-                events.append(self._event(job, now, start=True))
-                started_any = True
-            for item in still_blocked:
-                heapq.heappush(queue, item)
-            return started_any
+                events.append(
+                    TraceEvent(
+                        time=now,
+                        kind=start_kind,
+                        job_id=jid,
+                        node=node,
+                        peer=peer,
+                        cross_rack=cross,
+                        nbytes=nbytes,
+                    )
+                )
 
-        # Merge ready and resource-blocked queues into one: a job enters the
-        # queue when its deps are done; it starts when its resources free.
-        pending = ready
-
-        while finished < len(jobs):
-            # Start whatever can start now.  Starting one job can free no
-            # resources, so a single pass suffices.
-            try_start(pending)
             if not running:
                 raise RuntimeError(
                     "deadlock: jobs pending but nothing running "
                     "(resource conflict cycle?)"
                 )
             # Advance to the next completion.
-            end, _, jid = heapq.heappop(running)
+            end, _, jid = heappop(running)
             batch = [jid]
             # Complete everything ending at the same instant for determinism.
-            while running and math.isclose(running[0][0], end, rel_tol=0, abs_tol=1e-12):
-                batch.append(heapq.heappop(running)[2])
+            while running and isclose(running[0][0], end, rel_tol=0, abs_tol=1e-12):
+                batch.append(heappop(running)[2])
             now = end
+            token_freed = False
             for done_id in batch:
-                job = jobs[done_id]
-                busy.difference_update(self._resources_of(job))
-                if is_cross(job) and self.cross_capacity is not None:
+                res, _, cross, _, end_kind, node, peer, nbytes = info[done_id]
+                for r in res:
+                    busy[r] = 0
+                    woken = waiters[r]
+                    if woken:
+                        waiters[r] = None
+                        for item in woken:
+                            heappush(candidates, item)
+                if cross and cap is not None:
                     cross_inflight -= 1
-                events.append(self._event(job, now, start=False))
+                    token_freed = True
+                events.append(
+                    TraceEvent(
+                        time=now,
+                        kind=end_kind,
+                        job_id=done_id,
+                        node=node,
+                        peer=peer,
+                        cross_rack=cross,
+                        nbytes=nbytes,
+                    )
+                )
                 finished += 1
                 for child in dependents[done_id]:
-                    remaining_deps[child].discard(done_id)
-                    if not remaining_deps[child]:
-                        heapq.heappush(pending, (now, order[child], child))
+                    deps_left = remaining_deps[child]
+                    deps_left.discard(done_id)
+                    if not deps_left:
+                        heappush(candidates, (now, order[child], child))
+            if token_freed and token_waiters:
+                for item in token_waiters:
+                    heappush(candidates, item)
+                token_waiters = []
 
         events.sort(key=lambda e: (e.time, e.kind.endswith("start"), e.job_id))
         makespan = max(t.end for t in timings.values())
         return SimResult(
             makespan=makespan, timings=timings, events=events, jobs=dict(jobs)
-        )
-
-    def _event(self, job, time: float, start: bool) -> TraceEvent:
-        if isinstance(job, TransferJob):
-            return TraceEvent(
-                time=time,
-                kind=EventKind.TRANSFER_START if start else EventKind.TRANSFER_END,
-                job_id=job.job_id,
-                node=job.src,
-                peer=job.dst,
-                cross_rack=not self.cluster.same_rack(job.src, job.dst),
-                nbytes=job.nbytes,
-            )
-        return TraceEvent(
-            time=time,
-            kind=EventKind.COMPUTE_START if start else EventKind.COMPUTE_END,
-            job_id=job.job_id,
-            node=job.node,
         )

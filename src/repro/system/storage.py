@@ -513,7 +513,6 @@ class StorageSystem:
     def _payload_store_for(
         self, state: _StripeState
     ) -> dict[int, dict[str, np.ndarray]]:
-        sid = state.stored.stripe_id
         store: dict[int, dict[str, np.ndarray]] = {}
         for bid in range(self.code.width):
             payload = self._read_block(state, bid)

@@ -1,6 +1,6 @@
 """Failure scenarios and synthetic data generation."""
 
-from .datagen import encoded_stripe, patterned_blocks, random_blocks
+from .datagen import encoded_stripe, encoded_stripes, patterned_blocks, random_blocks
 from .traces import DAY, YEAR, FailureEvent, poisson_node_failures
 from .failures import (
     FailureScenario,
@@ -16,6 +16,7 @@ __all__ = [
     "FailureEvent",
     "FailureScenario",
     "encoded_stripe",
+    "encoded_stripes",
     "multi_failure_scenarios",
     "patterned_blocks",
     "random_blocks",

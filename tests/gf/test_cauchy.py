@@ -104,7 +104,7 @@ class TestCauchyRSCode:
 
     def test_repair_schemes_work_with_cauchy(self):
         """The whole repair stack is construction-agnostic."""
-        from repro.cluster import Cluster, RPRPlacement, SIMICS_BANDWIDTH
+        from repro.cluster import Cluster, RPRPlacement
         from repro.repair import (
             RepairContext,
             RPRScheme,

@@ -1,7 +1,6 @@
 """Targeted tests for less-travelled paths across the repair stack."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import Cluster, RPRPlacement, SIMICS_BANDWIDTH
 from repro.ec2 import build_ec2_environment
@@ -16,7 +15,6 @@ from repro.repair import (
 from repro.rs import SIMICS_DECODE
 from repro.workloads import encoded_stripe
 
-from .conftest import make_context, make_stripe
 
 
 class TestHeteroMultiFailure:

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.repair import (
     CARRepair,
     PlanStats,
@@ -85,7 +83,7 @@ class TestCriticalPath:
         cluster = Cluster.homogeneous(3, 2)
         plan = RepairPlan(block_size=10)
         a = plan.add_send("a", 0, 2, "x")            # cross
-        b = plan.add_send("b", 2, 4, "x", deps=[a])  # cross, chained
+        plan.add_send("b", 2, 4, "x", deps=[a])      # cross, chained
         plan.add_send("c", 0, 1, "y")                # intra, parallel
         plan.mark_output(0, 4, "x")
         ops, cross = critical_path_hops(plan, cluster)

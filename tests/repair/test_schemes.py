@@ -6,7 +6,6 @@ import pytest
 from repro.cluster import SIMICS_BANDWIDTH
 from repro.repair import (
     CARRepair,
-    RepairContext,
     RepairPlanningError,
     RPRScheme,
     TraditionalRepair,

@@ -1,7 +1,5 @@
 """Tests for helper-block selection."""
 
-import pytest
-
 from repro.repair import (
     first_n_helpers,
     group_survivors_by_rack,

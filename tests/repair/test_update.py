@@ -7,7 +7,6 @@ from repro.cluster import SIMICS_BANDWIDTH
 from repro.repair import (
     RepairPlanningError,
     apply_update_payloads,
-    block_key,
     execute_plan,
     initial_store_for,
     plan_update,

@@ -6,12 +6,11 @@ makespan, exports round-trip, and the renderers stay text-only.
 """
 
 import json
-import math
 
 import pytest
 
-from repro.cluster import Cluster, HierarchicalBandwidth, SIMICS_BANDWIDTH
-from repro.experiments import build_simics_environment, context_for, run_scheme
+from repro.cluster import Cluster, HierarchicalBandwidth
+from repro.experiments import build_simics_environment, run_scheme
 from repro.metrics import TimeBreakdown, TrafficLedger
 from repro.repair import CARRepair, RPRScheme, TraditionalRepair
 from repro.sim import (

@@ -9,6 +9,7 @@ from repro.rs import get_code
 from repro.workloads import (
     FailureScenario,
     encoded_stripe,
+    encoded_stripes,
     multi_failure_scenarios,
     patterned_blocks,
     random_blocks,
@@ -135,3 +136,21 @@ class TestDataGen:
         code = get_code(4, 2)
         stripe = encoded_stripe(code, 64, pattern="zeros")
         assert code.verify_stripe(stripe)
+
+    def test_encoded_stripes_match_singles(self):
+        code = get_code(6, 2)
+        many = encoded_stripes(code, 4, 96, seed=7)
+        for s, stripe in enumerate(many):
+            assert code.verify_stripe(stripe)
+            single = encoded_stripe(code, 96, seed=7 + s)
+            for bid in range(code.width):
+                np.testing.assert_array_equal(
+                    stripe.get_payload(bid), single.get_payload(bid)
+                )
+
+    def test_encoded_stripes_pattern_and_validation(self):
+        code = get_code(4, 2)
+        many = encoded_stripes(code, 2, 64, pattern="ramp")
+        assert all(code.verify_stripe(s) for s in many)
+        with pytest.raises(ValueError):
+            encoded_stripes(code, 0, 64)
