@@ -23,7 +23,7 @@ def run_sweep():
         plain = RPRScheme()
         aware = HeterogeneityAwareRPR(env.bandwidth)
         plain_t = aware_t = 0.0
-        scenarios = single_failure_scenarios(env.code)
+        scenarios = single_failure_scenarios(env.code, data_only=True)
         for scenario in scenarios:
             ctx = context_for(env, scenario.failed_blocks)
             plain_t += simulate_repair(plain, ctx, env.bandwidth).total_repair_time

@@ -19,7 +19,7 @@ def run_ablation():
     piped, direct = RPRScheme(pipeline=True), RPRScheme(pipeline=False)
     for n, k in PAPER_SINGLE_FAILURE_CODES:
         env = build_simics_environment(n, k)
-        scenarios = single_failure_scenarios(env.code)
+        scenarios = single_failure_scenarios(env.code, data_only=True)
         with_pipe = sweep_scheme(env, piped, scenarios)
         without = sweep_scheme(env, direct, scenarios)
         rows.append(

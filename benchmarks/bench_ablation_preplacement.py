@@ -38,7 +38,7 @@ def run_placement_ablation(env_builder):
     for n, k in PAPER_SINGLE_FAILURE_CODES:
         env_pre = env_builder(n, k, placement="rpr")
         env_cont = env_builder(n, k, placement="contiguous")
-        scenarios = single_failure_scenarios(env_pre.code)
+        scenarios = single_failure_scenarios(env_pre.code, data_only=True)
         with_pp = sweep_scheme(env_pre, unaware, scenarios)
         without = sweep_scheme(env_cont, unaware, scenarios)
         rows.append(
@@ -59,7 +59,7 @@ def run_selection_ablation(env_builder):
     aware, unaware = RPRScheme(prefer_xor=True), RPRScheme(prefer_xor=False)
     for n, k in PAPER_SINGLE_FAILURE_CODES:
         env = env_builder(n, k, placement="rpr")
-        scenarios = single_failure_scenarios(env.code)
+        scenarios = single_failure_scenarios(env.code, data_only=True)
         a = sweep_scheme(env, aware, scenarios)
         b = sweep_scheme(env, unaware, scenarios)
         rows.append(

@@ -51,7 +51,7 @@ def main() -> None:
 
     schemes = [TraditionalRepair(), CARRepair(), RPRScheme()]
     totals = {s.name: 0.0 for s in schemes}
-    scenarios = single_failure_scenarios(env.code)
+    scenarios = single_failure_scenarios(env.code, data_only=True)
     for scenario in scenarios:
         ctx = context_for(env, scenario.failed_blocks)
         for scheme in schemes:

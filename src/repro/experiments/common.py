@@ -21,7 +21,7 @@ from ..cluster import (
 from ..ec2 import build_ec2_environment
 from ..repair import RepairContext, RepairOutcome, RepairScheme, simulate_repair
 from ..rs import MB, DecodeCostModel, RSCode, SIMICS_DECODE, get_code
-from ..workloads import FailureScenario, sample_scenarios
+from ..workloads import FailureScenario, sample_scenarios, validate_scenario
 
 __all__ = [
     "ExperimentEnv",
@@ -164,7 +164,15 @@ def sweep_scheme(
     scheme: RepairScheme,
     scenarios: list[FailureScenario],
 ) -> SweepStats:
-    """Run ``scheme`` over every scenario and aggregate."""
+    """Run ``scheme`` over every scenario and aggregate.
+
+    Scenarios are validated against the environment's code up front
+    (:func:`repro.workloads.validate_scenario`), so a hand-built scenario
+    with out-of-range block ids fails with a clear error instead of deep
+    inside decode.
+    """
+    for scenario in scenarios:
+        validate_scenario(env.code, scenario)
     outcomes = [
         run_scheme(env, scheme, scenario.failed_blocks) for scenario in scenarios
     ]

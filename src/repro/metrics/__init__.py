@@ -1,12 +1,14 @@
 """Metrics over simulation traces: traffic, repair time, load balance,
 utilization and critical-path attribution (the observability rollups)."""
 
+from .faults import FaultRollup
 from .loadbalance import coefficient_of_variation, imbalance_summary, max_mean_ratio
 from .repairtime import TimeBreakdown, percent_reduction
 from .traffic import TrafficLedger
 from .utilization import UtilizationSummary, critical_path_breakdown
 
 __all__ = [
+    "FaultRollup",
     "TimeBreakdown",
     "TrafficLedger",
     "UtilizationSummary",

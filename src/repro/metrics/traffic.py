@@ -28,37 +28,48 @@ class TrafficLedger:
     cross_uploaded_by_rack:
         Bytes each rack pushed through the aggregation switch — CAR's
         load-balance objective and the quantity RPR's pipeline spreads.
+
+    All counters are exact ints: byte counts are integral by nature, and
+    keeping them integral end-to-end lets tests pin the simulated ledger
+    against the byte-level executor's
+    (:class:`repro.repair.ExecutionResult`) with ``==``, no tolerance.
     """
 
-    cross_rack_bytes: float = 0.0
-    intra_rack_bytes: float = 0.0
-    uploaded_by_node: dict[int, float] = field(default_factory=dict)
-    downloaded_by_node: dict[int, float] = field(default_factory=dict)
-    cross_uploaded_by_rack: dict[int, float] = field(default_factory=dict)
+    cross_rack_bytes: int = 0
+    intra_rack_bytes: int = 0
+    uploaded_by_node: dict[int, int] = field(default_factory=dict)
+    downloaded_by_node: dict[int, int] = field(default_factory=dict)
+    cross_uploaded_by_rack: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_sim(cls, result: SimResult, cluster: Cluster) -> "TrafficLedger":
         ledger = cls()
         for event in result.transfers():
-            src, dst, nbytes = event.node, event.peer, event.nbytes
+            src, dst = event.node, event.peer
+            nbytes = int(event.nbytes)
+            if nbytes != event.nbytes:
+                raise ValueError(
+                    f"transfer {event.job_id!r} carries a fractional byte "
+                    f"count ({event.nbytes}); byte ledgers are integral"
+                )
             ledger.uploaded_by_node[src] = (
-                ledger.uploaded_by_node.get(src, 0.0) + nbytes
+                ledger.uploaded_by_node.get(src, 0) + nbytes
             )
             ledger.downloaded_by_node[dst] = (
-                ledger.downloaded_by_node.get(dst, 0.0) + nbytes
+                ledger.downloaded_by_node.get(dst, 0) + nbytes
             )
             if event.cross_rack:
                 ledger.cross_rack_bytes += nbytes
                 rack = cluster.rack_of(src)
                 ledger.cross_uploaded_by_rack[rack] = (
-                    ledger.cross_uploaded_by_rack.get(rack, 0.0) + nbytes
+                    ledger.cross_uploaded_by_rack.get(rack, 0) + nbytes
                 )
             else:
                 ledger.intra_rack_bytes += nbytes
         return ledger
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> int:
         return self.cross_rack_bytes + self.intra_rack_bytes
 
     def cross_rack_blocks(self, block_size: int) -> float:

@@ -47,7 +47,8 @@ class MultiStripeOutcome:
     makespan:
         Wall-clock of the whole rebuild (seconds).
     total_cross_rack_bytes / total_intra_rack_bytes:
-        Aggregate traffic over all stripes.
+        Aggregate traffic over all stripes — exact ints, matching the
+        byte-level executor's integral ledgers.
     rack_upload_imbalance:
         Summary of per-rack cross-rack upload bytes (max/mean ratio 1.0 =
         perfectly balanced) — CAR's objective.
@@ -59,8 +60,8 @@ class MultiStripeOutcome:
 
     failure: NodeFailure
     makespan: float
-    total_cross_rack_bytes: float
-    total_intra_rack_bytes: float
+    total_cross_rack_bytes: int
+    total_intra_rack_bytes: int
     rack_upload_imbalance: dict
     plans: list[RepairPlan]
     sim: SimResult
@@ -129,12 +130,12 @@ def merge_plans(
     return graph
 
 
-def _plan_cross_upload_by_rack(plan: RepairPlan, cluster) -> dict[int, float]:
-    loads: dict[int, float] = {}
+def _plan_cross_upload_by_rack(plan: RepairPlan, cluster) -> dict[int, int]:
+    loads: dict[int, int] = {}
     for op in plan.sends():
         if not cluster.same_rack(op.src, op.dst):
             rack = cluster.rack_of(op.src)
-            loads[rack] = loads.get(rack, 0.0) + plan.block_size
+            loads[rack] = loads.get(rack, 0) + plan.block_size
     return loads
 
 
@@ -210,28 +211,28 @@ def _execute_contexts(
     cost_model: DecodeCostModel,
 ) -> MultiStripeOutcome:
     plans: list[RepairPlan] = []
-    cumulative: dict[int, float] = {}
+    cumulative: dict[int, int] = {}
     for ctx in contexts:
         if balance:
             order = tuple(
                 sorted(
                     store.cluster.rack_ids(),
-                    key=lambda r: (cumulative.get(r, 0.0), r),
+                    key=lambda r: (cumulative.get(r, 0), r),
                 )
             )
             ctx = replace(ctx, rack_tiebreak=order)
         plan = scheme.plan(ctx)
         plans.append(plan)
         for rack, nbytes in _plan_cross_upload_by_rack(plan, store.cluster).items():
-            cumulative[rack] = cumulative.get(rack, 0.0) + nbytes
+            cumulative[rack] = cumulative.get(rack, 0) + nbytes
 
     if not plans:
         empty = SimResult(makespan=0.0, timings={}, events=[])
         return MultiStripeOutcome(
             failure=failure,
             makespan=0.0,
-            total_cross_rack_bytes=0.0,
-            total_intra_rack_bytes=0.0,
+            total_cross_rack_bytes=0,
+            total_intra_rack_bytes=0,
             rack_upload_imbalance=imbalance_summary({}),
             plans=[],
             sim=empty,
@@ -242,7 +243,7 @@ def _execute_contexts(
     sim = engine.run(graph)
     ledger = TrafficLedger.from_sim(sim, store.cluster)
     # Balance is judged over every rack, including those that pushed nothing.
-    uploads = {rack: 0.0 for rack in store.cluster.rack_ids()}
+    uploads = {rack: 0 for rack in store.cluster.rack_ids()}
     uploads.update(ledger.cross_uploaded_by_rack)
     return MultiStripeOutcome(
         failure=failure,

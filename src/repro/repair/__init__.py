@@ -9,6 +9,9 @@ Public surface:
   concrete (byte-level) executor.
 * :func:`simulate_repair` — compile a plan and run it on the
   discrete-event engine, returning time and traffic.
+* :func:`simulate_repair_with_faults` — the degraded path: run a repair
+  under an injected :class:`repro.sim.FaultPlan`, re-planning around dead
+  helpers via :meth:`RepairScheme.replan` (see ``docs/FAULTS.md``).
 """
 
 from .base import (
@@ -22,8 +25,17 @@ from .degraded import degraded_read_context, plan_degraded_read
 from .executor import (
     ExecutionError,
     ExecutionResult,
+    execute_ops,
     execute_plan,
     initial_store_for,
+)
+from .faults import (
+    DegradedRepairOutcome,
+    IrrecoverableError,
+    RepairSnapshot,
+    payload_compositions,
+    plan_degraded_gather,
+    simulate_repair_with_faults,
 )
 from .plan import CombineOp, PlanError, RepairPlan, SendOp, block_key
 from .planstats import PlanStats, critical_path_hops
@@ -41,9 +53,12 @@ from .update import apply_update_payloads, plan_update
 __all__ = [
     "CARRepair",
     "CombineOp",
+    "DegradedRepairOutcome",
     "ExecutionError",
     "ExecutionResult",
     "HeterogeneityAwareRPR",
+    "IrrecoverableError",
+    "RepairSnapshot",
     "PlanError",
     "PlanStats",
     "RPRScheme",
@@ -58,7 +73,10 @@ __all__ = [
     "block_key",
     "critical_path_hops",
     "degraded_read_context",
+    "execute_ops",
     "execute_plan",
+    "payload_compositions",
+    "plan_degraded_gather",
     "plan_degraded_read",
     "plan_update",
     "first_n_helpers",
@@ -68,4 +86,5 @@ __all__ = [
     "recovery_targets",
     "remote_rack_count",
     "simulate_repair",
+    "simulate_repair_with_faults",
 ]

@@ -45,6 +45,13 @@ class RepairContext:
         balancing (CAR's cross-stripe objective) passes racks ordered by
         their accumulated cross-rack upload so new repairs lean on the
         least-loaded racks.
+    unavailable_blocks:
+        Blocks that still exist but cannot serve as helpers — their host
+        node died mid-repair (fault injection, :mod:`repro.repair.faults`)
+        or is otherwise unreachable.  Unlike ``failed_blocks`` they are
+        not repair targets; they are simply excluded from
+        :attr:`surviving_blocks`, so every scheme's helper selection
+        avoids them automatically.
     """
 
     code: RSCode
@@ -55,6 +62,7 @@ class RepairContext:
     cost_model: DecodeCostModel = SIMICS_DECODE
     recovery_override: tuple[tuple[int, int], ...] | None = None
     rack_tiebreak: tuple[int, ...] | None = None
+    unavailable_blocks: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         failed = tuple(self.failed_blocks)
@@ -72,11 +80,22 @@ class RepairContext:
                 raise RepairPlanningError(f"failed block {b} outside stripe")
         if self.placement.n != self.code.n or self.placement.k != self.code.k:
             raise RepairPlanningError("placement shape does not match code")
+        unavailable = tuple(self.unavailable_blocks)
+        if len(set(unavailable)) != len(unavailable):
+            raise RepairPlanningError("duplicate unavailable block ids")
+        for b in unavailable:
+            if not 0 <= b < self.code.width:
+                raise RepairPlanningError(f"unavailable block {b} outside stripe")
+            if b in failed:
+                raise RepairPlanningError(
+                    f"block {b} is both failed and unavailable; failed blocks "
+                    "are already excluded from helpers"
+                )
 
     @property
     def surviving_blocks(self) -> list[int]:
-        failed = set(self.failed_blocks)
-        return [b for b in range(self.code.width) if b not in failed]
+        gone = set(self.failed_blocks) | set(self.unavailable_blocks)
+        return [b for b in range(self.code.width) if b not in gone]
 
     def rack_of_block(self, block_id: int) -> int:
         return self.placement.rack_of_block(self.cluster, block_id)
@@ -150,3 +169,19 @@ class RepairScheme:
 
     def plan(self, ctx: RepairContext) -> RepairPlan:
         raise NotImplementedError
+
+    def replan(self, ctx: RepairContext, snapshot=None) -> RepairPlan:
+        """Plan a repair after a mid-repair fault.
+
+        ``ctx`` carries the post-fault world: dead helpers appear in
+        ``ctx.unavailable_blocks`` and recovery targets are re-pinned via
+        ``ctx.recovery_override``.  ``snapshot`` is a
+        :class:`repro.repair.faults.RepairSnapshot` describing payloads
+        already delivered by the failed attempt.
+
+        The default re-plans from scratch with fresh helper selection
+        (traditional and CAR have no reusable intermediate state worth
+        chasing); :class:`repro.repair.rpr.RPRScheme` overrides this to
+        reuse already-delivered partial sums.
+        """
+        return self.plan(ctx)

@@ -19,7 +19,13 @@ from ..rs import Stripe
 from ..cluster import Placement
 from .plan import CombineOp, RepairPlan, SendOp, block_key
 
-__all__ = ["ExecutionError", "ExecutionResult", "execute_plan", "initial_store_for"]
+__all__ = [
+    "ExecutionError",
+    "ExecutionResult",
+    "execute_ops",
+    "execute_plan",
+    "initial_store_for",
+]
 
 
 class ExecutionError(RuntimeError):
@@ -109,6 +115,53 @@ def _topo_order(plan: RepairPlan) -> list[str]:
     return order
 
 
+def _apply_op(
+    oid: str,
+    op: SendOp | CombineOp,
+    cluster: Cluster,
+    store: dict[int, dict[str, np.ndarray]],
+    t: GFTables,
+    result: ExecutionResult,
+) -> None:
+    """Execute one op against the store, updating ``result``'s ledgers."""
+    if isinstance(op, SendOp):
+        src_store = store.get(op.src, {})
+        if op.key not in src_store:
+            raise ExecutionError(
+                f"send {oid!r}: payload {op.key!r} not on node {op.src}"
+            )
+        payload = src_store[op.key]
+        store.setdefault(op.dst, {})[op.key] = payload
+        nbytes = int(payload.nbytes)
+        result.uploaded_by_node[op.src] = (
+            result.uploaded_by_node.get(op.src, 0) + nbytes
+        )
+        result.downloaded_by_node[op.dst] = (
+            result.downloaded_by_node.get(op.dst, 0) + nbytes
+        )
+        if cluster.same_rack(op.src, op.dst):
+            result.intra_rack_bytes += nbytes
+        else:
+            result.cross_rack_bytes += nbytes
+            rack = cluster.rack_of(op.src)
+            result.cross_uploaded_by_rack[rack] = (
+                result.cross_uploaded_by_rack.get(rack, 0) + nbytes
+            )
+        result.sends_executed += 1
+    else:
+        assert isinstance(op, CombineOp)
+        node_store = store.setdefault(op.node, {})
+        missing = [key for key, _ in op.terms if key not in node_store]
+        if missing:
+            raise ExecutionError(
+                f"combine {oid!r}: payloads {missing} not on node {op.node}"
+            )
+        coeffs = [c for _, c in op.terms]
+        blocks = [node_store[key] for key, _ in op.terms]
+        node_store[op.out_key] = linear_combine(coeffs, blocks, t)
+        result.combine_count += 1
+
+
 def execute_plan(
     plan: RepairPlan,
     cluster: Cluster,
@@ -132,43 +185,7 @@ def execute_plan(
     result = ExecutionResult(recovered={})
 
     for oid in _topo_order(plan):
-        op = plan.ops[oid]
-        if isinstance(op, SendOp):
-            src_store = store.get(op.src, {})
-            if op.key not in src_store:
-                raise ExecutionError(
-                    f"send {oid!r}: payload {op.key!r} not on node {op.src}"
-                )
-            payload = src_store[op.key]
-            store.setdefault(op.dst, {})[op.key] = payload
-            nbytes = int(payload.nbytes)
-            result.uploaded_by_node[op.src] = (
-                result.uploaded_by_node.get(op.src, 0) + nbytes
-            )
-            result.downloaded_by_node[op.dst] = (
-                result.downloaded_by_node.get(op.dst, 0) + nbytes
-            )
-            if cluster.same_rack(op.src, op.dst):
-                result.intra_rack_bytes += nbytes
-            else:
-                result.cross_rack_bytes += nbytes
-                rack = cluster.rack_of(op.src)
-                result.cross_uploaded_by_rack[rack] = (
-                    result.cross_uploaded_by_rack.get(rack, 0) + nbytes
-                )
-            result.sends_executed += 1
-        else:
-            assert isinstance(op, CombineOp)
-            node_store = store.setdefault(op.node, {})
-            missing = [key for key, _ in op.terms if key not in node_store]
-            if missing:
-                raise ExecutionError(
-                    f"combine {oid!r}: payloads {missing} not on node {op.node}"
-                )
-            coeffs = [c for _, c in op.terms]
-            blocks = [node_store[key] for key, _ in op.terms]
-            node_store[op.out_key] = linear_combine(coeffs, blocks, t)
-            result.combine_count += 1
+        _apply_op(oid, plan.ops[oid], cluster, store, t, result)
 
     for block_id, (node, key) in plan.outputs.items():
         node_store = store.get(node, {})
@@ -177,4 +194,46 @@ def execute_plan(
                 f"output for block {block_id}: payload {key!r} missing on node {node}"
             )
         result.recovered[block_id] = node_store[key]
+    return result
+
+
+def execute_ops(
+    plan: RepairPlan,
+    op_ids,
+    cluster: Cluster,
+    store: dict[int, dict[str, np.ndarray]],
+    tables: GFTables | None = None,
+) -> ExecutionResult:
+    """Execute a dependency-closed subset of ``plan``'s ops against ``store``.
+
+    This is the byte-level mirror of a *partially completed* simulated
+    run (fault injection): the engine reports which jobs finished before
+    a fault, and — because job ids are op ids and the engine enforces
+    dependencies — that set is dependency-closed, so replaying exactly
+    those ops leaves the store in the state a real degraded repair would
+    see.  Declared outputs are not collected (a partial run normally has
+    not produced them); ledgers cover only the executed ops.
+
+    Raises
+    ------
+    ExecutionError
+        If ``op_ids`` contains an unknown op or is not dependency-closed,
+        or an input payload is missing.
+    """
+    wanted = set(op_ids)
+    unknown = wanted - set(plan.ops)
+    if unknown:
+        raise ExecutionError(f"unknown ops {sorted(unknown)} in partial execution")
+    for oid in wanted:
+        missing = set(plan.ops[oid].deps) - wanted
+        if missing:
+            raise ExecutionError(
+                f"partial execution not dependency-closed: {oid!r} needs "
+                f"{sorted(missing)}"
+            )
+    t = tables or get_tables()
+    result = ExecutionResult(recovered={})
+    for oid in _topo_order(plan):
+        if oid in wanted:
+            _apply_op(oid, plan.ops[oid], cluster, store, t, result)
     return result

@@ -1,0 +1,580 @@
+"""Degraded repair: re-planning around helpers that die mid-repair.
+
+This is the robustness layer the paper's evaluation skips: its schemes
+assume every helper survives the whole repair.  Here a repair runs under
+an injected :class:`repro.sim.FaultPlan`; when a helper node dies
+mid-gather the orchestrator
+
+1. replays the *completed* prefix of the plan on the byte store (the
+   engine's job ids are op ids, and finished jobs form a
+   dependency-closed set — :func:`repro.repair.executor.execute_ops`),
+2. drops everything the dead node held,
+3. asks the scheme to re-plan via :meth:`RepairScheme.replan` with a
+   :class:`RepairSnapshot` of what survived — including
+   already-delivered intermediates, and
+4. re-simulates under the remaining faults, up to ``max_attempts``.
+
+Traditional and CAR re-plan from scratch with fresh helper selection
+(their intermediate state is a half-summed buffer on a node that may be
+gone).  RPR's partial sums are first-class reusable state: its ``replan``
+routes through :func:`plan_degraded_gather`, which treats every surviving
+payload — raw block or delivered intermediate — as a known GF(256)
+linear combination of the data blocks and solves for coefficients that
+re-express the failed block, preferring payloads already at the recovery
+node, then delivered partial sums, then raw blocks.  A repair below the
+decode threshold (no payload combination spans the failed block) raises
+the typed :class:`IrrecoverableError`.
+
+Determinism: every step is a pure function of (plan, fault plan), so the
+same seed reproduces the same degraded schedule bit-for-bit (golden
+tests pin this).  See ``docs/FAULTS.md`` for the full model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..cluster import BandwidthModel, Cluster
+from ..gf import GFTables, get_tables, gf_mul
+from ..gf.matrix import mat_solve
+from ..rs import InsufficientHelpersError, Stripe
+from ..sim import FaultPlan, FaultReport, SimResult, SimulationEngine
+from .base import RepairContext, RepairPlanningError, RepairScheme, recovery_targets
+from .executor import ExecutionResult, _topo_order, execute_ops, execute_plan, initial_store_for
+from .plan import CombineOp, RepairPlan, SendOp, block_key
+
+__all__ = [
+    "DegradedRepairOutcome",
+    "IrrecoverableError",
+    "RepairSnapshot",
+    "payload_compositions",
+    "plan_degraded_gather",
+    "simulate_repair_with_faults",
+]
+
+
+class IrrecoverableError(RuntimeError):
+    """The repair cannot complete: survivors are below the decode threshold.
+
+    Raised when no GF-linear combination of the payloads still reachable
+    (raw blocks on live nodes plus delivered intermediates) expresses a
+    failed block, when a recovery rack has no live spare left, or when
+    the bounded retry budget is exhausted.
+
+    Attributes
+    ----------
+    failed_blocks / attempt:
+        What was being repaired and on which attempt the repair gave up.
+    """
+
+    def __init__(
+        self, message: str, failed_blocks: tuple[int, ...] = (), attempt: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.failed_blocks = tuple(failed_blocks)
+        self.attempt = attempt
+
+
+@dataclass(frozen=True)
+class RepairSnapshot:
+    """Surviving payload state after a fault, handed to ``replan``.
+
+    Attributes
+    ----------
+    payloads:
+        Live node → payload key → *composition*: the payload's GF(256)
+        coefficient vector over the ``n`` data blocks.  Raw block ``i``
+        has composition ``code.generator_row(i)``; a delivered
+        intermediate has the combination its combine chain computed.
+        This is symbolic state — schemes can re-plan without touching
+        bytes, and the byte-level mirror stays a separate concern.
+    dead_nodes:
+        Every node that has died so far (cumulative across attempts).
+    attempt:
+        1-based index of the re-plan this snapshot feeds (used to
+        namespace re-planned payload keys).
+    """
+
+    payloads: dict[int, dict[str, np.ndarray]]
+    dead_nodes: frozenset[int]
+    attempt: int
+
+    def intermediates(self) -> list[str]:
+        """Keys of surviving non-raw payloads (delivered partial sums)."""
+        return sorted(
+            {
+                key
+                for keys in self.payloads.values()
+                for key in keys
+                if not key.startswith("block:")
+            }
+        )
+
+
+def payload_compositions(
+    plan: RepairPlan,
+    code,
+    base: dict[str, np.ndarray] | None = None,
+    tables: GFTables | None = None,
+) -> dict[str, np.ndarray]:
+    """Composition of every payload key a plan touches, in the data basis.
+
+    Walks the plan's combines in topological order: raw ``block:i`` keys
+    start from ``code.generator_row(i)`` and each combine's output is the
+    GF-linear combination of its inputs' compositions.  ``base`` supplies
+    compositions of keys minted by earlier plans (re-planned repairs
+    consume intermediates across attempts).
+    """
+    t = tables or get_tables()
+    comps: dict[str, np.ndarray] = dict(base) if base else {}
+    for op in plan.ops.values():
+        keys = [op.key] if isinstance(op, SendOp) else [k for k, _ in op.terms]
+        for key in keys:
+            if key.startswith("block:") and key not in comps:
+                comps[key] = code.generator_row(int(key.split(":", 1)[1]))
+    for oid in _topo_order(plan):
+        op = plan.ops[oid]
+        if not isinstance(op, CombineOp):
+            continue
+        acc = np.zeros(code.n, dtype=np.uint8)
+        for key, coeff in op.terms:
+            if key not in comps:
+                raise KeyError(
+                    f"combine {oid!r} consumes {key!r} with unknown composition"
+                )
+            acc ^= gf_mul(coeff, comps[key], t)
+        comps[op.out_key] = acc
+    return comps
+
+
+def plan_degraded_gather(
+    ctx: RepairContext,
+    snapshot: RepairSnapshot,
+    prefix: str = "degraded",
+    tables: GFTables | None = None,
+) -> RepairPlan:
+    """Re-plan a repair from surviving payloads via a GF(256) solve.
+
+    For each failed block the planner greedily selects a minimal
+    rank-increasing set of surviving payloads whose span contains the
+    block's generator row, ordered by cost: payloads already resident on
+    the recovery node, then delivered intermediates (heaviest — most
+    blocks summed — first, since each one replaces several raw sends),
+    then raw blocks.  :func:`repro.gf.matrix.mat_solve` pivots columns in
+    that order, so the returned coefficients are biased toward reusing
+    what earlier attempts already moved.  Selected payloads are shipped
+    straight to the recovery node and combined there — the degraded path
+    favours completing the repair over re-building the full pipeline.
+
+    Raises
+    ------
+    IrrecoverableError
+        When the surviving payloads do not span a failed block.
+    """
+    t = tables or get_tables()
+    code = ctx.code
+    targets = recovery_targets(ctx)
+    plan = RepairPlan(block_size=ctx.block_size)
+    attempt = snapshot.attempt
+    sent: dict[tuple[str, int], str] = {}
+
+    for failed in ctx.failed_blocks:
+        target = targets[failed]
+        want = code.generator_row(failed)
+
+        # One location per key: prefer a copy already on the target, else
+        # the lowest live node id (deterministic).
+        locations: dict[str, tuple[int, np.ndarray]] = {}
+        for node in sorted(snapshot.payloads):
+            for key, comp in snapshot.payloads[node].items():
+                held = locations.get(key)
+                if held is None or (node == target and held[0] != target):
+                    locations[key] = (node, comp)
+
+        def order_key(item):
+            key, (node, comp) = item
+            return (
+                0 if node == target else 1,
+                1 if key.startswith("block:") else 0,
+                -int(np.count_nonzero(comp)),
+                key,
+            )
+
+        candidates = sorted(locations.items(), key=order_key)
+
+        # Greedy rank-increasing selection until `want` is in the span.
+        echelon: dict[int, np.ndarray] = {}  # pivot index -> normalised row
+        selected: list[tuple[str, int, np.ndarray]] = []
+        solution: np.ndarray | None = None
+        for key, (node, comp) in candidates:
+            vec = comp.copy()
+            for pivot, row in echelon.items():
+                if vec[pivot]:
+                    vec ^= gf_mul(int(vec[pivot]), row, t)
+            nz = np.nonzero(vec)[0]
+            if nz.size == 0:
+                continue  # linearly dependent on the selection so far
+            pivot = int(nz[0])
+            lead = int(vec[pivot])
+            if lead != 1:
+                inv = int(mat_solve(
+                    np.array([[lead]], dtype=np.uint8),
+                    np.array([1], dtype=np.uint8),
+                    t,
+                )[0])
+                vec = gf_mul(inv, vec, t)
+            echelon[pivot] = vec
+            selected.append((key, node, comp))
+            a = np.stack([c for _, _, c in selected], axis=1)
+            solution = mat_solve(a, want, t)
+            if solution is not None:
+                break
+        if solution is None:
+            raise IrrecoverableError(
+                f"block {failed} is below the decode threshold: the "
+                f"{len(locations)} surviving payloads do not span it "
+                f"(dead nodes: {sorted(snapshot.dead_nodes)})",
+                failed_blocks=ctx.failed_blocks,
+                attempt=attempt,
+            )
+
+        terms: list[tuple[str, int]] = []
+        deps: list[str] = []
+        for (key, node, _), coeff in zip(selected, solution):
+            if coeff == 0:
+                continue
+            terms.append((key, int(coeff)))
+            if node == target:
+                continue
+            send_key = (key, target)
+            if send_key not in sent:
+                sent[send_key] = plan.add_send(
+                    f"{prefix}:a{attempt}:send:{key}-to-n{target}",
+                    src=node,
+                    dst=target,
+                    key=key,
+                )
+            deps.append(sent[send_key])
+        out_key = f"{prefix}:a{attempt}:recovered:{failed}"
+        plan.add_combine(
+            f"{prefix}:a{attempt}:final:{failed}",
+            node=target,
+            out_key=out_key,
+            terms=terms,
+            with_matrix_build=True,
+            deps=deps,
+        )
+        plan.mark_output(failed, target, out_key)
+    return plan
+
+
+@dataclass
+class DegradedRepairOutcome:
+    """Result of one repair run under fault injection.
+
+    Attributes
+    ----------
+    scheme / attempts:
+        Scheme name and how many simulated attempts it took (1 = no
+        re-plan was needed).
+    total_repair_time:
+        Degraded makespan: the attempt makespans summed — attempts are
+        composed sequentially (failure detection and re-planning are
+        assumed to take no simulated time, but no work overlaps a
+        re-plan; a conservative accounting).
+    cross_rack_bytes / intra_rack_bytes:
+        Bytes moved by *completed* transfers across all attempts,
+        including transfers whose payloads were later wasted.
+    retry_count / retried_bytes:
+        Lost-transfer retries and the bytes their lost attempts carried.
+    wasted_bytes:
+        Wire work that did not contribute to the final repair: completed
+        sends of failed attempts whose delivered payload no later plan
+        consumed, plus lost-attempt bytes, plus the pro-rata bytes of
+        transfers aborted mid-flight.
+    reused_payloads:
+        Intermediate payload keys minted by a failed attempt and consumed
+        by the final plan — RPR's reusable partial sums.  Empty when the
+        re-plan started from scratch.
+    dead_nodes:
+        Node → absolute death time on the concatenated attempt timeline.
+    sims / plans:
+        Per-attempt simulation results (each carrying its
+        :class:`~repro.sim.FaultReport`) and plans.
+    execution / recovered:
+        Byte-level oracle results for the final plan when a stripe was
+        supplied: the executor ledgers and the reconstructed payloads
+        (``None`` in symbolic-only runs).
+    """
+
+    scheme: str
+    total_repair_time: float
+    attempts: int
+    cross_rack_bytes: float
+    intra_rack_bytes: float
+    retry_count: int
+    retried_bytes: float
+    wasted_bytes: float
+    reused_payloads: tuple[str, ...]
+    dead_nodes: dict[int, float]
+    sims: list[SimResult] = field(default_factory=list)
+    plans: list[RepairPlan] = field(default_factory=list)
+    cluster: Cluster | None = None
+    execution: ExecutionResult | None = None
+    recovered: dict[int, np.ndarray] | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fault actually altered the run."""
+        return self.attempts > 1 or self.retry_count > 0 or bool(self.dead_nodes)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (payload bytes omitted)."""
+        return {
+            "scheme": self.scheme,
+            "total_repair_time": self.total_repair_time,
+            "attempts": self.attempts,
+            "cross_rack_bytes": self.cross_rack_bytes,
+            "intra_rack_bytes": self.intra_rack_bytes,
+            "retry_count": self.retry_count,
+            "retried_bytes": self.retried_bytes,
+            "wasted_bytes": self.wasted_bytes,
+            "reused_payloads": list(self.reused_payloads),
+            "dead_nodes": {str(n): t for n, t in self.dead_nodes.items()},
+            "recovered_blocks": (
+                sorted(self.recovered) if self.recovered is not None else None
+            ),
+        }
+
+
+def _consumed_at(plan: RepairPlan) -> set[tuple[str, int]]:
+    """(payload key, node) pairs a plan reads: send sources + combine inputs."""
+    used: set[tuple[str, int]] = set()
+    for op in plan.ops.values():
+        if isinstance(op, SendOp):
+            used.add((op.key, op.src))
+        else:
+            for key, _ in op.terms:
+                used.add((key, op.node))
+    return used
+
+
+def _consumed_keys(plan: RepairPlan) -> set[str]:
+    return {key for key, _ in _consumed_at(plan)}
+
+
+def _retarget(
+    plan: RepairPlan, ctx: RepairContext, dead: set[int], attempt: int
+) -> tuple[tuple[int, int], ...]:
+    """Recovery targets for a re-plan: keep live ones, replace dead ones.
+
+    Replacement policy matches :func:`repro.repair.base.recovery_targets`:
+    the first live spare in the failed block's own rack.
+    """
+    override: list[tuple[int, int]] = []
+    taken = {node for _, (node, _) in plan.outputs.items() if node not in dead}
+    for block, (node, _) in sorted(plan.outputs.items()):
+        if node not in dead:
+            override.append((block, node))
+            continue
+        rack = ctx.rack_of_block(block)
+        spares = [
+            spare
+            for spare in ctx.placement.spare_nodes_in_rack(ctx.cluster, rack)
+            if spare not in dead and spare not in taken
+        ]
+        if not spares:
+            raise IrrecoverableError(
+                f"rack {rack} has no live spare left to host recovered "
+                f"block {block} (dead nodes: {sorted(dead)})",
+                failed_blocks=ctx.failed_blocks,
+                attempt=attempt,
+            )
+        override.append((block, spares[0]))
+        taken.add(spares[0])
+    return tuple(override)
+
+
+def simulate_repair_with_faults(
+    scheme: RepairScheme,
+    ctx: RepairContext,
+    bandwidth: BandwidthModel,
+    faults: FaultPlan | None,
+    stripe: Stripe | None = None,
+    max_attempts: int = 3,
+    tables: GFTables | None = None,
+) -> DegradedRepairOutcome:
+    """Run one repair under fault injection, re-planning as helpers die.
+
+    Simulates the scheme's plan on the event engine with ``faults``
+    injected.  If the attempt completes (possibly after lost-transfer
+    retries), done.  If a node death aborted part of it, the completed
+    op prefix is committed — symbolically always, and on real bytes when
+    ``stripe`` is given — the dead node's payloads are dropped, and the
+    scheme re-plans via :meth:`RepairScheme.replan` against the surviving
+    state; the next attempt runs under the same fault plan shifted by the
+    elapsed time.  With a stripe, the final plan is executed on the byte
+    store so ``recovered`` holds the reconstructed payloads (the
+    correctness oracle for degraded repairs).
+
+    Raises
+    ------
+    IrrecoverableError
+        When survivors drop below the decode threshold, a recovery rack
+        runs out of live spares, or ``max_attempts`` is exhausted.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    t = tables or get_tables()
+    code = ctx.code
+    engine = SimulationEngine(ctx.cluster, bandwidth)
+
+    # Symbolic store: node -> key -> composition over the data blocks.
+    sym: dict[int, dict[str, np.ndarray]] = {}
+    failed_set = set(ctx.failed_blocks)
+    for block in range(code.width):
+        if block in failed_set:
+            continue
+        node = ctx.placement.node_of(block)
+        sym.setdefault(node, {})[block_key(block)] = code.generator_row(block)
+    store = (
+        initial_store_for(stripe, ctx.placement, ctx.failed_blocks)
+        if stripe is not None
+        else None
+    )
+
+    comps: dict[str, np.ndarray] = {}
+    dead: dict[int, float] = {}
+    produced_earlier: set[str] = set()
+    sims: list[SimResult] = []
+    plans: list[RepairPlan] = []
+    finished_per_attempt: list[set[str]] = []
+    offset = 0.0
+    current_ctx = ctx
+    plan = scheme.plan(ctx)
+    success = False
+
+    for attempt in range(max_attempts):
+        graph = plan.to_job_graph(current_ctx.cost_model)
+        shifted = faults.shifted(offset) if faults else None
+        sim = engine.run(graph, shifted)
+        report = sim.faults if sim.faults is not None else FaultReport()
+        sims.append(sim)
+        plans.append(plan)
+        comps = payload_compositions(plan, code, base=comps, tables=t)
+
+        finished = set(sim.timings) - set(report.aborted)
+        finished_per_attempt.append(finished)
+        for node, when in report.dead_nodes.items():
+            if node not in dead:
+                dead[node] = offset + when
+        offset += sim.makespan
+
+        if report.complete:
+            success = True
+            break
+
+        # Commit the completed prefix, then drop the dead nodes' state.
+        for oid in _topo_order(plan):
+            if oid not in finished:
+                continue
+            op = plan.ops[oid]
+            if isinstance(op, SendOp):
+                sym.setdefault(op.dst, {})[op.key] = comps[op.key]
+            else:
+                sym.setdefault(op.node, {})[op.out_key] = comps[op.out_key]
+        if store is not None:
+            execute_ops(plan, finished, ctx.cluster, store, tables=t)
+        for node in report.dead_nodes:
+            sym.pop(node, None)
+            if store is not None:
+                store.pop(node, None)
+        produced_earlier.update(
+            plan.ops[oid].out_key
+            for oid in finished
+            if isinstance(plan.ops[oid], CombineOp)
+        )
+
+        if attempt + 1 >= max_attempts:
+            break
+
+        # Re-plan against the surviving world.
+        unavailable = tuple(
+            sorted(
+                block
+                for block in range(code.width)
+                if block not in failed_set
+                and ctx.placement.node_of(block) in dead
+            )
+        )
+        override = _retarget(plan, ctx, set(dead), attempt + 1)
+        current_ctx = replace(
+            ctx, unavailable_blocks=unavailable, recovery_override=override
+        )
+        snapshot = RepairSnapshot(
+            payloads={node: dict(keys) for node, keys in sym.items()},
+            dead_nodes=frozenset(dead),
+            attempt=attempt + 1,
+        )
+        try:
+            plan = scheme.replan(current_ctx, snapshot)
+        except (InsufficientHelpersError, RepairPlanningError) as exc:
+            raise IrrecoverableError(
+                f"re-planning failed after node deaths {sorted(dead)}: {exc}",
+                failed_blocks=ctx.failed_blocks,
+                attempt=attempt + 1,
+            ) from exc
+
+    if not success:
+        raise IrrecoverableError(
+            f"repair of blocks {sorted(ctx.failed_blocks)} did not complete "
+            f"within {max_attempts} attempts (dead nodes: {sorted(dead)})",
+            failed_blocks=ctx.failed_blocks,
+            attempt=len(sims),
+        )
+
+    # Accounting over the failed prefix attempts + the successful final one.
+    final_plan = plans[-1]
+    reused = tuple(sorted(_consumed_keys(final_plan) & produced_earlier))
+    retried_bytes = sum(
+        s.faults.retried_bytes for s in sims if s.faults is not None
+    )
+    retry_count = sum(s.faults.retry_count for s in sims if s.faults is not None)
+    aborted_bytes = sum(
+        s.faults.aborted_bytes for s in sims if s.faults is not None
+    )
+    wasted = retried_bytes + aborted_bytes
+    for idx in range(len(plans) - 1):
+        later_consumed: set[tuple[str, int]] = set()
+        for later in plans[idx + 1 :]:
+            later_consumed |= _consumed_at(later)
+        for oid in finished_per_attempt[idx]:
+            op = plans[idx].ops[oid]
+            if isinstance(op, SendOp) and (op.key, op.dst) not in later_consumed:
+                wasted += plans[idx].block_size
+
+    execution = None
+    recovered = None
+    if store is not None:
+        execution = execute_plan(final_plan, ctx.cluster, store, tables=t)
+        recovered = execution.recovered
+
+    return DegradedRepairOutcome(
+        scheme=scheme.name,
+        total_repair_time=offset,
+        attempts=len(sims),
+        cross_rack_bytes=sum(s.cross_rack_bytes() for s in sims),
+        intra_rack_bytes=sum(s.intra_rack_bytes() for s in sims),
+        retry_count=retry_count,
+        retried_bytes=retried_bytes,
+        wasted_bytes=wasted,
+        reused_payloads=reused,
+        dead_nodes=dead,
+        sims=sims,
+        plans=plans,
+        cluster=ctx.cluster,
+        execution=execution,
+        recovered=recovered,
+    )

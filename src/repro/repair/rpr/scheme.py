@@ -22,8 +22,14 @@ proves the plan decodes the genuinely lost bytes.
 
 from __future__ import annotations
 
-from ...rs import RecoveryEquation, recovery_equations, slice_equation_by_group
-from ..base import RepairContext, RepairScheme, recovery_targets
+from ...rs import (
+    InsufficientHelpersError,
+    RecoveryEquation,
+    recovery_equations,
+    slice_equation_by_group,
+)
+from ..base import RepairContext, RepairPlanningError, RepairScheme, recovery_targets
+from ..faults import plan_degraded_gather
 from ..plan import RepairPlan, block_key
 from ..selection import rack_aware_helpers
 from .cross import build_cross_gather, build_direct_gather
@@ -121,6 +127,29 @@ class RPRScheme(RepairScheme):
                 raw_sends,
             )
         return plan
+
+    def replan(self, ctx: RepairContext, snapshot=None) -> RepairPlan:
+        """Re-plan after a mid-repair fault, reusing delivered partial sums.
+
+        RPR's intermediates are GF-linear combinations of data blocks with
+        known coefficients, so any partial sum a failed attempt already
+        delivered is first-class decode input.  When the snapshot holds at
+        least one surviving intermediate the re-plan routes through
+        :func:`repro.repair.faults.plan_degraded_gather`, which solves for
+        a decode expression biased toward those intermediates instead of
+        re-shipping the raw blocks they summarise.  With nothing delivered
+        (or no snapshot) a fresh pipeline plan is at least as good; if the
+        fresh plan is infeasible (fewer than ``n`` raw survivors) the
+        gather solve over the surviving payload span is the last resort.
+        """
+        if snapshot is not None and snapshot.intermediates():
+            return plan_degraded_gather(ctx, snapshot, prefix="rpr:degraded")
+        try:
+            return self.plan(ctx)
+        except (InsufficientHelpersError, RepairPlanningError):
+            if snapshot is None:
+                raise
+            return plan_degraded_gather(ctx, snapshot, prefix="rpr:degraded")
 
     def _order_remote_sources(
         self, ctx: RepairContext, target: int, remote: list[InnerResult]

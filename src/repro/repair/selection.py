@@ -132,8 +132,13 @@ def rack_aware_helpers(ctx: RepairContext, prefer_xor: bool = True) -> list[int]
         return greedy
     if prefer_xor:
         xor_set = _xor_candidate(ctx)
-        if xor_set is not None and remote_rack_count(ctx, xor_set) <= remote_rack_count(
-            ctx, greedy
+        if (
+            xor_set is not None
+            # Degraded contexts may have lost part of the eq. (6) set to a
+            # dead node; the XOR fast path only applies when all of it
+            # survives.
+            and set(xor_set) <= set(ctx.surviving_blocks)
+            and remote_rack_count(ctx, xor_set) <= remote_rack_count(ctx, greedy)
         ):
             return xor_set
     return greedy

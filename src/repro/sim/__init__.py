@@ -8,10 +8,23 @@ The observability layer lives in :mod:`repro.sim.tracing`: per-resource
 utilization timelines, critical-path extraction, switch profiles, JSON
 export and ASCII reports over a finished :class:`SimResult` (see
 ``docs/OBSERVABILITY.md``).
+
+Fault injection lives in :mod:`repro.sim.faults`: a seeded
+:class:`FaultPlan` (node deaths, stragglers, transfer losses) passed to
+:meth:`SimulationEngine.run` yields a deterministic degraded schedule
+plus a :class:`FaultReport` on the result (see ``docs/FAULTS.md``).
 """
 
 from .engine import JobTiming, SimResult, SimulationEngine
 from .events import EventKind, TraceEvent
+from .faults import (
+    FaultPlan,
+    FaultReport,
+    NodeDeath,
+    Straggler,
+    TransferLoss,
+    random_fault_plan,
+)
 from .jobs import ComputeJob, JobGraph, JobGraphError, TransferJob
 from .timeline import TimelineRow, render_timeline, timeline_rows
 from .tracing import (
@@ -27,19 +40,25 @@ from .tracing import (
 __all__ = [
     "ComputeJob",
     "EventKind",
+    "FaultPlan",
+    "FaultReport",
     "Interval",
     "JobGraph",
     "JobGraphError",
     "JobTiming",
+    "NodeDeath",
     "PathSegment",
     "ResourceUsage",
     "RunTrace",
     "SimResult",
     "SimulationEngine",
+    "Straggler",
     "TimelineRow",
     "TraceEvent",
     "TransferJob",
+    "TransferLoss",
     "critical_path",
+    "random_fault_plan",
     "render_gantt",
     "render_report",
     "render_timeline",

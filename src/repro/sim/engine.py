@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 from ..cluster import BandwidthModel, Cluster
 from .events import EventKind, TraceEvent
+from .faults import FaultPlan, FaultReport
 from .jobs import ComputeJob, JobGraph, TransferJob
 
 __all__ = ["JobTiming", "SimResult", "SimulationEngine"]
@@ -78,12 +79,16 @@ class SimResult:
         The executed job graph's jobs, kept so post-processors (critical
         path extraction in :mod:`repro.sim.tracing`) can follow declared
         dependency edges.  Empty for hand-built results.
+    faults:
+        :class:`~repro.sim.faults.FaultReport` describing what injected
+        faults did to this run; ``None`` for fault-free runs.
     """
 
     makespan: float
     timings: dict[str, JobTiming]
     events: list[TraceEvent] = field(default_factory=list)
     jobs: dict[str, TransferJob | ComputeJob] = field(default_factory=dict)
+    faults: FaultReport | None = None
 
     def transfers(self) -> list[TraceEvent]:
         """All transfer-end events (one per completed transfer)."""
@@ -143,6 +148,7 @@ class SimResult:
                 for e in self.events
             ],
             "jobs": jobs,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
         }
 
     @classmethod
@@ -162,6 +168,11 @@ class SimResult:
             },
             events=[TraceEvent(**e) for e in data.get("events", [])],
             jobs=jobs,
+            faults=(
+                FaultReport.from_dict(data["faults"])
+                if data.get("faults") is not None
+                else None
+            ),
         )
 
 
@@ -272,8 +283,18 @@ class SimulationEngine:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, graph: JobGraph) -> SimResult:
-        """Execute ``graph`` to completion and return timings and trace."""
+    def run(self, graph: JobGraph, faults: FaultPlan | None = None) -> SimResult:
+        """Execute ``graph`` to completion and return timings and trace.
+
+        With a truthy ``faults`` plan the run goes through
+        :meth:`_run_faulted`, which injects node deaths, straggler
+        slowdowns and transfer losses deterministically and attaches a
+        :class:`~repro.sim.faults.FaultReport` to the result.  An empty
+        (or ``None``) plan takes this fault-free path, whose schedule is
+        bit-for-bit unchanged.
+        """
+        if faults:
+            return self._run_faulted(graph, faults)
         graph.validate()
         jobs = graph.jobs
         if not jobs:
@@ -407,4 +428,315 @@ class SimulationEngine:
         makespan = max(t.end for t in timings.values())
         return SimResult(
             makespan=makespan, timings=timings, events=events, jobs=dict(jobs)
+        )
+
+    def _run_faulted(self, graph: JobGraph, faults: FaultPlan) -> SimResult:
+        """Execute ``graph`` under an injected :class:`FaultPlan`.
+
+        Semantics (all deterministic; see :mod:`repro.sim.faults`):
+
+        * At one instant, completions are processed first, then node
+          deaths, then job starts — a transfer finishing exactly when its
+          endpoint dies still completes, while a job becoming ready at
+          the death instant fails instead of starting.
+        * A node death aborts every running job touching the dead node
+          (its timing ends at the death and its resources free), refuses
+          later starts there, and transitively skips everything depending
+          on an aborted or failed job.
+        * A lost transfer occupies its ports for its full duration, then
+          delivers nothing and is requeued immediately; its dependents
+          wait for the successful attempt.
+
+        A plan whose faults never fire (e.g. deaths beyond the makespan)
+        reproduces the fault-free schedule bit-for-bit — the scheduling
+        decisions below mirror :meth:`run` exactly.
+        """
+        graph.validate()
+        jobs = graph.jobs
+        report = FaultReport()
+        if not jobs:
+            return SimResult(makespan=0.0, timings={}, events=[], faults=report)
+
+        info, num_resources = self._job_table(jobs)
+        if faults.stragglers:
+            scaled: dict[str, tuple] = {}
+            for jid, row in info.items():
+                res, duration, cross, sk, ek, node, peer, nbytes = row
+                factor = faults.straggler_factor(node)
+                if peer >= 0:
+                    factor = max(factor, faults.straggler_factor(peer))
+                scaled[jid] = (
+                    res, duration * factor, cross, sk, ek, node, peer, nbytes
+                )
+            info = scaled
+        heappush, heappop, isclose = heapq.heappush, heapq.heappop, math.isclose
+
+        order = {jid: i for i, jid in enumerate(jobs)}
+        remaining_deps = {jid: set(job.deps) for jid, job in jobs.items()}
+        dependents: dict[str, list[str]] = {jid: [] for jid in jobs}
+        for jid, job in jobs.items():
+            for dep in set(job.deps):
+                dependents[dep].append(jid)
+
+        busy = bytearray(num_resources)
+        waiters: list[list[tuple[float, int, str]] | None] = [None] * num_resources
+        token_waiters: list[tuple[float, int, str]] = []
+        cross_inflight = 0
+        cap = self.cross_capacity
+
+        candidates: list[tuple[float, int, str]] = []
+        for jid, deps in remaining_deps.items():
+            if not deps:
+                heappush(candidates, (0.0, order[jid], jid))
+
+        running: list[tuple[float, int, str]] = []
+        timings: dict[str, JobTiming] = {}
+        events: list[TraceEvent] = []
+        now = 0.0
+        completed = 0
+        total = len(jobs)
+        terminal: set[str] = set()
+        dead: dict[int, float] = {}
+        attempts: dict[str, int] = {}
+        skipped: list[str] = []
+        pending_deaths = sorted((t, n) for n, t in faults.death_times().items())
+
+        def abort_kind_of(end_kind: str) -> str:
+            if end_kind == EventKind.TRANSFER_END:
+                return EventKind.TRANSFER_ABORT
+            return EventKind.COMPUTE_ABORT
+
+        def touches(jid: str, node: int) -> bool:
+            row = info[jid]
+            return row[5] == node or row[6] == node
+
+        def cascade_skip(root: str) -> None:
+            nonlocal completed
+            stack = list(dependents[root])
+            while stack:
+                child = stack.pop()
+                if child in terminal:
+                    continue
+                terminal.add(child)
+                skipped.append(child)
+                completed += 1
+                stack.extend(dependents[child])
+
+        def fail_job(jid: str) -> None:
+            # The job never starts: an endpoint is already dead.
+            nonlocal completed
+            _, _, cross, _, end_kind, node, peer, nbytes = info[jid]
+            terminal.add(jid)
+            report.failed[jid] = now
+            events.append(
+                TraceEvent(
+                    time=now,
+                    kind=abort_kind_of(end_kind),
+                    job_id=jid,
+                    node=node,
+                    peer=peer,
+                    cross_rack=cross,
+                    nbytes=nbytes,
+                )
+            )
+            completed += 1
+            cascade_skip(jid)
+
+        def process_deaths(upto: float) -> None:
+            """Fire every pending death at time <= ``upto``."""
+            nonlocal running, cross_inflight, completed, now
+            while pending_deaths and (
+                pending_deaths[0][0] <= upto
+                or isclose(pending_deaths[0][0], upto, rel_tol=0, abs_tol=1e-12)
+            ):
+                dtime, node = pending_deaths.pop(0)
+                dead[node] = dtime
+                report.dead_nodes[node] = dtime
+                now = max(now, dtime)
+                events.append(
+                    TraceEvent(
+                        time=dtime,
+                        kind=EventKind.NODE_DEATH,
+                        job_id=f"fault:death:{node}",
+                        node=node,
+                    )
+                )
+                doomed = [e for e in running if touches(e[2], node)]
+                if not doomed:
+                    continue
+                running = [e for e in running if not touches(e[2], node)]
+                heapq.heapify(running)
+                token_freed = False
+                for _, _, jid in sorted(doomed, key=lambda e: e[1]):
+                    res, duration, cross, _, end_kind, jnode, peer, nbytes = info[jid]
+                    for r in res:
+                        busy[r] = 0
+                        woken = waiters[r]
+                        if woken:
+                            waiters[r] = None
+                            for item in woken:
+                                heappush(candidates, item)
+                    if cross and cap is not None:
+                        cross_inflight -= 1
+                        token_freed = True
+                    start = timings[jid].start
+                    timings[jid] = JobTiming(job_id=jid, start=start, end=dtime)
+                    if nbytes and duration > 0:
+                        report.aborted_bytes += nbytes * min(
+                            1.0, (dtime - start) / duration
+                        )
+                    terminal.add(jid)
+                    report.aborted[jid] = dtime
+                    events.append(
+                        TraceEvent(
+                            time=dtime,
+                            kind=abort_kind_of(end_kind),
+                            job_id=jid,
+                            node=jnode,
+                            peer=peer,
+                            cross_rack=cross,
+                            nbytes=nbytes,
+                        )
+                    )
+                    completed += 1
+                    cascade_skip(jid)
+                if token_freed and token_waiters:
+                    for item in token_waiters:
+                        heappush(candidates, item)
+                    token_waiters.clear()
+
+        process_deaths(0.0)
+
+        while completed < total:
+            while candidates:
+                item = heappop(candidates)
+                jid = item[2]
+                if jid in terminal:
+                    continue
+                res, duration, cross, start_kind, _, node, peer, nbytes = info[jid]
+                if node in dead or (peer >= 0 and peer in dead):
+                    fail_job(jid)
+                    continue
+                blocker = -1
+                for r in res:
+                    if busy[r]:
+                        blocker = r
+                        break
+                if blocker >= 0:
+                    parked = waiters[blocker]
+                    if parked is None:
+                        waiters[blocker] = [item]
+                    else:
+                        parked.append(item)
+                    continue
+                needs_token = cross and cap is not None
+                if needs_token and cross_inflight >= cap:
+                    token_waiters.append(item)
+                    continue
+                for r in res:
+                    busy[r] = 1
+                if needs_token:
+                    cross_inflight += 1
+                end = now + duration
+                heappush(running, (end, item[1], jid))
+                timings[jid] = JobTiming(job_id=jid, start=now, end=end)
+                events.append(
+                    TraceEvent(
+                        time=now,
+                        kind=start_kind,
+                        job_id=jid,
+                        node=node,
+                        peer=peer,
+                        cross_rack=cross,
+                        nbytes=nbytes,
+                    )
+                )
+
+            if completed >= total:
+                break
+            if not running:
+                raise RuntimeError(
+                    "deadlock: jobs pending but nothing running "
+                    "(resource conflict cycle?)"
+                )
+            next_end = running[0][0]
+            if pending_deaths and pending_deaths[0][0] < next_end and not isclose(
+                pending_deaths[0][0], next_end, rel_tol=0, abs_tol=1e-12
+            ):
+                # The next event is a death, strictly before any completion.
+                process_deaths(pending_deaths[0][0])
+                continue
+            end, _, first = heappop(running)
+            batch = [first]
+            while running and isclose(running[0][0], end, rel_tol=0, abs_tol=1e-12):
+                batch.append(heappop(running)[2])
+            now = end
+            token_freed = False
+            for done_id in batch:
+                res, _, cross, _, end_kind, node, peer, nbytes = info[done_id]
+                for r in res:
+                    busy[r] = 0
+                    woken = waiters[r]
+                    if woken:
+                        waiters[r] = None
+                        for item in woken:
+                            heappush(candidates, item)
+                if cross and cap is not None:
+                    cross_inflight -= 1
+                    token_freed = True
+                attempt = attempts.get(done_id, 0)
+                if end_kind == EventKind.TRANSFER_END and faults.is_lost(
+                    done_id, attempt
+                ):
+                    attempts[done_id] = attempt + 1
+                    report.lost[done_id] = report.lost.get(done_id, 0) + 1
+                    report.retried_bytes += nbytes
+                    events.append(
+                        TraceEvent(
+                            time=now,
+                            kind=EventKind.TRANSFER_LOST,
+                            job_id=done_id,
+                            node=node,
+                            peer=peer,
+                            cross_rack=cross,
+                            nbytes=nbytes,
+                        )
+                    )
+                    heappush(candidates, (now, order[done_id], done_id))
+                    continue
+                events.append(
+                    TraceEvent(
+                        time=now,
+                        kind=end_kind,
+                        job_id=done_id,
+                        node=node,
+                        peer=peer,
+                        cross_rack=cross,
+                        nbytes=nbytes,
+                    )
+                )
+                terminal.add(done_id)
+                completed += 1
+                for child in dependents[done_id]:
+                    deps_left = remaining_deps[child]
+                    deps_left.discard(done_id)
+                    if not deps_left:
+                        heappush(candidates, (now, order[child], child))
+            if token_freed and token_waiters:
+                for item in token_waiters:
+                    heappush(candidates, item)
+                token_waiters.clear()
+            # Deaths tied with this instant fire after the completions but
+            # before the next start pass.
+            process_deaths(now)
+
+        report.skipped = tuple(skipped)
+        events.sort(key=lambda e: (e.time, e.kind.endswith("start"), e.job_id))
+        makespan = max((t.end for t in timings.values()), default=0.0)
+        return SimResult(
+            makespan=makespan,
+            timings=timings,
+            events=events,
+            jobs=dict(jobs),
+            faults=report,
         )

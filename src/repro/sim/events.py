@@ -14,12 +14,25 @@ __all__ = ["TraceEvent", "EventKind"]
 
 
 class EventKind:
-    """Symbolic names for trace event kinds."""
+    """Symbolic names for trace event kinds.
+
+    The four ``*_start``/``*_end`` kinds cover every fault-free run.  The
+    remaining kinds appear only under fault injection
+    (:mod:`repro.sim.faults`): ``NODE_DEATH`` marks the instant a node
+    fails, ``TRANSFER_ABORT``/``COMPUTE_ABORT`` replace the end event of
+    a job killed mid-flight (or refused at start) by a node death, and
+    ``TRANSFER_LOST`` replaces ``TRANSFER_END`` for an attempt that
+    finished on the wire but delivered nothing and was requeued.
+    """
 
     TRANSFER_START = "transfer_start"
     TRANSFER_END = "transfer_end"
     COMPUTE_START = "compute_start"
     COMPUTE_END = "compute_end"
+    NODE_DEATH = "node_death"
+    TRANSFER_ABORT = "transfer_abort"
+    COMPUTE_ABORT = "compute_abort"
+    TRANSFER_LOST = "transfer_lost"
 
 
 @dataclass(frozen=True)

@@ -236,14 +236,23 @@ def critical_path(result: SimResult) -> list[PathSegment]:
     head starts at 0, each segment starts at its predecessor's end, and
     the tail ends at ``result.makespan``.
     """
-    timings = result.timings
+    meta = _job_meta(result)
+    # Faulted runs record timings for aborted jobs too (their end is the
+    # abort instant) but emit no *_end event for them; the path walks
+    # only completed jobs.
+    timings = {jid: t for jid, t in result.timings.items() if jid in meta}
     if not timings:
         return []
-    meta = _job_meta(result)
 
     tail_candidates = sorted(
         (jid for jid, t in timings.items() if _close(t.end, result.makespan)),
     )
+    if not tail_candidates:
+        # Under faults the makespan can be an abort instant no completed
+        # job touches; anchor on the last completed job instead.
+        tail_candidates = sorted(
+            timings, key=lambda jid: (-timings[jid].end, jid)
+        )[:1]
     cur = tail_candidates[0]
     chain = [cur]
     via: dict[str, str] = {}
@@ -254,7 +263,9 @@ def critical_path(result: SimResult) -> list[PathSegment]:
             for jid, t in timings.items()
             if jid != cur and _close(t.end, start)
         ]
-        if not enders:  # pragma: no cover - engine starts only at completions
+        if not enders:
+            # Fault-free runs start jobs only at completion instants; under
+            # faults a start can follow an abort, which has no ender here.
             via[cur] = "start"
             break
         deps = set()

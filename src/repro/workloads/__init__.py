@@ -8,6 +8,7 @@ from .failures import (
     sample_scenarios,
     scenario_count,
     single_failure_scenarios,
+    validate_scenario,
     worst_case_scenarios,
 )
 
@@ -23,6 +24,7 @@ __all__ = [
     "sample_scenarios",
     "scenario_count",
     "single_failure_scenarios",
+    "validate_scenario",
     "poisson_node_failures",
     "worst_case_scenarios",
     "YEAR",

@@ -51,7 +51,7 @@ class TestEnvironmentBuilders:
 class TestSweepStats:
     def test_from_outcomes(self):
         env = build_simics_environment(4, 2)
-        scenarios = single_failure_scenarios(env.code)
+        scenarios = single_failure_scenarios(env.code, data_only=True)
         stats = sweep_scheme(env, RPRScheme(), scenarios)
         assert stats.scenarios == 4
         assert stats.min_time <= stats.mean_time <= stats.max_time

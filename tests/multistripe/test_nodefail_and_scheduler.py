@@ -107,6 +107,34 @@ class TestRepairNodeFailure:
         assert outcome.total_cross_rack_bytes > 0
         assert len(outcome.plans) == outcome.failure.stripes_affected
 
+    @pytest.mark.parametrize(
+        "scheme", [TraditionalRepair(), RPRScheme()], ids=lambda s: s.name
+    )
+    def test_byte_totals_are_exact_ints(self, store, scheme):
+        """Sim-side byte totals are integral and equal the per-plan sums.
+
+        Every send moves exactly ``block_size`` bytes, so the aggregate is
+        an exact integer multiple — a float total would mean the ledger
+        drifted from the executor's int accounting.
+        """
+        outcome = repair_node_failure(store, 0, scheme, SIMICS_BANDWIDTH)
+        assert type(outcome.total_cross_rack_bytes) is int
+        assert type(outcome.total_intra_rack_bytes) is int
+        expected_cross = sum(
+            plan.block_size
+            for plan in outcome.plans
+            for op in plan.sends()
+            if not store.cluster.same_rack(op.src, op.dst)
+        )
+        expected_intra = sum(
+            plan.block_size
+            for plan in outcome.plans
+            for op in plan.sends()
+            if store.cluster.same_rack(op.src, op.dst)
+        )
+        assert outcome.total_cross_rack_bytes == expected_cross
+        assert outcome.total_intra_rack_bytes == expected_intra
+
     def test_parallel_never_slower_than_sequential(self, store):
         seq = repair_node_failure(
             store, 0, RPRScheme(), SIMICS_BANDWIDTH, mode="sequential"

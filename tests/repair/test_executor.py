@@ -140,11 +140,21 @@ class TestLedgers:
         concrete = execute_plan(plan, ctx.cluster, store)
         simulated = simulate_repair(scheme, ctx, SIMICS_BANDWIDTH)
         ledger = TrafficLedger.from_sim(simulated.sim, ctx.cluster)
-        assert concrete.uploaded_by_node == pytest.approx(ledger.uploaded_by_node)
-        assert concrete.downloaded_by_node == pytest.approx(ledger.downloaded_by_node)
-        assert concrete.cross_uploaded_by_rack == pytest.approx(
-            ledger.cross_uploaded_by_rack
-        )
+        # Byte counts are integral end-to-end; equality is exact, no
+        # tolerance.
+        assert concrete.uploaded_by_node == ledger.uploaded_by_node
+        assert concrete.downloaded_by_node == ledger.downloaded_by_node
+        assert concrete.cross_uploaded_by_rack == ledger.cross_uploaded_by_rack
+        assert concrete.cross_rack_bytes == ledger.cross_rack_bytes
+        assert concrete.intra_rack_bytes == ledger.intra_rack_bytes
+        for value in (
+            ledger.cross_rack_bytes,
+            ledger.intra_rack_bytes,
+            *ledger.uploaded_by_node.values(),
+            *ledger.downloaded_by_node.values(),
+            *ledger.cross_uploaded_by_rack.values(),
+        ):
+            assert type(value) is int
 
     def test_to_dict_is_json_serializable(self, cluster):
         import json

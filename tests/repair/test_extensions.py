@@ -53,7 +53,7 @@ class TestHeterogeneityAwareRPR:
         env = build_ec2_environment(n, k)
         scheme = HeterogeneityAwareRPR(env.bandwidth)
         plain = RPRScheme()
-        for scenario in single_failure_scenarios(env.code):
+        for scenario in single_failure_scenarios(env.code, data_only=True):
             ctx = RepairContext(
                 code=env.code,
                 cluster=env.cluster,
@@ -73,7 +73,7 @@ class TestHeterogeneityAwareRPR:
         scheme = HeterogeneityAwareRPR(env.bandwidth)
         plain = RPRScheme()
         gains = []
-        for scenario in single_failure_scenarios(env.code):
+        for scenario in single_failure_scenarios(env.code, data_only=True):
             ctx = RepairContext(
                 code=env.code,
                 cluster=env.cluster,

@@ -1,0 +1,127 @@
+"""Golden-value determinism pins for fault-injected runs.
+
+Companion to ``test_engine_golden.py``: the faulted scheduler path must
+be exactly as reproducible as the fault-free one.  Pins cover the full
+ordered event stream (``(time, kind, job_id)`` via ``repr`` so float
+bit-patterns count) of one death scenario and one straggler+loss
+scenario on the Figure 5 repair, plus the two identity contracts from
+docs/FAULTS.md: a plan whose faults never fire reproduces the fault-free
+schedule bit-for-bit, and the same plan always reproduces itself.
+"""
+
+import hashlib
+
+from repro.experiments import build_simics_environment, context_for
+from repro.repair import RPRScheme
+from repro.sim import (
+    FaultPlan,
+    NodeDeath,
+    SimulationEngine,
+    Straggler,
+    random_fault_plan,
+)
+
+#: Node 12 is the R0 pair0 cross sender of the pinned RS(6,2) RPR plan;
+#: its transfer is in flight 2.048 s -> 22.528 s, so a death at t=20
+#: aborts it mid-stream.
+VICTIM = 12
+DEATH_AT = 20.0
+
+
+def event_digest(sim) -> str:
+    stream = repr([(e.time, e.kind, e.job_id) for e in sim.events])
+    return hashlib.sha256(stream.encode()).hexdigest()
+
+
+def fig5_rpr_run(faults=None):
+    env = build_simics_environment(6, 2)
+    plan = RPRScheme().plan(context_for(env, [0]))
+    graph = plan.to_job_graph(env.cost_model)
+    engine = SimulationEngine(env.cluster, env.bandwidth)
+    return engine.run(graph, faults)
+
+
+class TestPinnedDeathSchedule:
+    """RS(6,2), block 0 lost, node 12 dies at t=20 mid cross-send."""
+
+    def run(self):
+        return fig5_rpr_run(
+            FaultPlan(deaths=(NodeDeath(node=VICTIM, time=DEATH_AT),))
+        )
+
+    def test_schedule_digest(self):
+        sim = self.run()
+        assert repr(sim.makespan) == "22.784"
+        assert len(sim.events) == 15
+        assert event_digest(sim) == (
+            "29be7a4ba153bc451835f0cb673028f546728d3d0e51264a9af334ff52bf12f4"
+        )
+
+    def test_report_contents(self):
+        report = self.run().faults
+        assert report.dead_nodes == {VICTIM: DEATH_AT}
+        assert report.aborted == {"rpr:eq0:cross:R0:pair0:send": DEATH_AT}
+        assert report.skipped == (
+            "rpr:eq0:cross:R0:pair0:combine",
+            "rpr:eq0:cross:R1:to-target",
+            "rpr:eq0:final",
+        )
+        assert not report.complete
+
+    def test_same_plan_reproduces_itself(self):
+        assert event_digest(self.run()) == event_digest(self.run())
+
+
+class TestPinnedStragglerLossSchedule:
+    """Same repair under a 2x straggler and seeded 30% transfer loss."""
+
+    PLAN = FaultPlan(
+        stragglers=(Straggler(node=VICTIM, factor=2.0),),
+        loss_probability=0.3,
+        seed=7,
+    )
+
+    def test_schedule_digest(self):
+        sim = fig5_rpr_run(self.PLAN)
+        assert repr(sim.makespan) == "107.00800000000001"
+        assert sim.faults.retry_count == 2
+        assert sim.faults.complete
+        assert event_digest(sim) == (
+            "d06fc7467e4285ba6fea15b8209c5862d63ec4ee5f49854a4fe54202f3424e27"
+        )
+
+    def test_same_plan_reproduces_itself(self):
+        assert event_digest(fig5_rpr_run(self.PLAN)) == event_digest(
+            fig5_rpr_run(self.PLAN)
+        )
+
+
+class TestZeroFaultIdentity:
+    """Plans that never fire must not perturb the schedule at all."""
+
+    def test_far_future_death_matches_fault_free_run(self):
+        base = fig5_rpr_run()
+        never = fig5_rpr_run(
+            FaultPlan(deaths=(NodeDeath(node=VICTIM, time=1e9),))
+        )
+        assert repr(never.makespan) == repr(base.makespan)
+        assert event_digest(never) == event_digest(base)
+        assert never.faults.complete
+
+    def test_empty_plan_takes_fault_free_fast_path(self):
+        base = fig5_rpr_run()
+        empty = fig5_rpr_run(FaultPlan())
+        assert empty.faults is None
+        assert event_digest(empty) == event_digest(base)
+
+    def test_seeded_random_plan_is_stable_across_runs(self):
+        env = build_simics_environment(6, 2)
+        draws = [
+            random_fault_plan(
+                env.cluster.node_ids(), seed=11, deaths=1, death_window=(0.0, 40.0)
+            )
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+        a, b = (fig5_rpr_run(plan) for plan in draws)
+        assert event_digest(a) == event_digest(b)

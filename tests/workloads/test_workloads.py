@@ -1,5 +1,6 @@
 """Tests for failure-scenario and payload generators."""
 
+import itertools
 import math
 
 import numpy as np
@@ -16,6 +17,7 @@ from repro.workloads import (
     sample_scenarios,
     scenario_count,
     single_failure_scenarios,
+    validate_scenario,
     worst_case_scenarios,
 )
 
@@ -32,16 +34,41 @@ class TestFailureScenario:
     def test_size(self):
         assert FailureScenario((0, 3)).size == 2
 
+    def test_validate_against_code(self):
+        code = get_code(4, 2)
+        scenario = FailureScenario((0, 5))
+        assert validate_scenario(code, scenario) is scenario
+
+    def test_validate_rejects_out_of_range(self):
+        # Regression: out-of-range block ids used to surface only deep
+        # inside decode; now they fail at the generator boundary.
+        code = get_code(4, 2)
+        with pytest.raises(ValueError, match="outside the RS"):
+            validate_scenario(code, FailureScenario((6,)))
+        with pytest.raises(ValueError, match="outside the RS"):
+            validate_scenario(code, FailureScenario((-1, 2)))
+
+    def test_validate_rejects_too_many_failures(self):
+        code = get_code(4, 2)
+        with pytest.raises(ValueError, match="tolerates at most"):
+            validate_scenario(code, FailureScenario((0, 1, 2)))
+
 
 class TestSingle:
-    def test_data_only_default(self):
+    def test_full_width_default(self):
+        # All generators share the data_only=False default: failures range
+        # over data AND parity blocks unless the caller opts into the
+        # paper's data-only sweeps.
         code = get_code(4, 2)
         scenarios = single_failure_scenarios(code)
-        assert [s.failed_blocks for s in scenarios] == [(0,), (1,), (2,), (3,)]
+        assert [s.failed_blocks for s in scenarios] == [
+            (0,), (1,), (2,), (3,), (4,), (5,)
+        ]
 
-    def test_including_parity(self):
+    def test_data_only(self):
         code = get_code(4, 2)
-        assert len(single_failure_scenarios(code, data_only=False)) == 6
+        scenarios = single_failure_scenarios(code, data_only=True)
+        assert [s.failed_blocks for s in scenarios] == [(0,), (1,), (2,), (3,)]
 
 
 class TestMulti:
@@ -93,6 +120,27 @@ class TestSampling:
     def test_invalid_count(self):
         with pytest.raises(ValueError):
             list(sample_scenarios(get_code(4, 2), 1, 0))
+
+    def test_unique_no_duplicates(self):
+        code = get_code(4, 2)  # only comb(6, 2) = 15 scenarios
+        scenarios = list(sample_scenarios(code, 2, 12, seed=3, unique=True))
+        assert len(scenarios) == 12
+        assert len({s.failed_blocks for s in scenarios}) == 12
+
+    def test_unique_falls_back_to_enumeration(self):
+        # Asking for at least the whole space enumerates it exactly once.
+        code = get_code(4, 2)
+        scenarios = list(sample_scenarios(code, 2, 100, seed=0, unique=True))
+        assert len(scenarios) == math.comb(6, 2)
+        assert {s.failed_blocks for s in scenarios} == set(
+            itertools.combinations(range(6), 2)
+        )
+
+    def test_unique_deterministic(self):
+        code = get_code(8, 3)
+        a = list(sample_scenarios(code, 2, 10, seed=5, unique=True))
+        b = list(sample_scenarios(code, 2, 10, seed=5, unique=True))
+        assert a == b
 
 
 class TestDataGen:
