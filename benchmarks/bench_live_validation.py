@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Live-runtime cross-validation bench: measured vs predicted makespans.
+
+For each code we run every applicable scheme's repair plan twice — once
+through the discrete-event simulator (prediction) and once on the
+:mod:`repro.live` asyncio runtime over real bytes and shaped links
+(measurement) — and report the measured/predicted ratio per scheme.
+The sweep is the testbed half of the paper's §5 argument: the simulator
+is only trusted because a real execution ranks the schemes the same way.
+
+Runs two ways:
+
+    pytest benchmarks/bench_live_validation.py          # bench harness
+    python benchmarks/bench_live_validation.py --smoke  # CI live smoke
+
+Exit status is nonzero if any recovered block differs from the lost
+original or the measured ordering disagrees with the simulator — the CI
+``live-smoke`` job fails on either.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import format_table  # noqa: E402
+from repro.live import run_live_validation  # noqa: E402
+
+FULL_CODES = [(4, 2), (6, 3), (8, 3), (12, 4)]
+FULL_BLOCK = 64 * 1024
+SMOKE_CODES = [(6, 3)]
+SMOKE_BLOCK = 32 * 1024
+
+
+def run_sweep(codes=FULL_CODES, block_size=FULL_BLOCK, transport="memory"):
+    """One report per code: all schemes on a single failure."""
+    return [
+        run_live_validation(n, k, [1], block_size=block_size, transport=transport)
+        for n, k in codes
+    ]
+
+
+def reports_to_table(reports) -> str:
+    rows = []
+    for report in reports:
+        for row in report.rows:
+            rows.append(
+                [
+                    f"({report.n},{report.k})",
+                    row.scheme,
+                    f"{row.predicted_s:.3f}",
+                    f"{row.measured_s:.3f}",
+                    f"{row.ratio:.2f}",
+                    "ok" if row.bytes_ok else "MISMATCH",
+                ]
+            )
+    return format_table(
+        ["code", "scheme", "predicted_s", "measured_s", "ratio", "bytes"], rows
+    )
+
+
+def check_reports(reports) -> None:
+    """Invariants every sweep must satisfy (used by pytest and --smoke)."""
+    for report in reports:
+        assert report.all_bytes_ok, (
+            f"({report.n},{report.k}): live runtime recovered wrong bytes"
+        )
+        assert report.ordering_ok(), (
+            f"({report.n},{report.k}): measured makespans disagree with the "
+            f"simulator's scheme ordering"
+        )
+        for row in report.rows:
+            # Live traffic must land exactly on the simulator's ledger.
+            assert row.cross_rack_bytes == row.sim_cross_rack_bytes, row
+
+
+def test_live_validation_sweep(bench_once):
+    reports = bench_once(lambda: run_sweep(codes=[(6, 3), (8, 3)]))
+    emit_reports(reports)
+    check_reports(reports)
+
+
+def emit_reports(reports) -> None:
+    from conftest import emit
+
+    emit(
+        "Live runtime vs simulator (shaped in-process streams, "
+        "single-block failures)",
+        reports_to_table(reports),
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small code on tiny blocks — the CI live-runtime check",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=["memory", "tcp"],
+        default="memory",
+        help="in-process streams (CI default) or real localhost sockets",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        reports = run_sweep(
+            codes=SMOKE_CODES, block_size=SMOKE_BLOCK, transport=args.transport
+        )
+    else:
+        reports = run_sweep(transport=args.transport)
+    print(reports_to_table(reports))
+    check_reports(reports)
+    print("live validation OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

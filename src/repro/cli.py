@@ -15,6 +15,9 @@ Usage (installed as ``rpr`` or via ``python -m repro.cli``):
     rpr durability --code 12,4                      # MTTDL per scheme
     rpr extension lrc                               # extension experiments
     rpr perf --quick                                # refresh BENCH_*.json reports
+    rpr live --code 6,3 --fail 1 --validate         # live runtime vs simulator
+
+Every report subcommand accepts ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -131,6 +134,11 @@ def _cmd_extension(args) -> int:
         return 2
     fn_name, columns = _EXTENSIONS[args.name]
     rows = getattr(experiments, fn_name)()
+    if args.json:
+        import json
+
+        print(json.dumps({"extension": args.name, "rows": rows}, indent=2))
+        return 0
     print(f"Extension: {args.name}")
     print(
         format_table(
@@ -169,6 +177,27 @@ def _cmd_repair(args) -> int:
     env = builder(n, k, placement=args.placement)
     scheme = _SCHEMES[args.scheme]()
     outcome = run_scheme(env, scheme, failed)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "code": [n, k],
+                    "testbed": args.testbed,
+                    "placement": args.placement,
+                    "failed": failed,
+                    "scheme": scheme.name,
+                    "total_repair_time_s": outcome.total_repair_time,
+                    "cross_rack_bytes": outcome.cross_rack_bytes,
+                    "cross_rack_blocks": outcome.cross_rack_blocks,
+                    "intra_rack_bytes": outcome.intra_rack_bytes,
+                    "plan_ops": len(outcome.plan.ops),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"RS({n},{k}) {args.testbed} testbed, {args.placement} placement, "
         f"failed blocks {failed}, scheme {scheme.name}"
@@ -200,9 +229,6 @@ def _cmd_compare(args) -> int:
     outcomes = {
         name: run_scheme(env, _SCHEMES[name](), failed) for name in names
     }
-    print(
-        f"RS({n},{k}) on the {args.testbed} testbed, failed blocks {failed}:"
-    )
     rows = [
         [
             name,
@@ -214,6 +240,32 @@ def _cmd_compare(args) -> int:
         ]
         for name, o in outcomes.items()
     ]
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "code": [n, k],
+                    "testbed": args.testbed,
+                    "failed": failed,
+                    "schemes": [
+                        {
+                            "scheme": name,
+                            "repair_time_s": time_s,
+                            "cross_blocks": blocks,
+                            "vs_traditional_pct": reduction,
+                        }
+                        for name, time_s, blocks, reduction in rows
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"RS({n},{k}) on the {args.testbed} testbed, failed blocks {failed}:"
+    )
     print(
         format_table(
             ["scheme", "repair_time_s", "cross_blocks", "vs_traditional_%"], rows
@@ -366,7 +418,7 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_timeline(args) -> int:
-    from .sim import render_timeline
+    from .sim import render_timeline, timeline_rows
 
     n, k = _parse_code(args.code)
     failed = sorted(int(x) for x in args.fail.split(","))
@@ -374,6 +426,31 @@ def _cmd_timeline(args) -> int:
     env = builder(n, k, placement=args.placement)
     scheme = _SCHEMES[args.scheme]()
     outcome = run_scheme(env, scheme, failed)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "code": [n, k],
+                    "failed": failed,
+                    "scheme": scheme.name,
+                    "makespan_s": outcome.total_repair_time,
+                    "rows": [
+                        {
+                            "label": row.label,
+                            "intervals": [
+                                {"start": s, "end": e, "job": job}
+                                for s, e, job in row.intervals
+                            ],
+                        }
+                        for row in timeline_rows(outcome.sim)
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
         f"{args.testbed} testbed — {outcome.total_repair_time:.2f} s total"
@@ -420,10 +497,6 @@ def _cmd_rebuild(args) -> int:
     env = builder(n, k)
     store = StripeStore.build(env.cluster, get_code(n, k), num_stripes=args.stripes)
     lost = store.blocks_on_node(args.node)
-    print(
-        f"node {args.node} holds {len(lost)} blocks across a "
-        f"{args.stripes}-stripe RS({n},{k}) store"
-    )
     scheme = _SCHEMES[args.scheme]()
     outcome = repair_node_failure(
         store,
@@ -435,6 +508,31 @@ def _cmd_rebuild(args) -> int:
         balance=args.balance,
         block_size=env.block_size,
         cost_model=env.cost_model,
+    )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "code": [n, k],
+                    "node": args.node,
+                    "stripes": args.stripes,
+                    "lost_blocks": len(lost),
+                    "scheme": scheme.name,
+                    "mode": args.mode,
+                    "rebuild": args.rebuild,
+                    "makespan_s": outcome.makespan,
+                    "cross_rack_blocks": outcome.total_cross_rack_bytes / env.block_size,
+                    "rack_imbalance_max_mean": outcome.rack_upload_imbalance["max_mean_ratio"],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"node {args.node} holds {len(lost)} blocks across a "
+        f"{args.stripes}-stripe RS({n},{k}) store"
     )
     print(f"  makespan          : {outcome.makespan:.2f} s")
     print(
@@ -458,11 +556,8 @@ def _cmd_durability(args) -> int:
     lam = 1 / (args.block_mtbf_years * year)
     builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
     env = builder(n, k)
-    print(
-        f"RS({n},{k}) on the {args.testbed} testbed, one failure per block "
-        f"per {args.block_mtbf_years:g} years:"
-    )
     results = {}
+    repair_times = {}
     for name in ("traditional", "rpr"):
         scheme = _SCHEMES[name]()
         times = [
@@ -471,16 +566,111 @@ def _cmd_durability(args) -> int:
             ).total_repair_time
             for l in range(1, k + 1)
         ]
-        value = mttdl_from_repair_times(n + k, k, lam, times)
-        results[name] = value
+        repair_times[name] = times
+        results[name] = mttdl_from_repair_times(n + k, k, lam, times)
+    amplification = results["rpr"] / results["traditional"]
+    if args.json:
+        import json
+
         print(
-            f"  {name:>12}: repair(1)={times[0]:7.1f} s  "
+            json.dumps(
+                {
+                    "code": [n, k],
+                    "testbed": args.testbed,
+                    "block_mtbf_years": args.block_mtbf_years,
+                    "schemes": [
+                        {
+                            "scheme": name,
+                            "repair_times_s": repair_times[name],
+                            "mttdl_years": results[name] / year,
+                        }
+                        for name in results
+                    ],
+                    "durability_amplification": amplification,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"RS({n},{k}) on the {args.testbed} testbed, one failure per block "
+        f"per {args.block_mtbf_years:g} years:"
+    )
+    for name, value in results.items():
+        print(
+            f"  {name:>12}: repair(1)={repair_times[name][0]:7.1f} s  "
             f"MTTDL={value / year:.3e} years"
         )
-    print(
-        f"  durability amplification: "
-        f"{results['rpr'] / results['traditional']:.1f}x"
+    print(f"  durability amplification: {amplification:.1f}x")
+    return 0
+
+
+def _cmd_live(args) -> int:
+    """Execute repairs on the live asyncio runtime and compare to the sim.
+
+    Runs every requested scheme's plan on real bytes over real (shaped)
+    connections, printing the measured makespan next to the simulator's
+    prediction.  ``--validate`` turns the report into a gate: exit
+    nonzero unless every recovered block is byte-identical to the lost
+    original *and* measured makespans rank the schemes the way the
+    simulator predicts.
+    """
+    from .live import run_live_validation
+
+    n, k = _parse_code(args.code)
+    failed = sorted(int(x) for x in args.fail.split(","))
+    schemes = args.schemes.split(",") if args.schemes else None
+    if schemes is not None:
+        unknown = set(schemes) - set(_SCHEMES)
+        if unknown:
+            print(f"unknown schemes {sorted(unknown)}; known: {sorted(_SCHEMES)}",
+                  file=sys.stderr)
+            return 2
+    report = run_live_validation(
+        n,
+        k,
+        failed,
+        schemes=schemes,
+        block_size=args.block_size,
+        transport=args.transport,
+        seed=args.seed,
+        timeout=args.timeout,
     )
+    ok = report.all_bytes_ok and report.ordering_ok()
+    if args.json:
+        import json
+
+        payload = report.to_dict()
+        payload["validated"] = ok if args.validate else None
+        print(json.dumps(payload, indent=2))
+        return 0 if (ok or not args.validate) else 1
+
+    print(
+        f"RS({n},{k}) failed blocks {failed}: live runtime "
+        f"({args.transport} transport, {args.block_size // 1024} KiB blocks) "
+        f"vs simulator"
+    )
+    rows = [
+        [
+            row.scheme,
+            f"{row.predicted_s:.3f}",
+            f"{row.measured_s:.3f}",
+            f"{row.ratio:.2f}",
+            "ok" if row.bytes_ok else "MISMATCH",
+            row.cross_rack_bytes,
+        ]
+        for row in report.rows
+    ]
+    print(
+        format_table(
+            ["scheme", "predicted_s", "measured_s", "ratio", "bytes", "cross_bytes"],
+            rows,
+        )
+    )
+    print(f"  bytes    : {'all recovered blocks identical' if report.all_bytes_ok else 'MISMATCH'}")
+    print(f"  ordering : {'matches simulator' if report.ordering_ok() else 'DISAGREES with simulator'}")
+    if args.validate and not ok:
+        return 1
     return 0
 
 
@@ -517,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ext = sub.add_parser("extension", help="regenerate an extension experiment")
     ext.add_argument("name", help="node-rebuild | durability | lrc")
+    ext.add_argument("--json", action="store_true", help="machine-readable rows")
     ext.set_defaults(func=_cmd_extension)
 
     tab = sub.add_parser("table", help="regenerate one table")
@@ -529,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
     rep.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
     rep.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    rep.add_argument("--json", action="store_true", help="machine-readable output")
     rep.set_defaults(func=_cmd_repair)
 
     cmp_ = sub.add_parser("compare", help="run every scheme on one scenario")
@@ -536,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--fail", default="1")
     cmp_.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
     cmp_.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    cmp_.add_argument("--json", action="store_true", help="machine-readable output")
     cmp_.set_defaults(func=_cmd_compare)
 
     fl = sub.add_parser(
@@ -586,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     tl.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
     tl.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
     tl.add_argument("--width", type=int, default=64)
+    tl.add_argument(
+        "--json", action="store_true",
+        help="emit the per-resource intervals instead of the ASCII chart",
+    )
     tl.set_defaults(func=_cmd_timeline)
 
     tc = sub.add_parser(
@@ -612,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
     rb.add_argument("--mode", choices=["parallel", "sequential"], default="parallel")
     rb.add_argument("--rebuild", choices=["replacement", "scatter"], default="scatter")
     rb.add_argument("--balance", action="store_true")
+    rb.add_argument("--json", action="store_true", help="machine-readable output")
     rb.set_defaults(func=_cmd_rebuild)
 
     du = sub.add_parser("durability", help="MTTDL per scheme from measured repair times")
@@ -623,7 +821,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=4.0,
         help="mean time between failures per block, in years",
     )
+    du.add_argument("--json", action="store_true", help="machine-readable output")
     du.set_defaults(func=_cmd_durability)
+
+    lv = sub.add_parser(
+        "live",
+        help="execute repairs on the live asyncio runtime, cross-validated "
+        "against the simulator",
+    )
+    lv.add_argument("--code", default="6,3", help="RS code as 'n,k'")
+    lv.add_argument("--fail", default="1", help="failed block ids, comma-separated")
+    lv.add_argument(
+        "--schemes", default="",
+        help="comma-separated subset of schemes (default: all applicable)",
+    )
+    lv.add_argument(
+        "--transport", choices=["memory", "tcp"], default="memory",
+        help="in-process streams or real localhost sockets",
+    )
+    lv.add_argument(
+        "--block-size", type=int, default=64 * 1024,
+        help="payload bytes per block (scaled-down testbed default: 64 KiB)",
+    )
+    lv.add_argument(
+        "--validate", action="store_true",
+        help="exit nonzero unless bytes match and measured ordering agrees "
+        "with the simulator",
+    )
+    lv.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="hard wall-clock budget per scheme (hangs fail, not stall)",
+    )
+    lv.add_argument("--seed", type=int, default=0, help="stripe payload seed")
+    lv.add_argument("--json", action="store_true", help="machine-readable report")
+    lv.set_defaults(func=_cmd_live)
 
     pf = sub.add_parser(
         "perf", help="time the engine and coding hot paths, write BENCH_*.json"

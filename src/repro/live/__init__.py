@@ -1,0 +1,67 @@
+"""repro.live — an asyncio testbed runtime for repair plans.
+
+The simulator (:mod:`repro.sim`) replaces the paper's Simics +
+wondershaper testbed with a scheduled clock.  This package walks the
+step back toward a real system: it executes any :class:`repro.repair.RepairPlan`
+on *real bytes over real concurrency* — every cluster node becomes an
+asyncio endpoint holding its payload store, sends travel as framed
+transfers over localhost TCP (or in-process streams for CI), combines
+run as GF(2^8) kernels at the receiver, and a wondershaper-style
+token-bucket shaper (:class:`~repro.live.shaper.LinkShaper`) enforces the
+scenario's :class:`~repro.cluster.BandwidthModel` rates and latencies.
+Pipelining is not scheduled here; it *emerges* from port exclusivity and
+socket backpressure, exactly as it did on the paper's testbed.
+
+Layers:
+
+* :mod:`repro.live.shaper` — token-bucket pacing per directed link.
+* :mod:`repro.live.transport` — byte-stream transports: in-process
+  memory streams (CI-safe) and localhost TCP servers.
+* :mod:`repro.live.wire` — the framed wire protocol (header + chunked
+  payload + ack).
+* :mod:`repro.live.runtime` — the plan executor: per-op tasks,
+  dependency waits, port exclusivity, measured timings.
+* :mod:`repro.live.validate` — cross-validation against
+  :class:`repro.sim.SimulationEngine`: byte-identical recovery plus
+  measured-vs-predicted makespan per scheme.
+
+See ``docs/LIVE.md`` for the full specification and ``rpr live`` for the
+CLI entry point.
+"""
+
+from .runtime import (
+    LiveError,
+    LiveOpTiming,
+    LiveResult,
+    LiveTimeoutError,
+    run_plan_live,
+    run_plan_live_sync,
+)
+from .shaper import LinkShaper, TokenBucket
+from .transport import MemoryTransport, TcpTransport, open_transport
+from .validate import (
+    DEFAULT_LIVE_BANDWIDTH,
+    LiveSchemeReport,
+    LiveValidationReport,
+    live_environment,
+    run_live_validation,
+)
+
+__all__ = [
+    "DEFAULT_LIVE_BANDWIDTH",
+    "LinkShaper",
+    "LiveError",
+    "LiveOpTiming",
+    "LiveResult",
+    "LiveSchemeReport",
+    "LiveTimeoutError",
+    "LiveValidationReport",
+    "MemoryTransport",
+    "TcpTransport",
+    "TokenBucket",
+    "live_environment",
+    "open_transport",
+    "run_live_validation",
+    "run_plan_live",
+    "run_plan_live_sync",
+]

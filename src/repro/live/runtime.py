@@ -1,0 +1,389 @@
+"""The live plan executor: real bytes, real concurrency, measured time.
+
+Every op of a :class:`repro.repair.RepairPlan` becomes one asyncio task:
+
+* A :class:`~repro.repair.plan.SendOp` runs at its *source* node.  It
+  waits for its declared dependencies, claims the source's upload port
+  and the destination's download port (the engine's port-exclusivity
+  contract, held for the whole transfer), sleeps the link latency, then
+  streams the payload as a framed transfer through the link's token
+  bucket and waits for the receiver's ack.
+* A :class:`~repro.repair.plan.CombineOp` runs at its node: it waits for
+  dependencies, claims the node's CPU slot, and computes the GF(2^8)
+  linear combination on the received bytes — combines happen *at the
+  receiver*, like ECPipe's agents, not in a central reducer.
+
+Dependency completion is the control plane (one ``asyncio.Event`` per
+op, held by the in-process coordinator — the moral equivalent of the
+testbed's command distributor); payload bytes are the data plane and
+only ever move through the transport.  Pipelining is emergent: nothing
+here schedules overlap, it falls out of disjoint ports, shaped links and
+socket backpressure — the same mechanism the paper's testbed relied on.
+
+Missing payloads abort the run with the same
+:class:`~repro.repair.executor.ExecutionError` message shape as the byte
+executor (full missing-key set + op index), so a live failure is
+diagnosable without replaying it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import asynccontextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import BandwidthModel, Cluster
+from ..gf import GFTables, get_tables, linear_combine
+from ..repair.executor import ExecutionError, missing_payload_message
+from ..repair.plan import CombineOp, RepairPlan, SendOp
+from .shaper import LinkShaper
+from .transport import MemoryTransport, Stream, TcpTransport, open_transport
+from .wire import ACK, DEFAULT_CHUNK, read_frame, send_frame
+
+__all__ = [
+    "LiveError",
+    "LiveTimeoutError",
+    "LiveOpTiming",
+    "LiveResult",
+    "run_plan_live",
+    "run_plan_live_sync",
+]
+
+
+class LiveError(RuntimeError):
+    """Raised when the live runtime fails for non-plan reasons."""
+
+
+class LiveTimeoutError(LiveError):
+    """The run exceeded its wall-clock budget (likely a hang/deadlock)."""
+
+
+@dataclass(frozen=True)
+class LiveOpTiming:
+    """Measured start/end of one executed op, seconds since run start."""
+
+    op_id: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class LiveResult:
+    """Outcome of one live plan execution.
+
+    Mirrors :class:`repro.repair.ExecutionResult`'s ledgers (byte counts
+    must agree exactly — tests pin it) and adds measured wall-clock
+    timings, the live counterpart of :class:`repro.sim.SimResult`.
+    """
+
+    recovered: dict[int, np.ndarray]
+    makespan: float
+    timings: dict[str, LiveOpTiming]
+    transport: str
+    shaped: bool
+    intra_rack_bytes: int = 0
+    cross_rack_bytes: int = 0
+    combine_count: int = 0
+    sends_executed: int = 0
+    uploaded_by_node: dict[int, int] = field(default_factory=dict)
+    downloaded_by_node: dict[int, int] = field(default_factory=dict)
+    cross_uploaded_by_rack: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (payload bytes omitted)."""
+        return {
+            "recovered_blocks": sorted(self.recovered),
+            "makespan_s": self.makespan,
+            "transport": self.transport,
+            "shaped": self.shaped,
+            "intra_rack_bytes": self.intra_rack_bytes,
+            "cross_rack_bytes": self.cross_rack_bytes,
+            "combine_count": self.combine_count,
+            "sends_executed": self.sends_executed,
+            "uploaded_by_node": dict(self.uploaded_by_node),
+            "downloaded_by_node": dict(self.downloaded_by_node),
+            "cross_uploaded_by_rack": dict(self.cross_uploaded_by_rack),
+            "timings": [
+                {"op_id": t.op_id, "start": t.start, "end": t.end}
+                for t in self.timings.values()
+            ],
+        }
+
+
+class _PortRegistry:
+    """Atomic multi-resource claims, mirroring the engine's port model.
+
+    A claim waits until *every* requested resource is free and then takes
+    them all at once — no hold-and-wait, hence no deadlock, and the same
+    semantics as :class:`repro.sim.SimulationEngine`'s scheduler (a job
+    starts only when all of its resources are simultaneously free).
+    """
+
+    def __init__(self) -> None:
+        self._busy: set[tuple[str, int]] = set()
+        self._cond = asyncio.Condition()
+
+    @asynccontextmanager
+    async def hold(self, *keys: tuple[str, int]):
+        wanted = set(keys)
+        async with self._cond:
+            await self._cond.wait_for(lambda: not (self._busy & wanted))
+            self._busy |= wanted
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._busy -= wanted
+                self._cond.notify_all()
+
+
+class _NullRegistry:
+    """Port model switched off: transfers share links freely."""
+
+    @asynccontextmanager
+    async def hold(self, *keys):
+        yield
+
+
+class _LiveRun:
+    """One plan execution: nodes, shaper, transport, op tasks."""
+
+    def __init__(
+        self,
+        plan: RepairPlan,
+        cluster: Cluster,
+        store: dict[int, dict[str, np.ndarray]],
+        *,
+        shaper: LinkShaper,
+        transport,
+        tables: GFTables,
+        chunk_size: int,
+        exclusive_ports: bool,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.cluster = cluster
+        self.store = store
+        self.shaper = shaper
+        self.transport = transport
+        self.tables = tables
+        self.chunk_size = chunk_size
+        self.ports = _PortRegistry() if exclusive_ports else _NullRegistry()
+        self.events = {oid: asyncio.Event() for oid in plan.ops}
+        self.indices = {oid: i for i, oid in enumerate(plan.ops)}
+        self.result = LiveResult(
+            recovered={},
+            makespan=0.0,
+            timings={},
+            transport=getattr(transport, "name", "?"),
+            shaped=shaper.shaped,
+        )
+        self._t0 = 0.0
+
+    # -- server side -------------------------------------------------------
+
+    async def handle_connection(self, node_id: int, stream: Stream) -> None:
+        """Receive one framed transfer, store it, ack it."""
+        try:
+            header, payload = await read_frame(stream, chunk_size=self.chunk_size)
+            self.store.setdefault(node_id, {})[header["key"]] = np.frombuffer(
+                payload, dtype=np.uint8
+            )
+            await stream.write(ACK)
+        except asyncio.CancelledError:  # teardown
+            raise
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # The sender aborted (its task failed or was cancelled); the
+            # sender side reports the real error.
+            pass
+        finally:
+            await stream.aclose()
+
+    # -- op tasks ----------------------------------------------------------
+
+    async def _await_deps(self, deps) -> None:
+        for dep in deps:
+            await self.events[dep].wait()
+
+    def _record(self, oid: str, start: float, end: float) -> None:
+        self.result.timings[oid] = LiveOpTiming(
+            op_id=oid, start=start - self._t0, end=end - self._t0
+        )
+        self.events[oid].set()
+
+    async def _run_send(self, oid: str, op: SendOp) -> None:
+        await self._await_deps(op.deps)
+        src_store = self.store.get(op.src, {})
+        if op.key not in src_store:
+            raise ExecutionError(
+                missing_payload_message(
+                    "send", oid, self.indices[oid], len(self.plan.ops), [op.key], op.src
+                )
+            )
+        payload = np.ascontiguousarray(src_store[op.key])
+        nbytes = int(payload.nbytes)
+        latency = self.shaper.latency(op.src, op.dst)
+        async with self.ports.hold(("up", op.src), ("down", op.dst)):
+            bucket = self.shaper.bucket(op.src, op.dst)
+            if bucket is not None:
+                bucket.reset()
+            start = time.monotonic()
+            if latency > 0:
+                await asyncio.sleep(latency)
+            stream = await self.transport.connect(op.src, op.dst)
+            try:
+                await send_frame(
+                    stream,
+                    {"op": oid, "key": op.key},
+                    payload.tobytes(),
+                    bucket=bucket,
+                    chunk_size=self.chunk_size,
+                )
+                ack = await stream.read_exactly(1)
+                if ack != ACK:
+                    raise LiveError(f"send {oid!r}: bad ack {ack!r}")
+            finally:
+                await stream.aclose()
+            end = time.monotonic()
+        res = self.result
+        res.sends_executed += 1
+        res.uploaded_by_node[op.src] = res.uploaded_by_node.get(op.src, 0) + nbytes
+        res.downloaded_by_node[op.dst] = res.downloaded_by_node.get(op.dst, 0) + nbytes
+        if self.cluster.same_rack(op.src, op.dst):
+            res.intra_rack_bytes += nbytes
+        else:
+            res.cross_rack_bytes += nbytes
+            rack = self.cluster.rack_of(op.src)
+            res.cross_uploaded_by_rack[rack] = (
+                res.cross_uploaded_by_rack.get(rack, 0) + nbytes
+            )
+        self._record(oid, start, end)
+
+    async def _run_combine(self, oid: str, op: CombineOp) -> None:
+        await self._await_deps(op.deps)
+        node_store = self.store.setdefault(op.node, {})
+        missing = [key for key, _ in op.terms if key not in node_store]
+        if missing:
+            raise ExecutionError(
+                missing_payload_message(
+                    "combine", oid, self.indices[oid], len(self.plan.ops), missing, op.node
+                )
+            )
+        async with self.ports.hold(("cpu", op.node)):
+            start = time.monotonic()
+            # The GF kernel is a C-speed numpy pass over a (small, in the
+            # validation harness) block; yield once around it so other
+            # tasks are not starved at combine-heavy moments.
+            await asyncio.sleep(0)
+            node_store[op.out_key] = linear_combine(
+                [c for _, c in op.terms],
+                [node_store[key] for key, _ in op.terms],
+                self.tables,
+            )
+            end = time.monotonic()
+        self.result.combine_count += 1
+        self._record(oid, start, end)
+
+    # -- orchestration -----------------------------------------------------
+
+    async def run(self, timeout: float | None) -> LiveResult:
+        await self.transport.start(self.cluster.node_ids(), self.handle_connection)
+        tasks = {}
+        try:
+            self._t0 = time.monotonic()
+            for oid, op in self.plan.ops.items():
+                runner = self._run_send if isinstance(op, SendOp) else self._run_combine
+                tasks[oid] = asyncio.ensure_future(runner(oid, op))
+            if tasks:
+                done, pending = await asyncio.wait(
+                    tasks.values(),
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_EXCEPTION,
+                )
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+                for task in done:
+                    task.result()  # re-raise the first op failure
+                if pending:
+                    stuck = sorted(oid for oid, t in tasks.items() if not t.done() or t.cancelled())
+                    raise LiveTimeoutError(
+                        f"live run exceeded {timeout}s; unfinished ops: {stuck}"
+                    )
+        finally:
+            for task in tasks.values():
+                task.cancel()
+            await self.transport.aclose()
+
+        for block_id, (node, key) in self.plan.outputs.items():
+            node_store = self.store.get(node, {})
+            if key not in node_store:
+                raise ExecutionError(
+                    f"output for block {block_id}: payload {key!r} missing on node {node}"
+                )
+            self.result.recovered[block_id] = node_store[key]
+        self.result.makespan = max(
+            (t.end for t in self.result.timings.values()), default=0.0
+        )
+        return self.result
+
+
+async def run_plan_live(
+    plan: RepairPlan,
+    cluster: Cluster,
+    store: dict[int, dict[str, np.ndarray]],
+    *,
+    bandwidth: BandwidthModel | None = None,
+    transport: str | MemoryTransport | TcpTransport = "memory",
+    tables: GFTables | None = None,
+    chunk_size: int = DEFAULT_CHUNK,
+    exclusive_ports: bool = True,
+    timeout: float | None = 120.0,
+) -> LiveResult:
+    """Execute ``plan`` against ``store`` over the live runtime.
+
+    Parameters
+    ----------
+    bandwidth:
+        Shapes every link at the model's rate/latency; ``None`` runs
+        unshaped (memory/loopback speed), the mode whose ledgers and
+        recovered bytes must match :func:`repro.repair.execute_plan`.
+    transport:
+        ``"memory"`` (in-process streams), ``"tcp"`` (localhost
+        sockets), or a pre-built transport instance.
+    exclusive_ports:
+        Enforce the engine's one-upload/one-download/one-CPU port model;
+        turning it off lets transfers share links (pure backpressure).
+    timeout:
+        Hard wall-clock budget; a hang raises :class:`LiveTimeoutError`
+        instead of stalling forever (CI jobs rely on this).
+
+    The store is mutated in place, exactly like the byte executor's.
+    """
+    live_transport = (
+        open_transport(transport) if isinstance(transport, str) else transport
+    )
+    run = _LiveRun(
+        plan,
+        cluster,
+        store,
+        shaper=LinkShaper(cluster, bandwidth),
+        transport=live_transport,
+        tables=tables or get_tables(),
+        chunk_size=chunk_size,
+        exclusive_ports=exclusive_ports,
+    )
+    return await run.run(timeout)
+
+
+def run_plan_live_sync(*args, **kwargs) -> LiveResult:
+    """Blocking wrapper: ``asyncio.run`` around :func:`run_plan_live`."""
+    return asyncio.run(run_plan_live(*args, **kwargs))

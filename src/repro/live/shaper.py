@@ -1,0 +1,171 @@
+"""Token-bucket link shaping — the wondershaper stand-in.
+
+The paper's testbed throttled links with wondershaper (§5.1); here every
+directed node pair gets a :class:`TokenBucket` fed at the scenario's
+:meth:`repro.cluster.BandwidthModel.rate` and charged one chunk at a
+time by the sender.  Pacing is *debt-based*: a send deducts its bytes
+immediately and sleeps off any deficit, so long-run throughput converges
+to the configured rate regardless of sleep jitter — oversleeping one
+chunk accrues tokens for the next (bounded by ``capacity``), which is
+what keeps shaped transfers within a few percent of ``nbytes / rate``
+even on a noisy CI host.
+
+The clock and sleep functions are injectable so the bucket's accounting
+can be property-tested deterministically against a fake clock
+(``tests/live/test_shaper.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from ..cluster import BandwidthModel, Cluster
+
+__all__ = ["TokenBucket", "LinkShaper"]
+
+#: Default burst window in seconds: the bucket holds at most this much
+#: rate-worth of credit, so a transfer can never run ahead of the shaped
+#: rate by more than ``DEFAULT_BURST_S * rate`` bytes.
+DEFAULT_BURST_S = 0.02
+
+
+class TokenBucket:
+    """Debt-based token bucket for one directed link.
+
+    Parameters
+    ----------
+    rate:
+        Bytes/second the link may carry.
+    capacity:
+        Maximum accrued credit in bytes (the burst).  Defaults to
+        ``rate * DEFAULT_BURST_S``, floored at one typical chunk so tiny
+        rates still make progress.
+    clock / sleep:
+        Injectable time sources (monotonic seconds, async sleep); tests
+        substitute a fake pair to verify the accounting without real
+        waiting.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep=asyncio.sleep,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = (
+            float(capacity)
+            if capacity is not None
+            else max(self.rate * DEFAULT_BURST_S, 16 * 1024.0)
+        )
+        self._clock = clock
+        self._sleep = sleep
+        # Start empty: the first transfer pays full fare from byte one,
+        # matching the simulator's nbytes/rate accounting.  Credit only
+        # accrues (up to ``capacity``) while the link sits idle, and as
+        # compensation for oversleeping a pacing wait.
+        self._tokens = 0.0
+        self._last = clock()
+        self._lock = asyncio.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    def reset(self) -> None:
+        """Drop idle credit at the start of a transfer.
+
+        Credit accrued while the link sat idle (e.g. the sender was
+        waiting for ports) would let the next transfer start up to
+        ``capacity`` bytes ahead of the shaped rate; a transfer begins
+        from zero so its duration is ``nbytes / rate`` like the
+        simulator's.  Outstanding debt is kept — resets never forgive
+        pacing already owed.
+        """
+        self._tokens = min(self._tokens, 0.0)
+        self._last = self._clock()
+
+    async def acquire(self, nbytes: int) -> None:
+        """Charge ``nbytes`` against the bucket, sleeping off any deficit.
+
+        The deduction happens before the wait, so concurrent senders on
+        one link serialise fairly behind the lock and the aggregate
+        long-run throughput is exactly ``rate``.
+        """
+        if nbytes <= 0:
+            return
+        async with self._lock:
+            self._refill()
+            self._tokens -= nbytes
+            if self._tokens < 0:
+                await self._sleep(-self._tokens / self.rate)
+
+
+class LinkShaper:
+    """Per-link pacing for a cluster under a bandwidth model.
+
+    Buckets are created lazily per directed ``(src, dst)`` pair at the
+    model's rate for that pair; :meth:`latency` exposes the model's
+    per-transfer setup delay so the runtime can apply it before the
+    first byte (the wondershaper analogue of propagation delay).  A
+    ``None`` bandwidth model turns shaping off entirely — transfers run
+    at memory/loopback speed, which is the mode the byte-oracle
+    equivalence tests use.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        bandwidth: BandwidthModel | None,
+        *,
+        burst_s: float = DEFAULT_BURST_S,
+        clock: Callable[[], float] = time.monotonic,
+        sleep=asyncio.sleep,
+    ) -> None:
+        self.cluster = cluster
+        self.bandwidth = bandwidth
+        self.burst_s = burst_s
+        self._clock = clock
+        self._sleep = sleep
+        self._buckets: dict[tuple[int, int], TokenBucket] = {}
+
+    @property
+    def shaped(self) -> bool:
+        return self.bandwidth is not None
+
+    def bucket(self, src: int, dst: int) -> TokenBucket | None:
+        """The pacing bucket for ``src -> dst`` (``None`` when unshaped)."""
+        if self.bandwidth is None:
+            return None
+        key = (src, dst)
+        found = self._buckets.get(key)
+        if found is None:
+            rate = self.bandwidth.rate(self.cluster, src, dst)
+            found = self._buckets[key] = TokenBucket(
+                rate,
+                capacity=max(rate * self.burst_s, 1.0),
+                clock=self._clock,
+                sleep=self._sleep,
+            )
+        return found
+
+    def rate(self, src: int, dst: int) -> float | None:
+        if self.bandwidth is None:
+            return None
+        return self.bandwidth.rate(self.cluster, src, dst)
+
+    def latency(self, src: int, dst: int) -> float:
+        if self.bandwidth is None:
+            return 0.0
+        return self.bandwidth.latency(self.cluster, src, dst)

@@ -1,0 +1,212 @@
+"""Byte-stream transports for the live runtime.
+
+Two interchangeable transports carry the wire protocol:
+
+* :class:`TcpTransport` — every node runs a real ``asyncio`` TCP server
+  on ``127.0.0.1`` (ephemeral port); sends open a localhost connection
+  per transfer.  This is the "real sockets" mode: kernel buffers, TCP
+  flow control, genuine backpressure.
+* :class:`MemoryTransport` — in-process duplex streams with an explicit
+  high-water mark, for CI and sandboxes where sockets are unavailable
+  or flaky.  Backpressure is preserved: a writer outrunning its reader
+  blocks once the buffered bytes exceed the high-water mark, exactly
+  like a full TCP window.
+
+Both hand out :class:`Stream` objects (``read_exactly`` / ``write`` /
+``aclose``) so the runtime and wire layers never branch on the mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Iterable
+
+__all__ = [
+    "Stream",
+    "MemoryStream",
+    "TcpStream",
+    "MemoryTransport",
+    "TcpTransport",
+    "open_transport",
+]
+
+#: Handler invoked server-side per incoming connection: (node_id, stream).
+ConnectionHandler = Callable[[int, "Stream"], Awaitable[None]]
+
+#: Buffered bytes per direction before a memory-stream writer blocks.
+DEFAULT_HIGH_WATER = 256 * 1024
+
+
+class Stream:
+    """Minimal duplex byte-stream interface shared by both transports."""
+
+    async def read_exactly(self, n: int) -> bytes:
+        raise NotImplementedError
+
+    async def write(self, data: bytes) -> None:
+        """Write ``data`` honouring the transport's backpressure."""
+        raise NotImplementedError
+
+    async def aclose(self) -> None:
+        raise NotImplementedError
+
+
+class _MemoryDuct:
+    """One direction of an in-process pipe with a high-water mark."""
+
+    def __init__(self, high_water: int) -> None:
+        self._buffer = bytearray()
+        self._high_water = high_water
+        self._eof = False
+        self._cond = asyncio.Condition()
+
+    async def feed(self, data: bytes) -> None:
+        async with self._cond:
+            if self._eof:
+                raise ConnectionResetError("peer closed the stream")
+            # Backpressure: block while the reader is behind.
+            while len(self._buffer) >= self._high_water and not self._eof:
+                await self._cond.wait()
+            if self._eof:
+                raise ConnectionResetError("peer closed the stream")
+            self._buffer.extend(data)
+            self._cond.notify_all()
+
+    async def read_exactly(self, n: int) -> bytes:
+        async with self._cond:
+            while len(self._buffer) < n:
+                if self._eof:
+                    raise asyncio.IncompleteReadError(bytes(self._buffer), n)
+                await self._cond.wait()
+            out = bytes(self._buffer[:n])
+            del self._buffer[:n]
+            self._cond.notify_all()
+            return out
+
+    async def close(self) -> None:
+        async with self._cond:
+            self._eof = True
+            self._cond.notify_all()
+
+
+class MemoryStream(Stream):
+    """One endpoint of an in-process duplex connection."""
+
+    def __init__(self, read_duct: _MemoryDuct, write_duct: _MemoryDuct) -> None:
+        self._read = read_duct
+        self._write = write_duct
+
+    @classmethod
+    def pair(cls, high_water: int = DEFAULT_HIGH_WATER) -> tuple["MemoryStream", "MemoryStream"]:
+        """A connected (client, server) stream pair."""
+        a_to_b = _MemoryDuct(high_water)
+        b_to_a = _MemoryDuct(high_water)
+        return cls(b_to_a, a_to_b), cls(a_to_b, b_to_a)
+
+    async def read_exactly(self, n: int) -> bytes:
+        return await self._read.read_exactly(n)
+
+    async def write(self, data: bytes) -> None:
+        await self._write.feed(data)
+
+    async def aclose(self) -> None:
+        await self._write.close()
+        await self._read.close()
+
+
+class TcpStream(Stream):
+    """A real socket connection wrapped in the common interface."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def read_exactly(self, n: int) -> bytes:
+        return await self._reader.readexactly(n)
+
+    async def write(self, data: bytes) -> None:
+        self._writer.write(data)
+        await self._writer.drain()
+
+    async def aclose(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover - teardown race
+            pass
+
+
+class MemoryTransport:
+    """In-process streams: ``connect`` spawns the node's handler directly."""
+
+    name = "memory"
+
+    def __init__(self, high_water: int = DEFAULT_HIGH_WATER) -> None:
+        self._high_water = high_water
+        self._handler: ConnectionHandler | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+    async def start(self, node_ids: Iterable[int], handler: ConnectionHandler) -> None:
+        self._handler = handler
+
+    async def connect(self, src: int, dst: int) -> Stream:
+        if self._handler is None:
+            raise RuntimeError("transport not started")
+        client, server = MemoryStream.pair(self._high_water)
+        task = asyncio.ensure_future(self._handler(dst, server))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return client
+
+    async def aclose(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+
+class TcpTransport:
+    """Localhost TCP: one ``asyncio`` server per node, ephemeral ports."""
+
+    name = "tcp"
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._servers: dict[int, asyncio.base_events.Server] = {}
+        self._ports: dict[int, int] = {}
+
+    async def start(self, node_ids: Iterable[int], handler: ConnectionHandler) -> None:
+        for node_id in node_ids:
+
+            async def on_connect(reader, writer, node_id=node_id):
+                await handler(node_id, TcpStream(reader, writer))
+
+            server = await asyncio.start_server(on_connect, self.host, 0)
+            self._servers[node_id] = server
+            self._ports[node_id] = server.sockets[0].getsockname()[1]
+
+    def port_of(self, node_id: int) -> int:
+        """The ephemeral port node ``node_id`` listens on (after start)."""
+        return self._ports[node_id]
+
+    async def connect(self, src: int, dst: int) -> Stream:
+        reader, writer = await asyncio.open_connection(self.host, self._ports[dst])
+        return TcpStream(reader, writer)
+
+    async def aclose(self) -> None:
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()
+        self._ports.clear()
+
+
+def open_transport(kind: str):
+    """Build a transport by name (``memory`` or ``tcp``)."""
+    if kind == "memory":
+        return MemoryTransport()
+    if kind == "tcp":
+        return TcpTransport()
+    raise ValueError(f"unknown transport {kind!r}; expected 'memory' or 'tcp'")

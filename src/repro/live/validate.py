@@ -1,0 +1,228 @@
+"""Cross-validation: the live runtime vs the discrete-event simulator.
+
+The simulator predicts; the live runtime measures.  This module runs the
+*same scenario* — same code, placement, failure set, bandwidth model and
+plan objects — through both and reports, per scheme:
+
+* **byte oracle** — the live runtime's recovered payloads must equal the
+  lost originals bit for bit (the correctness half);
+* **measured vs predicted makespan** — the live wall clock against the
+  simulated makespan, as a ratio (the calibration half, the CR-SIM-style
+  trust argument: a simulator is only believed once measurements agree).
+
+Scenarios are scaled down from the paper's 256 MB / 1 Gb/s testbed to
+block sizes and rates where a repair takes tenths of a second, keeping
+the *shape* of the schedule (serialisation on ports, pipelined rounds)
+while making the harness runnable in CI.  The acceptance bar is the
+scheme *ordering*: measured makespans must rank the schemes the way the
+simulator does (RPR <= CAR <= traditional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cluster import BandwidthModel, HierarchicalBandwidth
+from ..experiments import ExperimentEnv, build_simics_environment, context_for
+from ..repair import (
+    CARRepair,
+    RepairScheme,
+    RPRScheme,
+    TraditionalRepair,
+    initial_store_for,
+    simulate_repair,
+)
+from ..workloads import encoded_stripe
+from .runtime import LiveResult, run_plan_live_sync
+
+__all__ = [
+    "DEFAULT_LIVE_BANDWIDTH",
+    "DEFAULT_LIVE_BLOCK",
+    "LiveSchemeReport",
+    "LiveValidationReport",
+    "live_environment",
+    "run_live_validation",
+]
+
+#: Scaled-down testbed rates: the paper's 10:1 intra/cross ratio at
+#: speeds where one cross-rack block transfer takes ~80 ms (64 KiB
+#: blocks), so full repairs finish in well under a second but stay far
+#: above event-loop jitter.
+DEFAULT_LIVE_BANDWIDTH = HierarchicalBandwidth(intra=8e6, cross=8e5)
+
+#: Default live block size (bytes).
+DEFAULT_LIVE_BLOCK = 64 * 1024
+
+_SCHEMES: dict[str, type[RepairScheme]] = {
+    "traditional": TraditionalRepair,
+    "car": CARRepair,
+    "rpr": RPRScheme,
+}
+
+
+@dataclass(frozen=True)
+class LiveSchemeReport:
+    """One scheme's cross-validation row."""
+
+    scheme: str
+    predicted_s: float
+    measured_s: float
+    bytes_ok: bool
+    ops: int
+    sends: int
+    combines: int
+    cross_rack_bytes: int
+    sim_cross_rack_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Measured / predicted makespan (1.0 = perfect calibration)."""
+        return self.measured_s / self.predicted_s if self.predicted_s > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "predicted_s": self.predicted_s,
+            "measured_s": self.measured_s,
+            "ratio": self.ratio,
+            "bytes_ok": self.bytes_ok,
+            "ops": self.ops,
+            "sends": self.sends,
+            "combines": self.combines,
+            "cross_rack_bytes": self.cross_rack_bytes,
+            "sim_cross_rack_bytes": self.sim_cross_rack_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class LiveValidationReport:
+    """Cross-validation verdict for one scenario across schemes."""
+
+    n: int
+    k: int
+    failed: tuple[int, ...]
+    block_size: int
+    transport: str
+    rows: tuple[LiveSchemeReport, ...]
+
+    @property
+    def all_bytes_ok(self) -> bool:
+        return all(row.bytes_ok for row in self.rows)
+
+    def ordering_ok(self, tolerance: float = 0.05) -> bool:
+        """Do measured makespans rank schemes like the predictions?
+
+        Schemes are sorted by predicted makespan; the measured series
+        must be non-decreasing in that order, allowing ``tolerance``
+        relative slack for timer noise between near-tied schemes.
+        """
+        ranked = sorted(self.rows, key=lambda r: r.predicted_s)
+        return all(
+            later.measured_s >= earlier.measured_s * (1.0 - tolerance)
+            for earlier, later in zip(ranked, ranked[1:])
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": [self.n, self.k],
+            "failed": list(self.failed),
+            "block_size": self.block_size,
+            "transport": self.transport,
+            "all_bytes_ok": self.all_bytes_ok,
+            "ordering_ok": self.ordering_ok(),
+            "schemes": [row.to_dict() for row in self.rows],
+        }
+
+
+def live_environment(
+    n: int,
+    k: int,
+    *,
+    block_size: int = DEFAULT_LIVE_BLOCK,
+    bandwidth: BandwidthModel | None = None,
+    placement: str = "rpr",
+) -> ExperimentEnv:
+    """The Simics-shaped testbed, scaled for live execution.
+
+    Same topology and placement as
+    :func:`repro.experiments.build_simics_environment`, but with small
+    blocks and the scaled :data:`DEFAULT_LIVE_BANDWIDTH` so wall-clock
+    repairs finish in tenths of a second.
+    """
+    env = build_simics_environment(n, k, placement=placement, block_size=block_size)
+    return replace(env, bandwidth=bandwidth or DEFAULT_LIVE_BANDWIDTH)
+
+
+def run_live_validation(
+    n: int,
+    k: int,
+    failed,
+    *,
+    schemes=None,
+    block_size: int = DEFAULT_LIVE_BLOCK,
+    bandwidth: BandwidthModel | None = None,
+    transport: str = "memory",
+    seed: int = 0,
+    timeout: float = 120.0,
+    placement: str = "rpr",
+) -> LiveValidationReport:
+    """Run one scenario through the simulator *and* the live runtime.
+
+    For every scheme: plan once, predict the makespan with
+    :func:`repro.repair.simulate_repair`, execute the very same plan on
+    real bytes through :func:`repro.live.run_plan_live`, and check the
+    recovered payloads against the lost originals.
+
+    Multi-block failures drop CAR automatically (it is single-failure
+    only, as in the paper).
+    """
+    failed = tuple(sorted(failed))
+    env = live_environment(
+        n, k, block_size=block_size, bandwidth=bandwidth, placement=placement
+    )
+    if schemes is None:
+        schemes = ["traditional", "rpr"] if len(failed) > 1 else list(_SCHEMES)
+    stripe = encoded_stripe(env.code, block_size, seed=seed)
+    ctx = context_for(env, failed)
+
+    rows = []
+    for name in schemes:
+        scheme = _SCHEMES[name]()
+        predicted = simulate_repair(scheme, ctx, env.bandwidth)
+        store = initial_store_for(stripe, env.placement, failed)
+        live: LiveResult = run_plan_live_sync(
+            predicted.plan,
+            env.cluster,
+            store,
+            bandwidth=env.bandwidth,
+            transport=transport,
+            timeout=timeout,
+        )
+        bytes_ok = all(
+            block in live.recovered
+            and np.array_equal(live.recovered[block], stripe.get_payload(block))
+            for block in failed
+        )
+        rows.append(
+            LiveSchemeReport(
+                scheme=scheme.name,
+                predicted_s=predicted.total_repair_time,
+                measured_s=live.makespan,
+                bytes_ok=bytes_ok,
+                ops=len(predicted.plan.ops),
+                sends=len(predicted.plan.sends()),
+                combines=len(predicted.plan.combines()),
+                cross_rack_bytes=live.cross_rack_bytes,
+                sim_cross_rack_bytes=int(predicted.cross_rack_bytes),
+            )
+        )
+    return LiveValidationReport(
+        n=n,
+        k=k,
+        failed=failed,
+        block_size=block_size,
+        transport=transport,
+        rows=tuple(rows),
+    )

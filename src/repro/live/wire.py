@@ -1,0 +1,81 @@
+"""The framed wire protocol the live runtime speaks.
+
+One transfer is one frame on one connection:
+
+```
++----------+----------------+--------------------------+
+| !I hlen  | hlen JSON hdr  | payload bytes (chunked)  |
++----------+----------------+--------------------------+
+```
+
+The header names the op and the payload key; the payload streams in
+``chunk_size`` pieces, each charged against the link's
+:class:`~repro.live.shaper.TokenBucket` *before* it is written, so the
+shaped rate bounds the wire rate and backpressure from a slow receiver
+propagates to the sender naturally.  The receiver stores the payload and
+answers a single :data:`ACK` byte; the sender treats the ack as transfer
+completion (the moment the simulator calls ``TRANSFER_END``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from .shaper import TokenBucket
+from .transport import Stream
+
+__all__ = ["ACK", "DEFAULT_CHUNK", "send_frame", "read_frame", "WireError"]
+
+_HEADER_LEN = struct.Struct("!I")
+
+#: Single ack byte the receiver returns once the payload is stored.
+ACK = b"\x06"
+
+#: Default streaming chunk; small enough that shaping is smooth at the
+#: validation harness's scaled-down rates, large enough to amortise
+#: per-chunk overhead on real sockets.
+DEFAULT_CHUNK = 16 * 1024
+
+
+class WireError(ConnectionError):
+    """Raised on malformed frames or unexpected stream endings."""
+
+
+async def send_frame(
+    stream: Stream,
+    header: dict,
+    payload: bytes | memoryview,
+    *,
+    bucket: TokenBucket | None = None,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> None:
+    """Write one frame, pacing payload chunks through ``bucket``."""
+    head = dict(header)
+    head["nbytes"] = len(payload)
+    encoded = json.dumps(head, separators=(",", ":")).encode()
+    await stream.write(_HEADER_LEN.pack(len(encoded)) + encoded)
+    view = memoryview(payload)
+    for offset in range(0, len(view), chunk_size):
+        chunk = view[offset : offset + chunk_size]
+        if bucket is not None:
+            await bucket.acquire(len(chunk))
+        await stream.write(bytes(chunk))
+
+
+async def read_frame(
+    stream: Stream, *, chunk_size: int = DEFAULT_CHUNK
+) -> tuple[dict, bytes]:
+    """Read one frame; returns ``(header, payload)``."""
+    try:
+        (hlen,) = _HEADER_LEN.unpack(await stream.read_exactly(_HEADER_LEN.size))
+        header = json.loads(await stream.read_exactly(hlen))
+        nbytes = int(header["nbytes"])
+        payload = bytearray()
+        while len(payload) < nbytes:
+            payload.extend(
+                await stream.read_exactly(min(chunk_size, nbytes - len(payload)))
+            )
+    except (json.JSONDecodeError, KeyError, ValueError, struct.error) as exc:
+        raise WireError(f"malformed frame: {exc}") from exc
+    return header, bytes(payload)

@@ -26,9 +26,21 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["engine_suite", "coding_suite", "write_reports", "main"]
+__all__ = [
+    "engine_suite",
+    "coding_suite",
+    "append_history",
+    "write_reports",
+    "main",
+]
 
 SCHEMA_VERSION = 1
+
+#: Rolling log of every harness run, one JSON object per line.  Unlike
+#: the ``BENCH_*.json`` snapshots (overwritten each run), the history
+#: accumulates, so trends across commits/CI runs can be plotted from one
+#: file.
+HISTORY_NAME = "BENCH_history.jsonl"
 
 
 def _measure(fn, reps: int, warmup: int = 1) -> dict:
@@ -200,19 +212,52 @@ def coding_suite(quick: bool = False) -> dict:
     return report
 
 
+def append_history(out_dir: Path, reports: dict[str, dict]) -> Path:
+    """Append one timestamped record for this run to the history log.
+
+    The record keeps only the regression-relevant numbers (``best_s``
+    per benchmark, plus derived speedups) so the file stays small enough
+    to commit or upload as a CI artifact indefinitely.
+    """
+    import datetime
+
+    record: dict = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    for suite_name, report in reports.items():
+        record[suite_name] = {
+            name: entry["best_s"]
+            for name, entry in report["results"].items()
+            if isinstance(entry, dict) and "best_s" in entry
+        }
+        if report.get("derived"):
+            record[f"{suite_name}_derived"] = report["derived"]
+        record.setdefault("quick", report.get("quick"))
+        record.setdefault("python", report.get("python"))
+    path = Path(out_dir) / HISTORY_NAME
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
 def write_reports(out_dir: Path, quick: bool = False) -> list[Path]:
-    """Run both suites and write the two ``BENCH_*.json`` reports."""
+    """Run both suites, write the ``BENCH_*.json`` reports, log history."""
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     written = []
+    reports = {}
     for name, suite in (
         ("BENCH_engine.json", engine_suite),
         ("BENCH_coding.json", coding_suite),
     ):
         report = suite(quick)
+        reports[name.removeprefix("BENCH_").removesuffix(".json")] = report
         path = out_dir / name
         path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         written.append(path)
+    written.append(append_history(out_dir, reports))
     return written
 
 
@@ -233,6 +278,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     for path in write_reports(args.out_dir, quick=args.quick):
+        if path.name == HISTORY_NAME:
+            print(f"appended run to {path}")
+            continue
         report = json.loads(path.read_text())
         print(f"wrote {path}")
         for name, entry in sorted(report["results"].items()):

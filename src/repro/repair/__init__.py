@@ -28,6 +28,7 @@ from .executor import (
     execute_ops,
     execute_plan,
     initial_store_for,
+    missing_payload_message,
 )
 from .faults import (
     DegradedRepairOutcome,
@@ -82,6 +83,7 @@ __all__ = [
     "first_n_helpers",
     "group_survivors_by_rack",
     "initial_store_for",
+    "missing_payload_message",
     "rack_aware_helpers",
     "recovery_targets",
     "remote_rack_count",

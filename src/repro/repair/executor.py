@@ -25,11 +25,27 @@ __all__ = [
     "execute_ops",
     "execute_plan",
     "initial_store_for",
+    "missing_payload_message",
 ]
 
 
 class ExecutionError(RuntimeError):
     """Raised when a plan references payloads that do not exist when needed."""
+
+
+def missing_payload_message(
+    kind: str, op_id: str, op_index: int, op_count: int, missing, node: int
+) -> str:
+    """Message shape shared by the byte executor and the live runtime.
+
+    Always names the *full* set of missing payload keys and the op's
+    position in the plan, so an aborted run can be diagnosed without
+    replaying it (the shape is pinned in ``tests/repair/test_executor.py``).
+    """
+    return (
+        f"{kind} {op_id!r} (op {op_index + 1}/{op_count}): "
+        f"missing payloads {sorted(missing)} on node {node}"
+    )
 
 
 @dataclass
@@ -122,13 +138,17 @@ def _apply_op(
     store: dict[int, dict[str, np.ndarray]],
     t: GFTables,
     result: ExecutionResult,
+    op_index: int,
+    op_count: int,
 ) -> None:
     """Execute one op against the store, updating ``result``'s ledgers."""
     if isinstance(op, SendOp):
         src_store = store.get(op.src, {})
         if op.key not in src_store:
             raise ExecutionError(
-                f"send {oid!r}: payload {op.key!r} not on node {op.src}"
+                missing_payload_message(
+                    "send", oid, op_index, op_count, [op.key], op.src
+                )
             )
         payload = src_store[op.key]
         store.setdefault(op.dst, {})[op.key] = payload
@@ -154,7 +174,9 @@ def _apply_op(
         missing = [key for key, _ in op.terms if key not in node_store]
         if missing:
             raise ExecutionError(
-                f"combine {oid!r}: payloads {missing} not on node {op.node}"
+                missing_payload_message(
+                    "combine", oid, op_index, op_count, missing, op.node
+                )
             )
         coeffs = [c for _, c in op.terms]
         blocks = [node_store[key] for key, _ in op.terms]
@@ -184,8 +206,11 @@ def execute_plan(
     t = tables or get_tables()
     result = ExecutionResult(recovered={})
 
+    indices = {oid: i for i, oid in enumerate(plan.ops)}
     for oid in _topo_order(plan):
-        _apply_op(oid, plan.ops[oid], cluster, store, t, result)
+        _apply_op(
+            oid, plan.ops[oid], cluster, store, t, result, indices[oid], len(plan.ops)
+        )
 
     for block_id, (node, key) in plan.outputs.items():
         node_store = store.get(node, {})
@@ -233,7 +258,17 @@ def execute_ops(
             )
     t = tables or get_tables()
     result = ExecutionResult(recovered={})
+    indices = {oid: i for i, oid in enumerate(plan.ops)}
     for oid in _topo_order(plan):
         if oid in wanted:
-            _apply_op(oid, plan.ops[oid], cluster, store, t, result)
+            _apply_op(
+                oid,
+                plan.ops[oid],
+                cluster,
+                store,
+                t,
+                result,
+                indices[oid],
+                len(plan.ops),
+            )
     return result

@@ -229,3 +229,76 @@ class TestExtensionCommand:
 
     def test_unknown_extension(self, capsys):
         assert main(["extension", "nope"]) == 2
+
+
+class TestJsonEverywhere:
+    """Every report subcommand must emit parseable JSON under --json."""
+
+    REPORT_INVOCATIONS = [
+        ["figure", "6", "--json"],
+        ["repair", "--code", "6,2", "--json"],
+        ["compare", "--code", "6,2", "--json"],
+        ["timeline", "--code", "6,2", "--json"],
+        ["trace", "--code", "6,2", "--json"],
+        ["rebuild", "--code", "6,2", "--stripes", "4", "--json"],
+        ["durability", "--code", "6,2", "--json"],
+        ["extension", "lrc", "--json"],
+        ["faults", "--code", "6,2", "--fail", "1", "--kill", "0@0.5", "--json"],
+        ["live", "--code", "6,2", "--schemes", "rpr", "--json"],
+    ]
+
+    @pytest.mark.parametrize(
+        "argv", REPORT_INVOCATIONS, ids=[argv[0] for argv in REPORT_INVOCATIONS]
+    )
+    def test_json_flag_emits_json(self, argv, capsys):
+        import json
+
+        assert main(argv) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, dict) and data
+
+    def test_compare_json_rows_carry_schemes(self, capsys):
+        import json
+
+        assert main(["compare", "--code", "6,2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {row["scheme"] for row in data["schemes"]} == {
+            "traditional",
+            "car",
+            "rpr",
+        }
+
+    def test_timeline_json_intervals_end_at_makespan(self, capsys):
+        import json
+
+        assert main(["timeline", "--code", "6,2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        latest = max(
+            interval["end"] for row in data["rows"] for interval in row["intervals"]
+        )
+        assert latest == pytest.approx(data["makespan_s"])
+
+
+class TestLiveCommand:
+    def test_live_validate_passes(self, capsys):
+        assert main(
+            ["live", "--code", "6,2", "--block-size", "16384", "--validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "measured_s" in out and "ratio" in out
+        assert "matches simulator" in out
+
+    def test_live_json_reports_per_scheme_ratio(self, capsys):
+        import json
+
+        assert main(
+            ["live", "--code", "6,2", "--schemes", "rpr,traditional",
+             "--block-size", "16384", "--json", "--validate"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["validated"] is True
+        assert all("ratio" in row for row in data["schemes"])
+
+    def test_live_rejects_unknown_scheme(self, capsys):
+        assert main(["live", "--schemes", "nope"]) == 2
+        assert "unknown schemes" in capsys.readouterr().err

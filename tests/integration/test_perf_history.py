@@ -1,0 +1,42 @@
+"""Tests for the perf harness's rolling history log."""
+
+import json
+
+from repro.perfharness import HISTORY_NAME, append_history
+
+
+def fake_report(best: float) -> dict:
+    return {
+        "quick": True,
+        "python": "3.12.0",
+        "results": {
+            "hot_path": {"best_s": best, "reps": 3},
+            "buffer_pool": {"hits": 10},  # non-timing entries are skipped
+        },
+        "derived": {"speedup_x": 2.0},
+    }
+
+
+class TestAppendHistory:
+    def test_appends_one_timestamped_line_per_run(self, tmp_path):
+        for best in (0.5, 0.25):
+            path = append_history(tmp_path, {"engine": fake_report(best)})
+        assert path == tmp_path / HISTORY_NAME
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["engine"]["hot_path"] for r in records] == [0.5, 0.25]
+        for record in records:
+            assert record["timestamp"]  # ISO-8601, parseable
+            assert record["quick"] is True
+            assert record["engine_derived"] == {"speedup_x": 2.0}
+            assert "buffer_pool" not in record["engine"]
+
+    def test_multiple_suites_share_one_record(self, tmp_path):
+        append_history(
+            tmp_path, {"engine": fake_report(0.1), "coding": fake_report(0.2)}
+        )
+        (line,) = (tmp_path / HISTORY_NAME).read_text().splitlines()
+        record = json.loads(line)
+        assert record["engine"]["hot_path"] == 0.1
+        assert record["coding"]["hot_path"] == 0.2

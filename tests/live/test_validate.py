@@ -1,0 +1,58 @@
+"""Cross-validation harness tests: sim predictions vs live measurements."""
+
+import json
+
+import pytest
+
+from repro.live import DEFAULT_LIVE_BANDWIDTH, run_live_validation
+from repro.live.validate import live_environment
+
+
+class TestLiveEnvironment:
+    def test_scaled_bandwidth_and_block_size(self):
+        env = live_environment(6, 3, block_size=32 * 1024)
+        assert env.block_size == 32 * 1024
+        assert env.bandwidth is DEFAULT_LIVE_BANDWIDTH
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("n,k", [(6, 3), (8, 3)])
+    def test_single_failure_all_schemes(self, n, k):
+        """The ISSUE acceptance bar, on the wire: bytes identical, ordering
+        matches the simulator, ratio computed per scheme."""
+        report = run_live_validation(n, k, [1])
+        assert {row.scheme for row in report.rows} == {
+            "traditional",
+            "car",
+            "rpr",
+        }
+        assert report.all_bytes_ok
+        assert report.ordering_ok()
+        for row in report.rows:
+            assert row.predicted_s > 0
+            assert row.measured_s > 0
+            assert row.ratio == pytest.approx(
+                row.measured_s / row.predicted_s
+            )
+            # Live traffic must hit the simulator's cross-rack ledger exactly.
+            assert row.cross_rack_bytes == row.sim_cross_rack_bytes
+
+    def test_multi_block_drops_car(self):
+        report = run_live_validation(6, 3, [0, 2])
+        assert {row.scheme for row in report.rows} == {"traditional", "rpr"}
+        assert report.all_bytes_ok
+
+    def test_report_round_trips_through_json(self):
+        report = run_live_validation(6, 3, [1], schemes=["rpr"])
+        dumped = json.loads(json.dumps(report.to_dict()))
+        assert dumped["code"] == [6, 3]
+        assert dumped["all_bytes_ok"] is True
+        assert dumped["schemes"][0]["scheme"] == "rpr"
+        assert "ratio" in dumped["schemes"][0]
+
+    def test_ordering_check_logic(self):
+        report = run_live_validation(6, 3, [1], schemes=["traditional", "rpr"])
+        # Predictions put rpr well below traditional; measurements agree.
+        ranked = sorted(report.rows, key=lambda r: r.predicted_s)
+        assert ranked[0].scheme == "rpr"
+        assert ranked[0].measured_s < ranked[1].measured_s

@@ -8,8 +8,10 @@ from repro.repair import (
     ExecutionError,
     RepairPlan,
     block_key,
+    execute_ops,
     execute_plan,
     initial_store_for,
+    missing_payload_message,
 )
 from repro.gf import scale
 
@@ -87,6 +89,44 @@ class TestCombines:
         plan.mark_output(0, 0, "out")
         with pytest.raises(ExecutionError):
             execute_plan(plan, cluster, {0: {"raw": np.zeros(2, dtype=np.uint8)}})
+
+
+class TestAbortDiagnostics:
+    """The missing-payload message shape is an API: live runs and byte runs
+    must both name the full missing-key set and the op's plan position."""
+
+    def test_send_abort_names_key_and_op_position(self, cluster):
+        plan = RepairPlan(block_size=4)
+        plan.add_send("warmup", 0, 1, "x")
+        plan.add_send("s1", 1, 2, "ghost", deps=["warmup"])
+        plan.mark_output(0, 2, "ghost")
+        with pytest.raises(ExecutionError) as err:
+            execute_plan(plan, cluster, store_with(0, "x", np.zeros(4, dtype=np.uint8)))
+        assert str(err.value) == missing_payload_message(
+            "send", "s1", 1, 2, ["ghost"], 1
+        )
+
+    def test_combine_abort_lists_full_missing_set_sorted(self, cluster):
+        plan = RepairPlan(block_size=2)
+        plan.add_combine("c", 0, "out", [("b", 1), ("a", 1), ("have", 1)])
+        plan.mark_output(0, 0, "out")
+        with pytest.raises(ExecutionError) as err:
+            execute_plan(plan, cluster, {0: {"have": np.zeros(2, dtype=np.uint8)}})
+        message = str(err.value)
+        assert message == missing_payload_message(
+            "combine", "c", 0, 1, ["a", "b"], 0
+        )
+        assert "['a', 'b']" in message  # sorted, complete — not just the first
+
+    def test_execute_ops_abort_uses_same_shape(self, cluster):
+        plan = RepairPlan(block_size=2)
+        plan.add_send("s0", 0, 1, "missing")
+        plan.mark_output(0, 1, "missing")
+        with pytest.raises(ExecutionError) as err:
+            execute_ops(plan, ["s0"], cluster, {})
+        assert str(err.value) == missing_payload_message(
+            "send", "s0", 0, 1, ["missing"], 0
+        )
 
 
 class TestOutputs:
