@@ -36,12 +36,69 @@ SMOKE_CODES = [(6, 3)]
 SMOKE_BLOCK = 32 * 1024
 
 
-def run_sweep(codes=FULL_CODES, block_size=FULL_BLOCK, transport="memory"):
+def run_sweep(
+    codes=FULL_CODES, block_size=FULL_BLOCK, transport="memory", telemetry=False
+):
     """One report per code: all schemes on a single failure."""
     return [
-        run_live_validation(n, k, [1], block_size=block_size, transport=transport)
+        run_live_validation(
+            n, k, [1], block_size=block_size, transport=transport,
+            telemetry=telemetry,
+        )
         for n, k in codes
     ]
+
+
+def export_traces(reports, out_dir) -> list:
+    """Chrome trace-event files, one per code, sim + live side by side.
+
+    The sweep's diffs only keep aligned span summaries; Chrome export
+    needs the full traces, so each scheme is replayed once with a
+    recorder attached.  Written files load directly in Perfetto /
+    ``chrome://tracing``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.experiments import context_for
+    from repro.live import live_environment, run_plan_live_sync
+    from repro.repair import initial_store_for, simulate_repair
+    from repro.repair import CARRepair, RPRScheme, TraditionalRepair
+    from repro.telemetry import CLOCK_WALL, TelemetryRecorder, to_chrome_trace
+    from repro.workloads import encoded_stripe
+
+    schemes = {
+        "traditional": TraditionalRepair,
+        "car": CARRepair,
+        "rpr": RPRScheme,
+    }
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for report in reports:
+        env = live_environment(report.n, report.k, block_size=report.block_size)
+        ctx = context_for(env, list(report.failed))
+        stripe = encoded_stripe(env.code, report.block_size, seed=0)
+        traces = []
+        for row in report.rows:
+            predicted = simulate_repair(schemes[row.scheme](), ctx, env.bandwidth)
+            recorder = TelemetryRecorder(
+                CLOCK_WALL, meta={"source": "live", "scheme": row.scheme}
+            )
+            live = run_plan_live_sync(
+                predicted.plan,
+                env.cluster,
+                initial_store_for(stripe, env.placement, list(report.failed)),
+                bandwidth=env.bandwidth,
+                transport=report.transport,
+                recorder=recorder,
+            )
+            traces.append((f"sim:{row.scheme}", predicted.telemetry()))
+            traces.append((f"live:{row.scheme}", live.telemetry))
+        path = out_dir / f"trace_rs{report.n}_{report.k}.json"
+        path.write_text(json.dumps(to_chrome_trace(traces)) + "\n")
+        written.append(path)
+    return written
 
 
 def reports_to_table(reports) -> str:
@@ -109,6 +166,13 @@ def main(argv=None) -> int:
         default="memory",
         help="in-process streams (CI default) or real localhost sockets",
     )
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="DIR",
+        help="also write Chrome trace-event exports (sim + live per "
+        "scheme) into DIR — the CI live-smoke build artifact",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         reports = run_sweep(
@@ -118,6 +182,9 @@ def main(argv=None) -> int:
         reports = run_sweep(transport=args.transport)
     print(reports_to_table(reports))
     check_reports(reports)
+    if args.trace_out:
+        for path in export_traces(reports, args.trace_out):
+            print(f"wrote {path}")
     print("live validation OK")
     return 0
 

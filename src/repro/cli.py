@@ -11,6 +11,10 @@ Usage (installed as ``rpr`` or via ``python -m repro.cli``):
     rpr faults --code 8,3 --fail 2 --kill 12@0.7    # degraded repair under injected faults
     rpr timeline --code 6,2 --fail 1 --scheme rpr   # ASCII schedule chart
     rpr trace --code 6,4 --fail 1 --scheme rpr      # utilization + bottleneck report
+    rpr trace --code 8,3 --fail 2 --kill 4@0.5      # same report for a degraded repair
+    rpr telemetry report --code 6,3 --fail 1        # span/counter/histogram summary
+    rpr telemetry diff --code 6,3 --fail 1          # per-op sim vs live ratios
+    rpr telemetry export --source both --out t.json # Chrome trace for Perfetto
     rpr rebuild --code 6,2 --stripes 30 --node 0    # full-node rebuild
     rpr durability --code 12,4                      # MTTDL per scheme
     rpr extension lrc                               # extension experiments
@@ -460,6 +464,15 @@ def _cmd_timeline(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    """Utilization + bottleneck report, fault-free or degraded.
+
+    Any fault flag (``--kill``, ``--slow``, ``--loss-prob``, or
+    ``--deaths`` > 0) switches the command onto the faulted engine: the
+    repair replays under the injected scenario and the trace comes from
+    one attempt of the degraded outcome (``--attempt``, default the
+    final one).  Aborted occupancy shows up as zero-byte intervals and
+    the critical path walks across abort and retry boundaries.
+    """
     from .sim import render_gantt, render_report
 
     n, k = _parse_code(args.code)
@@ -467,8 +480,46 @@ def _cmd_trace(args) -> int:
     builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
     env = builder(n, k, placement=args.placement)
     scheme = _SCHEMES[args.scheme]()
-    outcome = run_scheme(env, scheme, failed)
-    trace = outcome.trace()
+    faulted = bool(args.kill or args.slow or args.loss_prob or args.deaths)
+    if faulted:
+        from .experiments import context_for
+        from .repair import (
+            IrrecoverableError,
+            simulate_repair,
+            simulate_repair_with_faults,
+        )
+
+        ctx = context_for(env, failed)
+        horizon = simulate_repair(scheme, ctx, env.bandwidth).total_repair_time
+        faults = _build_fault_plan(args, env.cluster, horizon)
+        try:
+            degraded = simulate_repair_with_faults(
+                scheme, ctx, env.bandwidth, faults, max_attempts=args.max_attempts
+            )
+        except IrrecoverableError as exc:
+            print(f"IRRECOVERABLE: {exc}", file=sys.stderr)
+            return 1
+        if not -degraded.attempts <= args.attempt < degraded.attempts:
+            print(
+                f"--attempt {args.attempt} out of range; outcome has "
+                f"{degraded.attempts} attempts",
+                file=sys.stderr,
+            )
+            return 2
+        trace = degraded.trace(args.attempt)
+        attempt_no = args.attempt % degraded.attempts + 1
+        headline = (
+            f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
+            f"{args.testbed} testbed under injected faults (seed {args.seed}) "
+            f"— attempt {attempt_no} of {degraded.attempts}"
+        )
+    else:
+        outcome = run_scheme(env, scheme, failed)
+        trace = outcome.trace()
+        headline = (
+            f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
+            f"{args.testbed} testbed, {args.placement} placement"
+        )
     if args.json:
         import json
 
@@ -477,10 +528,7 @@ def _cmd_trace(args) -> int:
     if args.jsonl:
         print(trace.to_json_lines())
         return 0
-    print(
-        f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
-        f"{args.testbed} testbed, {args.placement} placement"
-    )
+    print(headline)
     print(render_report(trace))
     if args.gantt:
         print()
@@ -674,6 +722,149 @@ def _cmd_live(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    """Span-structured telemetry: summarise, diff sim vs live, or export.
+
+    Three modes:
+
+    ``report``
+        Simulate one repair and summarise its telemetry trace (op spans,
+        fault events, counters, histograms) — sim-clock seconds.
+    ``diff``
+        Run the same plan through the simulator *and* the live runtime
+        with telemetry on, align every op span by id and print per-op
+        measured/predicted ratios, the worst divergers and the
+        critical-path delta.  Exits nonzero if any op fails to align.
+    ``export``
+        Write the trace(s) out as canonical JSONL or Chrome trace-event
+        JSON (loadable in Perfetto / ``chrome://tracing``).  ``--source
+        both`` puts the sim prediction and the live measurement side by
+        side as two processes in one Chrome trace.
+    """
+    import json
+
+    from .telemetry import render_diff, to_chrome_trace, to_jsonl
+
+    n, k = _parse_code(args.code)
+    failed = sorted(int(x) for x in args.fail.split(","))
+
+    if args.mode == "report":
+        builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+        env = builder(n, k, placement=args.placement)
+        scheme = _SCHEMES[args.scheme]()
+        outcome = run_scheme(env, scheme, failed)
+        trace = outcome.telemetry()
+        if args.json:
+            print(json.dumps(trace.to_dict(), indent=2))
+            return 0
+        ops = sorted(trace.op_spans().values(), key=lambda s: -s.duration)
+        print(
+            f"{scheme.name} repairing blocks {failed} of RS({n},{k}) on the "
+            f"{args.testbed} testbed — telemetry ({trace.clock} clock)"
+        )
+        print(f"  spans    : {len(trace.spans)} ({len(ops)} ops)")
+        print(f"  events   : {len(trace.events)}")
+        print(f"  extent   : {trace.extent:.3f} s")
+        for name in sorted(trace.counters):
+            print(f"  counter  : {name} = {trace.counters[name]:g}")
+        for name in sorted(trace.histograms):
+            values = trace.histograms[name]
+            print(
+                f"  histogram: {name} n={len(values)} "
+                f"mean={sum(values) / len(values):.4g} max={max(values):.4g}"
+            )
+        print("  slowest ops:")
+        for span in ops[: args.top]:
+            print(
+                f"    {span.op_id:<28} {span.duration:8.3f} s  "
+                f"{span.attrs.get('kind', '?')}"
+                f"{' CROSS' if span.attrs.get('cross_rack') else ''}"
+            )
+        return 0
+
+    if args.mode == "diff":
+        from .live import run_live_validation
+
+        report = run_live_validation(
+            n,
+            k,
+            failed,
+            schemes=[args.scheme],
+            block_size=args.block_size,
+            transport=args.transport,
+            seed=args.seed,
+            timeout=args.timeout,
+            telemetry=True,
+        )
+        diff = report.rows[0].diff
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2))
+        else:
+            print(
+                f"{args.scheme} repairing blocks {failed} of RS({n},{k}): "
+                f"simulator prediction vs live measurement "
+                f"({args.transport} transport, {args.block_size // 1024} KiB blocks)"
+            )
+            print(render_diff(diff, top=args.top))
+        return 0 if diff.all_aligned else 1
+
+    # export
+    from .experiments import context_for
+    from .live import live_environment, run_plan_live_sync
+    from .repair import initial_store_for, simulate_repair
+    from .telemetry import CLOCK_WALL, TelemetryRecorder
+    from .workloads import encoded_stripe
+
+    if args.format == "jsonl" and args.source == "both":
+        print("--format jsonl holds a single trace; pick --source sim or live",
+              file=sys.stderr)
+        return 2
+
+    scheme = _SCHEMES[args.scheme]()
+    traces = []
+    if args.source == "sim":
+        builder = build_ec2_env if args.testbed == "ec2" else build_simics_environment
+        env = builder(n, k, placement=args.placement)
+        outcome = run_scheme(env, scheme, failed)
+        traces.append((f"sim:{scheme.name}", outcome.telemetry()))
+    else:
+        env = live_environment(
+            n, k, block_size=args.block_size, placement=args.placement
+        )
+        ctx = context_for(env, failed)
+        predicted = simulate_repair(scheme, ctx, env.bandwidth)
+        if args.source == "both":
+            traces.append((f"sim:{scheme.name}", predicted.telemetry()))
+        stripe = encoded_stripe(env.code, args.block_size, seed=args.seed)
+        store = initial_store_for(stripe, env.placement, failed)
+        recorder = TelemetryRecorder(
+            CLOCK_WALL,
+            meta={"source": "live", "scheme": scheme.name, "transport": args.transport},
+        )
+        live = run_plan_live_sync(
+            predicted.plan,
+            env.cluster,
+            store,
+            bandwidth=env.bandwidth,
+            transport=args.transport,
+            timeout=args.timeout,
+            recorder=recorder,
+        )
+        traces.append((f"live:{scheme.name}", live.telemetry))
+
+    if args.format == "jsonl":
+        text = to_jsonl(traces[0][1])
+    else:
+        text = json.dumps(to_chrome_trace(traces), indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} trace ({len(text)} bytes) to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_perf(args) -> int:
     from .perfharness import main as perf_main
 
@@ -796,9 +987,75 @@ def build_parser() -> argparse.ArgumentParser:
     tc.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
     tc.add_argument("--gantt", action="store_true", help="append the utilization Gantt chart")
     tc.add_argument("--width", type=int, default=64, help="Gantt chart width")
+    tc.add_argument(
+        "--kill", default="",
+        help="trace a degraded repair: node deaths as node@fraction of the "
+        "fault-free makespan, comma-separated (e.g. '4@0.5')",
+    )
+    tc.add_argument(
+        "--slow", default="",
+        help="stragglers as node@slowdown-factor, comma-separated",
+    )
+    tc.add_argument(
+        "--loss-prob", type=float, default=0.0,
+        help="per-transfer loss probability (seeded, deterministic)",
+    )
+    tc.add_argument(
+        "--deaths", type=int, default=0,
+        help="random node deaths (0 keeps the fault-free path)",
+    )
+    tc.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    tc.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="re-planning budget for the faulted engine",
+    )
+    tc.add_argument(
+        "--attempt", type=int, default=-1,
+        help="which attempt of a degraded repair to trace (default: final)",
+    )
     tc.add_argument("--json", action="store_true", help="emit the trace as one JSON object")
     tc.add_argument("--jsonl", action="store_true", help="emit the trace as JSON lines")
     tc.set_defaults(func=_cmd_trace)
+
+    te = sub.add_parser(
+        "telemetry",
+        help="span telemetry: report one repair, diff sim vs live, or export "
+        "Chrome/JSONL traces",
+    )
+    te.add_argument("mode", choices=["report", "diff", "export"])
+    te.add_argument("--code", default="6,3", help="RS code as 'n,k'")
+    te.add_argument("--fail", default="1", help="failed block ids, comma-separated")
+    te.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    te.add_argument("--testbed", choices=["simics", "ec2"], default="simics")
+    te.add_argument("--placement", choices=["rpr", "contiguous"], default="rpr")
+    te.add_argument(
+        "--transport", choices=["memory", "tcp"], default="memory",
+        help="diff/export: live-runtime transport",
+    )
+    te.add_argument(
+        "--block-size", type=int, default=64 * 1024,
+        help="diff/export: payload bytes per block for the live run",
+    )
+    te.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="diff/export: wall-clock budget for the live run",
+    )
+    te.add_argument("--seed", type=int, default=0, help="stripe payload seed")
+    te.add_argument(
+        "--top", type=int, default=8,
+        help="rows shown for slowest ops / worst divergers",
+    )
+    te.add_argument(
+        "--source", choices=["sim", "live", "both"], default="sim",
+        help="export: which interpreter's trace (both = side-by-side Chrome trace)",
+    )
+    te.add_argument(
+        "--format", choices=["chrome", "jsonl"], default="chrome",
+        help="export format: Chrome trace-event JSON (Perfetto) or canonical JSONL",
+    )
+    te.add_argument("--out", default="", help="export: output path (default stdout)")
+    te.add_argument("--json", action="store_true", help="machine-readable output")
+    te.set_defaults(func=_cmd_telemetry)
 
     rb = sub.add_parser("rebuild", help="rebuild everything a failed node held")
     rb.add_argument("--code", default="6,2")

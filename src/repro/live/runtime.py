@@ -39,6 +39,7 @@ from ..cluster import BandwidthModel, Cluster
 from ..gf import GFTables, get_tables, linear_combine
 from ..repair.executor import ExecutionError, missing_payload_message
 from ..repair.plan import CombineOp, RepairPlan, SendOp
+from ..telemetry.model import OP_CATEGORY, TelemetryRecorder, TelemetryTrace
 from .shaper import LinkShaper
 from .transport import MemoryTransport, Stream, TcpTransport, open_transport
 from .wire import ACK, DEFAULT_CHUNK, read_frame, send_frame
@@ -81,6 +82,11 @@ class LiveResult:
     Mirrors :class:`repro.repair.ExecutionResult`'s ledgers (byte counts
     must agree exactly — tests pin it) and adds measured wall-clock
     timings, the live counterpart of :class:`repro.sim.SimResult`.
+
+    ``telemetry`` carries the run's wall-clock
+    :class:`~repro.telemetry.TelemetryTrace` — per-op spans with nested
+    wait/transfer phases, pacing stalls, per-link throughput samples —
+    when the run was given a recorder; ``None`` otherwise.
     """
 
     recovered: dict[int, np.ndarray]
@@ -95,6 +101,7 @@ class LiveResult:
     uploaded_by_node: dict[int, int] = field(default_factory=dict)
     downloaded_by_node: dict[int, int] = field(default_factory=dict)
     cross_uploaded_by_rack: dict[int, int] = field(default_factory=dict)
+    telemetry: TelemetryTrace | None = None
 
     def to_dict(self) -> dict:
         """JSON-serializable summary (payload bytes omitted)."""
@@ -114,6 +121,9 @@ class LiveResult:
                 {"op_id": t.op_id, "start": t.start, "end": t.end}
                 for t in self.timings.values()
             ],
+            "telemetry": (
+                self.telemetry.to_dict() if self.telemetry is not None else None
+            ),
         }
 
 
@@ -166,6 +176,7 @@ class _LiveRun:
         tables: GFTables,
         chunk_size: int,
         exclusive_ports: bool,
+        recorder: TelemetryRecorder | None = None,
     ) -> None:
         plan.validate()
         self.plan = plan
@@ -175,6 +186,10 @@ class _LiveRun:
         self.transport = transport
         self.tables = tables
         self.chunk_size = chunk_size
+        # A falsy recorder (NULL_RECORDER) collapses to None here, so
+        # every emission site below is a single identity check when
+        # telemetry is off.
+        self.rec = recorder if recorder else None
         self.ports = _PortRegistry() if exclusive_ports else _NullRegistry()
         self.events = {oid: asyncio.Event() for oid in plan.ops}
         self.indices = {oid: i for i, oid in enumerate(plan.ops)}
@@ -219,6 +234,8 @@ class _LiveRun:
         self.events[oid].set()
 
     async def _run_send(self, oid: str, op: SendOp) -> None:
+        rec = self.rec
+        t_spawn = time.monotonic() if rec is not None else 0.0
         await self._await_deps(op.deps)
         src_store = self.store.get(op.src, {})
         if op.key not in src_store:
@@ -230,14 +247,19 @@ class _LiveRun:
         payload = np.ascontiguousarray(src_store[op.key])
         nbytes = int(payload.nbytes)
         latency = self.shaper.latency(op.src, op.dst)
+        t_deps = time.monotonic() if rec is not None else 0.0
         async with self.ports.hold(("up", op.src), ("down", op.dst)):
+            t_ports = time.monotonic() if rec is not None else 0.0
             bucket = self.shaper.bucket(op.src, op.dst)
             if bucket is not None:
                 bucket.reset()
             start = time.monotonic()
             if latency > 0:
                 await asyncio.sleep(latency)
+            t_lat = time.monotonic() if rec is not None else 0.0
             stream = await self.transport.connect(op.src, op.dst)
+            t_conn = time.monotonic() if rec is not None else 0.0
+            t_sent = t_conn
             try:
                 await send_frame(
                     stream,
@@ -245,7 +267,10 @@ class _LiveRun:
                     payload.tobytes(),
                     bucket=bucket,
                     chunk_size=self.chunk_size,
+                    recorder=rec,
                 )
+                if rec is not None:
+                    t_sent = time.monotonic()
                 ack = await stream.read_exactly(1)
                 if ack != ACK:
                     raise LiveError(f"send {oid!r}: bad ack {ack!r}")
@@ -256,7 +281,8 @@ class _LiveRun:
         res.sends_executed += 1
         res.uploaded_by_node[op.src] = res.uploaded_by_node.get(op.src, 0) + nbytes
         res.downloaded_by_node[op.dst] = res.downloaded_by_node.get(op.dst, 0) + nbytes
-        if self.cluster.same_rack(op.src, op.dst):
+        cross = not self.cluster.same_rack(op.src, op.dst)
+        if not cross:
             res.intra_rack_bytes += nbytes
         else:
             res.cross_rack_bytes += nbytes
@@ -265,8 +291,35 @@ class _LiveRun:
                 res.cross_uploaded_by_rack.get(rack, 0) + nbytes
             )
         self._record(oid, start, end)
+        if rec is not None:
+            rec.span(
+                oid,
+                start,
+                end,
+                category=OP_CATEGORY,
+                op_id=oid,
+                kind="transfer",
+                node=op.src,
+                peer=op.dst,
+                cross_rack=cross,
+                nbytes=nbytes,
+            )
+            rec.span("send.dep_wait", t_spawn, t_deps, op_id=oid, parent=oid)
+            rec.span("send.port_wait", t_deps, t_ports, op_id=oid, parent=oid)
+            rec.span("send.latency", start, t_lat, op_id=oid, parent=oid)
+            rec.span("send.connect", t_lat, t_conn, op_id=oid, parent=oid)
+            rec.span("send.stream", t_conn, t_sent, op_id=oid, parent=oid)
+            rec.span("send.ack_wait", t_sent, end, op_id=oid, parent=oid)
+            if t_sent > t_conn:
+                rec.gauge(
+                    f"throughput.n{op.src}->n{op.dst}",
+                    nbytes / (t_sent - t_conn),
+                    at=end,
+                )
 
     async def _run_combine(self, oid: str, op: CombineOp) -> None:
+        rec = self.rec
+        t_spawn = time.monotonic() if rec is not None else 0.0
         await self._await_deps(op.deps)
         node_store = self.store.setdefault(op.node, {})
         missing = [key for key, _ in op.terms if key not in node_store]
@@ -276,6 +329,7 @@ class _LiveRun:
                     "combine", oid, self.indices[oid], len(self.plan.ops), missing, op.node
                 )
             )
+        t_deps = time.monotonic() if rec is not None else 0.0
         async with self.ports.hold(("cpu", op.node)):
             start = time.monotonic()
             # The GF kernel is a C-speed numpy pass over a (small, in the
@@ -290,6 +344,18 @@ class _LiveRun:
             end = time.monotonic()
         self.result.combine_count += 1
         self._record(oid, start, end)
+        if rec is not None:
+            rec.span(
+                oid,
+                start,
+                end,
+                category=OP_CATEGORY,
+                op_id=oid,
+                kind="compute",
+                node=op.node,
+            )
+            rec.span("combine.dep_wait", t_spawn, t_deps, op_id=oid, parent=oid)
+            rec.span("combine.cpu_wait", t_deps, start, op_id=oid, parent=oid)
 
     # -- orchestration -----------------------------------------------------
 
@@ -298,6 +364,8 @@ class _LiveRun:
         tasks = {}
         try:
             self._t0 = time.monotonic()
+            if self.rec is not None:
+                self.rec.set_origin(self._t0)
             for oid, op in self.plan.ops.items():
                 runner = self._run_send if isinstance(op, SendOp) else self._run_combine
                 tasks[oid] = asyncio.ensure_future(runner(oid, op))
@@ -333,6 +401,12 @@ class _LiveRun:
         self.result.makespan = max(
             (t.end for t in self.result.timings.values()), default=0.0
         )
+        if self.rec is not None:
+            self.rec.count("bytes.cross_rack", float(self.result.cross_rack_bytes))
+            self.rec.count("bytes.intra_rack", float(self.result.intra_rack_bytes))
+            self.rec.count("ops.sends", float(self.result.sends_executed))
+            self.rec.count("ops.combines", float(self.result.combine_count))
+            self.result.telemetry = self.rec.trace()
         return self.result
 
 
@@ -347,6 +421,7 @@ async def run_plan_live(
     chunk_size: int = DEFAULT_CHUNK,
     exclusive_ports: bool = True,
     timeout: float | None = 120.0,
+    recorder: TelemetryRecorder | None = None,
 ) -> LiveResult:
     """Execute ``plan`` against ``store`` over the live runtime.
 
@@ -365,21 +440,31 @@ async def run_plan_live(
     timeout:
         Hard wall-clock budget; a hang raises :class:`LiveTimeoutError`
         instead of stalling forever (CI jobs rely on this).
+    recorder:
+        Optional :class:`repro.telemetry.TelemetryRecorder` the run
+        emits into — per-op spans with nested dep/port/latency/stream/
+        ack phases, per-chunk write timings, token-bucket pacing stalls
+        and per-link throughput samples; the finished trace lands on
+        ``LiveResult.telemetry``.  ``None`` (or the falsy
+        :data:`~repro.telemetry.NULL_RECORDER`) keeps the hot path
+        uninstrumented.
 
     The store is mutated in place, exactly like the byte executor's.
     """
     live_transport = (
         open_transport(transport) if isinstance(transport, str) else transport
     )
+    rec = recorder if recorder else None
     run = _LiveRun(
         plan,
         cluster,
         store,
-        shaper=LinkShaper(cluster, bandwidth),
+        shaper=LinkShaper(cluster, bandwidth, recorder=rec),
         transport=live_transport,
         tables=tables or get_tables(),
         chunk_size=chunk_size,
         exclusive_ports=exclusive_ports,
+        recorder=rec,
     )
     return await run.run(timeout)
 

@@ -46,6 +46,12 @@ class TokenBucket:
         Injectable time sources (monotonic seconds, async sleep); tests
         substitute a fake pair to verify the accounting without real
         waiting.
+    recorder / label:
+        Optional :class:`repro.telemetry.TelemetryRecorder` the bucket
+        reports pacing into (stall counts and durations, debt-at-stall
+        gauge samples tagged with ``label``).  ``None`` — the default —
+        keeps :meth:`acquire` on the exact uninstrumented instruction
+        path; the perf harness bounds the residue.
     """
 
     def __init__(
@@ -55,6 +61,8 @@ class TokenBucket:
         *,
         clock: Callable[[], float] = time.monotonic,
         sleep=asyncio.sleep,
+        recorder=None,
+        label: str = "",
     ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -75,6 +83,8 @@ class TokenBucket:
         self._tokens = 0.0
         self._last = clock()
         self._lock = asyncio.Lock()
+        self._recorder = recorder if recorder else None
+        self.label = label
 
     def _refill(self) -> None:
         now = self._clock()
@@ -109,7 +119,13 @@ class TokenBucket:
             self._refill()
             self._tokens -= nbytes
             if self._tokens < 0:
-                await self._sleep(-self._tokens / self.rate)
+                wait = -self._tokens / self.rate
+                rec = self._recorder
+                if rec is not None:
+                    rec.count("pacing.stalls")
+                    rec.observe("pacing.stall_s", wait)
+                    rec.gauge(f"bucket.debt_bytes:{self.label}", -self._tokens)
+                await self._sleep(wait)
 
 
 class LinkShaper:
@@ -132,12 +148,14 @@ class LinkShaper:
         burst_s: float = DEFAULT_BURST_S,
         clock: Callable[[], float] = time.monotonic,
         sleep=asyncio.sleep,
+        recorder=None,
     ) -> None:
         self.cluster = cluster
         self.bandwidth = bandwidth
         self.burst_s = burst_s
         self._clock = clock
         self._sleep = sleep
+        self._recorder = recorder if recorder else None
         self._buckets: dict[tuple[int, int], TokenBucket] = {}
 
     @property
@@ -157,6 +175,8 @@ class LinkShaper:
                 capacity=max(rate * self.burst_s, 1.0),
                 clock=self._clock,
                 sleep=self._sleep,
+                recorder=self._recorder,
+                label=f"n{src}->n{dst}",
             )
         return found
 

@@ -34,6 +34,7 @@ from ..repair import (
     initial_store_for,
     simulate_repair,
 )
+from ..telemetry import CLOCK_WALL, TelemetryRecorder, TraceDiff, diff_repair
 from ..workloads import encoded_stripe
 from .runtime import LiveResult, run_plan_live_sync
 
@@ -64,7 +65,14 @@ _SCHEMES: dict[str, type[RepairScheme]] = {
 
 @dataclass(frozen=True)
 class LiveSchemeReport:
-    """One scheme's cross-validation row."""
+    """One scheme's cross-validation row.
+
+    ``diff`` upgrades the row from aggregate calibration to per-op
+    attribution: when the validation ran with ``telemetry=True`` it
+    holds the :class:`~repro.telemetry.TraceDiff` aligning every sim op
+    span against its measured counterpart (so a drifted ``ratio`` can be
+    pinned to the transfer or port claim that caused it).
+    """
 
     scheme: str
     predicted_s: float
@@ -75,6 +83,7 @@ class LiveSchemeReport:
     combines: int
     cross_rack_bytes: int
     sim_cross_rack_bytes: int
+    diff: TraceDiff | None = None
 
     @property
     def ratio(self) -> float:
@@ -93,6 +102,7 @@ class LiveSchemeReport:
             "combines": self.combines,
             "cross_rack_bytes": self.cross_rack_bytes,
             "sim_cross_rack_bytes": self.sim_cross_rack_bytes,
+            "diff": self.diff.to_dict() if self.diff is not None else None,
         }
 
 
@@ -167,6 +177,7 @@ def run_live_validation(
     seed: int = 0,
     timeout: float = 120.0,
     placement: str = "rpr",
+    telemetry: bool = False,
 ) -> LiveValidationReport:
     """Run one scenario through the simulator *and* the live runtime.
 
@@ -174,6 +185,11 @@ def run_live_validation(
     :func:`repro.repair.simulate_repair`, execute the very same plan on
     real bytes through :func:`repro.live.run_plan_live`, and check the
     recovered payloads against the lost originals.
+
+    With ``telemetry=True`` every live run records a full wall-clock
+    telemetry trace and each row carries the sim↔live
+    :class:`~repro.telemetry.TraceDiff` (per-op measured/predicted
+    ratios, critical-path delta) in its ``diff`` field.
 
     Multi-block failures drop CAR automatically (it is single-failure
     only, as in the paper).
@@ -192,6 +208,14 @@ def run_live_validation(
         scheme = _SCHEMES[name]()
         predicted = simulate_repair(scheme, ctx, env.bandwidth)
         store = initial_store_for(stripe, env.placement, failed)
+        recorder = (
+            TelemetryRecorder(
+                CLOCK_WALL,
+                meta={"source": "live", "scheme": scheme.name, "transport": transport},
+            )
+            if telemetry
+            else None
+        )
         live: LiveResult = run_plan_live_sync(
             predicted.plan,
             env.cluster,
@@ -199,6 +223,7 @@ def run_live_validation(
             bandwidth=env.bandwidth,
             transport=transport,
             timeout=timeout,
+            recorder=recorder,
         )
         bytes_ok = all(
             block in live.recovered
@@ -216,6 +241,7 @@ def run_live_validation(
                 combines=len(predicted.plan.combines()),
                 cross_rack_bytes=live.cross_rack_bytes,
                 sim_cross_rack_bytes=int(predicted.cross_rack_bytes),
+                diff=diff_repair(predicted, live) if telemetry else None,
             )
         )
     return LiveValidationReport(

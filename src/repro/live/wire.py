@@ -49,18 +49,34 @@ async def send_frame(
     *,
     bucket: TokenBucket | None = None,
     chunk_size: int = DEFAULT_CHUNK,
+    recorder=None,
 ) -> None:
-    """Write one frame, pacing payload chunks through ``bucket``."""
+    """Write one frame, pacing payload chunks through ``bucket``.
+
+    With a truthy ``recorder`` (a
+    :class:`repro.telemetry.TelemetryRecorder`), every chunk write lands
+    in the ``chunk.write_s`` histogram plus a ``chunks.sent`` counter —
+    the per-chunk half of the live runtime's send timing (the pacing
+    half is the bucket's own ``pacing.*`` emission).  ``None`` keeps the
+    loop on the uninstrumented path.
+    """
     head = dict(header)
     head["nbytes"] = len(payload)
     encoded = json.dumps(head, separators=(",", ":")).encode()
     await stream.write(_HEADER_LEN.pack(len(encoded)) + encoded)
     view = memoryview(payload)
+    rec = recorder if recorder else None
     for offset in range(0, len(view), chunk_size):
         chunk = view[offset : offset + chunk_size]
         if bucket is not None:
             await bucket.acquire(len(chunk))
-        await stream.write(bytes(chunk))
+        if rec is not None:
+            t0 = rec.now()
+            await stream.write(bytes(chunk))
+            rec.observe("chunk.write_s", rec.now() - t0)
+            rec.count("chunks.sent")
+        else:
+            await stream.write(bytes(chunk))
 
 
 async def read_frame(

@@ -1,11 +1,14 @@
-"""Performance-regression harness for the two hot paths.
+"""Performance-regression harness for the hot paths.
 
-Times the event engine on merged node-rebuild graphs and the GF/RS
-coding kernels (single-stripe vs batched), then writes machine-readable
-reports — ``BENCH_engine.json`` and ``BENCH_coding.json`` — so perf
-changes show up in review diffs instead of anecdotes.  Run it via
-``benchmarks/run_perf.py``, ``rpr perf``, or ``python -m
+Times the event engine on merged node-rebuild graphs, the GF/RS coding
+kernels (single-stripe vs batched), and the live asyncio runtime
+(telemetry off vs on), then writes machine-readable reports —
+``BENCH_engine.json``, ``BENCH_coding.json`` and ``BENCH_live.json`` —
+so perf changes show up in review diffs instead of anecdotes.  Run it
+via ``benchmarks/run_perf.py``, ``rpr perf``, or ``python -m
 repro.perfharness``; pass ``--quick`` for the CI-sized variant.
+:func:`compare_reports` turns two such reports into a pass/fail gate
+(see ``benchmarks/check_perf_regression.py``).
 
 Timing style: best-of-N wall clock around whole calls.  Best-of (not
 mean) because the quantity under regression test is the code's cost, and
@@ -29,6 +32,8 @@ import numpy as np
 __all__ = [
     "engine_suite",
     "coding_suite",
+    "live_suite",
+    "compare_reports",
     "append_history",
     "write_reports",
     "main",
@@ -212,6 +217,105 @@ def coding_suite(quick: bool = False) -> dict:
     return report
 
 
+def live_suite(quick: bool = False) -> dict:
+    """Live-runtime timings: plan execution with telemetry off vs on.
+
+    Runs an RS(6,3) single-failure RPR plan end to end on the asyncio
+    runtime — in-process streams, *unshaped* links so wall clock is
+    dominated by runtime overhead rather than token-bucket sleeps.  The
+    ``derived.telemetry_overhead_ratio`` is the acceptance bar for the
+    zero-cost-when-disabled claim: the plain run exercises the
+    instrumented code with the recorder compiled out (``None``), the
+    ``_telemetry`` run records every span, phase and gauge.
+    """
+    from .experiments import context_for
+    from .live import run_plan_live_sync
+    from .live.validate import live_environment
+    from .repair import RPRScheme, initial_store_for, simulate_repair
+    from .telemetry import CLOCK_WALL, TelemetryRecorder
+    from .workloads import encoded_stripe
+
+    reps = 7 if quick else 15
+    block = (16 if quick else 64) * 1024
+    env = live_environment(6, 3, block_size=block)
+    ctx = context_for(env, [1])
+    predicted = simulate_repair(RPRScheme(), ctx, env.bandwidth)
+    stripe = encoded_stripe(env.code, block, seed=0)
+
+    def execute(recorder=None):
+        store = initial_store_for(stripe, env.placement, [1])
+        return run_plan_live_sync(
+            predicted.plan, env.cluster, store, bandwidth=None, recorder=recorder
+        )
+
+    report = _env_info(quick)
+    results: dict = {}
+    report["results"] = results
+
+    plain = _measure(execute, reps)
+    plain.update(ops=len(predicted.plan.ops))
+    results["plan_execute_rs6_3"] = plain
+
+    def execute_with_telemetry():
+        return execute(TelemetryRecorder(CLOCK_WALL, meta={"source": "live"}))
+
+    instrumented = _measure(execute_with_telemetry, reps)
+    instrumented.update(ops=len(predicted.plan.ops))
+    results["plan_execute_rs6_3_telemetry"] = instrumented
+
+    report["derived"] = {
+        "block_bytes": block,
+        "telemetry_overhead_ratio": round(
+            instrumented["best_s"] / plain["best_s"], 3
+        ),
+    }
+    return report
+
+
+#: Benchmarks faster than this are skipped by :func:`compare_reports` —
+#: at tens of microseconds the 25% band is all timer noise.
+COMPARE_FLOOR_S = 5e-5
+
+
+def compare_reports(
+    baseline: dict, current: dict, threshold: float = 0.25
+) -> list[str]:
+    """Regression messages for ``current`` vs ``baseline``, empty if clean.
+
+    Compares every ``best_s`` entry present in both reports; a benchmark
+    slower than ``baseline * (1 + threshold)`` is a regression.  Entries
+    below :data:`COMPARE_FLOOR_S` in the baseline are skipped, and a
+    benchmark that vanished from ``current`` is reported too (a silent
+    rename would otherwise un-gate it).  Reports from mismatched
+    ``quick`` modes are refused: quick and full runs size their
+    workloads differently, so the ratio would be meaningless.
+    """
+    if baseline.get("quick") != current.get("quick"):
+        return [
+            f"quick-mode mismatch: baseline quick={baseline.get('quick')} "
+            f"vs current quick={current.get('quick')} — rerun with the "
+            f"baseline's mode"
+        ]
+    messages = []
+    for name, entry in sorted(baseline.get("results", {}).items()):
+        if not isinstance(entry, dict) or "best_s" not in entry:
+            continue
+        if entry["best_s"] < COMPARE_FLOOR_S:
+            continue
+        now = current.get("results", {}).get(name)
+        if not isinstance(now, dict) or "best_s" not in now:
+            messages.append(f"{name}: present in baseline but missing from current run")
+            continue
+        ratio = now["best_s"] / entry["best_s"]
+        if ratio > 1.0 + threshold:
+            messages.append(
+                f"{name}: {now['best_s'] * 1e3:.2f} ms vs baseline "
+                f"{entry['best_s'] * 1e3:.2f} ms ({ratio:.2f}x, "
+                f"threshold {1.0 + threshold:.2f}x)"
+            )
+    return messages
+
+
 def append_history(out_dir: Path, reports: dict[str, dict]) -> Path:
     """Append one timestamped record for this run to the history log.
 
@@ -251,6 +355,7 @@ def write_reports(out_dir: Path, quick: bool = False) -> list[Path]:
     for name, suite in (
         ("BENCH_engine.json", engine_suite),
         ("BENCH_coding.json", coding_suite),
+        ("BENCH_live.json", live_suite),
     ):
         report = suite(quick)
         reports[name.removeprefix("BENCH_").removesuffix(".json")] = report

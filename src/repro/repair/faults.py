@@ -40,7 +40,15 @@ from ..cluster import BandwidthModel, Cluster
 from ..gf import GFTables, get_tables, gf_mul
 from ..gf.matrix import mat_solve
 from ..rs import InsufficientHelpersError, Stripe
-from ..sim import FaultPlan, FaultReport, SimResult, SimulationEngine
+from ..sim import (
+    FaultPlan,
+    FaultReport,
+    RunTrace,
+    SimResult,
+    SimulationEngine,
+    telemetry_from_sim,
+)
+from ..telemetry import TelemetryTrace
 from .base import RepairContext, RepairPlanningError, RepairScheme, recovery_targets
 from .executor import ExecutionResult, _topo_order, execute_ops, execute_plan, initial_store_for
 from .plan import CombineOp, RepairPlan, SendOp, block_key
@@ -329,6 +337,52 @@ class DegradedRepairOutcome:
     def degraded(self) -> bool:
         """True when any fault actually altered the run."""
         return self.attempts > 1 or self.retry_count > 0 or bool(self.dead_nodes)
+
+    def trace(self, attempt: int = -1) -> RunTrace:
+        """Observability view of one attempt (default: the final one).
+
+        The returned :class:`~repro.sim.RunTrace` covers that attempt's
+        schedule on its own clock (each attempt restarts at t=0);
+        aborted jobs appear as occupancy intervals and — when an abort
+        set the makespan or released a critical resource — as
+        critical-path segments flagged ``aborted``.
+        """
+        if self.cluster is None:
+            raise ValueError(
+                "outcome has no cluster; build RunTrace.from_result directly"
+            )
+        return RunTrace.from_result(self.sims[attempt], self.cluster)
+
+    def telemetry(self) -> TelemetryTrace:
+        """All attempts stitched onto one sim-clock telemetry timeline.
+
+        Attempt ``i``'s spans/events are shifted by the summed makespans
+        of the attempts before it (the same sequential composition
+        ``total_repair_time`` uses) and tagged ``attempt=i+1``; fault
+        counters accumulate across attempts.
+        """
+        combined: TelemetryTrace | None = None
+        offset = 0.0
+        for i, sim in enumerate(self.sims):
+            part = telemetry_from_sim(
+                sim,
+                self.cluster,
+                meta={"scheme": self.scheme, "attempts": self.attempts},
+                offset=offset,
+                attempt=i + 1,
+            )
+            combined = part if combined is None else combined.merged(part)
+            offset += sim.makespan
+        if combined is None:
+            combined = TelemetryTrace(
+                clock="sim", meta={"scheme": self.scheme, "attempts": 0}
+            )
+        elif self.dead_nodes:
+            # Each attempt's shifted fault plan re-reports nodes that are
+            # already dead, so the per-attempt sum over-counts; the
+            # outcome's own ledger is authoritative.
+            combined.counters["fault.deaths"] = float(len(self.dead_nodes))
+        return combined
 
     def to_dict(self) -> dict:
         """JSON-serializable summary (payload bytes omitted)."""

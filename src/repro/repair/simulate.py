@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster import BandwidthModel, Cluster
-from ..sim import RunTrace, SimResult, SimulationEngine
+from ..sim import RunTrace, SimResult, SimulationEngine, telemetry_from_sim
+from ..telemetry import TelemetryTrace
 from .base import RepairContext, RepairScheme
 from .plan import RepairPlan
 
@@ -54,6 +55,12 @@ class RepairOutcome:
         if self.cluster is None:
             raise ValueError("outcome has no cluster; build RunTrace.from_result directly")
         return RunTrace.from_result(self.sim, self.cluster)
+
+    def telemetry(self) -> TelemetryTrace:
+        """This repair in the unified span schema (see :mod:`repro.telemetry`)."""
+        return telemetry_from_sim(
+            self.sim, self.cluster, meta={"scheme": self.scheme}
+        )
 
 
 def simulate_repair(

@@ -35,6 +35,7 @@ from .tracing import (
     critical_path,
     render_gantt,
     render_report,
+    telemetry_from_sim,
 )
 
 __all__ = [
@@ -62,5 +63,6 @@ __all__ = [
     "render_gantt",
     "render_report",
     "render_timeline",
+    "telemetry_from_sim",
     "timeline_rows",
 ]

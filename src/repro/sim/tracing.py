@@ -36,6 +36,13 @@ import math
 from dataclasses import dataclass, field
 
 from ..cluster import Cluster
+from ..telemetry.model import (
+    CLOCK_SIM,
+    OP_CATEGORY,
+    Span,
+    TelemetryEvent,
+    TelemetryTrace,
+)
 from .engine import SimResult
 from .events import EventKind
 
@@ -47,6 +54,7 @@ __all__ = [
     "critical_path",
     "render_gantt",
     "render_report",
+    "telemetry_from_sim",
 ]
 
 #: Display/sort order of resource kinds on a node.
@@ -159,8 +167,15 @@ class PathSegment:
     ``entered_via`` records what the job was waiting on immediately
     before it started: ``"start"`` (path head, t=0), ``"dependency"`` (a
     declared dependency finished), ``"resource"`` (a port/CPU it needed
-    was released), or ``"completion"`` (another job's end unblocked it —
-    e.g. the cross-rack token under ``cross_capacity``).
+    was released), ``"completion"`` (another job's end unblocked it —
+    e.g. the cross-rack token under ``cross_capacity``), ``"abort"``
+    (a fault-injected abort freed what it was waiting for), or
+    ``"retry"`` (the segment is a lost transfer's re-attempt, starting
+    at its own loss instant).
+
+    ``aborted`` marks segments that are themselves aborted jobs (their
+    ``end`` is the abort instant, not a completion) — they appear only
+    on faulted runs, where the makespan can be set by an abort.
     """
 
     job_id: str
@@ -172,6 +187,7 @@ class PathSegment:
     cross_rack: bool = False
     nbytes: float = 0.0
     entered_via: str = "start"
+    aborted: bool = False
 
     @property
     def duration(self) -> float:
@@ -188,6 +204,7 @@ class PathSegment:
             "cross_rack": self.cross_rack,
             "nbytes": self.nbytes,
             "entered_via": self.entered_via,
+            "aborted": self.aborted,
         }
 
     @classmethod
@@ -196,7 +213,16 @@ class PathSegment:
 
 
 def _job_meta(result: SimResult) -> dict[str, dict]:
-    """Per-job descriptors (kind, endpoints, bytes) from the event trace."""
+    """Per-job descriptors (kind, endpoints, bytes) from the event trace.
+
+    Completed jobs come from ``*_END`` events; on faulted runs, jobs that
+    started and were then killed mid-flight come from ``*_ABORT`` events
+    and are flagged ``aborted``.  Abort events for jobs that never ran
+    (an endpoint was already dead — no ``timings`` entry) are ignored:
+    they occupy no resource time and cannot sit on a path.  A completion
+    always wins over an abort for the same id (a lost transfer's final
+    successful attempt supersedes its loss markers).
+    """
     meta: dict[str, dict] = {}
     for event in result.events:
         if event.kind == EventKind.TRANSFER_END:
@@ -206,6 +232,7 @@ def _job_meta(result: SimResult) -> dict[str, dict]:
                 "peer": event.peer,
                 "cross_rack": event.cross_rack,
                 "nbytes": event.nbytes,
+                "aborted": False,
             }
         elif event.kind == EventKind.COMPUTE_END:
             meta[event.job_id] = {
@@ -214,6 +241,24 @@ def _job_meta(result: SimResult) -> dict[str, dict]:
                 "peer": -1,
                 "cross_rack": False,
                 "nbytes": 0.0,
+                "aborted": False,
+            }
+        elif (
+            event.kind in (EventKind.TRANSFER_ABORT, EventKind.COMPUTE_ABORT)
+            and event.job_id in result.timings
+            and event.job_id not in meta
+        ):
+            meta[event.job_id] = {
+                "kind": (
+                    "transfer"
+                    if event.kind == EventKind.TRANSFER_ABORT
+                    else "compute"
+                ),
+                "node": event.node,
+                "peer": event.peer,
+                "cross_rack": event.cross_rack,
+                "nbytes": event.nbytes,
+                "aborted": True,
             }
     return meta
 
@@ -238,18 +283,22 @@ def critical_path(result: SimResult) -> list[PathSegment]:
     """
     meta = _job_meta(result)
     # Faulted runs record timings for aborted jobs too (their end is the
-    # abort instant) but emit no *_end event for them; the path walks
-    # only completed jobs.
+    # abort instant); _job_meta carries them flagged ``aborted``, so the
+    # walk covers them — a makespan set by an abort anchors on that
+    # abort, and a job whose ports were freed by an abort attributes its
+    # start to it instead of falsely claiming it began at t=0.
     timings = {jid: t for jid, t in result.timings.items() if jid in meta}
     if not timings:
         return []
 
     tail_candidates = sorted(
         (jid for jid, t in timings.items() if _close(t.end, result.makespan)),
+        # Prefer a completed tail over an aborted one ending at the same
+        # instant (fault-free runs have no aborted jobs, so this is the
+        # old alphabetical pick there).
+        key=lambda jid: (meta[jid]["aborted"], jid),
     )
     if not tail_candidates:
-        # Under faults the makespan can be an abort instant no completed
-        # job touches; anchor on the last completed job instead.
         tail_candidates = sorted(
             timings, key=lambda jid: (-timings[jid].end, jid)
         )[:1]
@@ -264,9 +313,17 @@ def critical_path(result: SimResult) -> list[PathSegment]:
             if jid != cur and _close(t.end, start)
         ]
         if not enders:
-            # Fault-free runs start jobs only at completion instants; under
-            # faults a start can follow an abort, which has no ender here.
-            via[cur] = "start"
+            # A lost transfer's retry starts at its own loss instant and
+            # its earlier attempt's timing is overwritten, so no ender
+            # remains — attribute the restart to the loss rather than
+            # pretending the job waited since t=0.
+            lost_here = any(
+                e.kind == EventKind.TRANSFER_LOST
+                and e.job_id == cur
+                and _close(e.time, start)
+                for e in result.events
+            )
+            via[cur] = "retry" if lost_here else "start"
             break
         deps = set()
         job = result.jobs.get(cur)
@@ -275,15 +332,21 @@ def critical_path(result: SimResult) -> list[PathSegment]:
         needed = _resources_of(meta[cur])
 
         def rank(jid: str) -> int:
+            # Completed jobs outrank aborted ones within each reason
+            # class; a dependency ender is always a completion (aborted
+            # dependencies cascade-skip their dependents).
             if jid in deps:
                 return 0
+            aborted = meta[jid]["aborted"]
             if needed & _resources_of(meta[jid]):
-                return 1
-            return 2
+                return 1 if not aborted else 2
+            return 3 if not aborted else 4
 
         enders.sort(key=lambda j: (rank(j), -timings[j].duration, j))
         prev = enders[0]
-        via[cur] = ("dependency", "resource", "completion")[rank(prev)]
+        via[cur] = ("dependency", "resource", "abort", "completion", "abort")[
+            rank(prev)
+        ]
         chain.append(prev)
         cur = prev
 
@@ -302,6 +365,7 @@ def critical_path(result: SimResult) -> list[PathSegment]:
                 cross_rack=m["cross_rack"],
                 nbytes=m["nbytes"],
                 entered_via=via.get(jid, "start"),
+                aborted=m["aborted"],
             )
         )
     return segments
@@ -340,7 +404,16 @@ class RunTrace:
 
     @classmethod
     def from_result(cls, result: SimResult, cluster: Cluster) -> "RunTrace":
-        """Post-process ``result`` into utilization timelines + critical path."""
+        """Post-process ``result`` into utilization timelines + critical path.
+
+        On faulted runs, jobs aborted mid-flight still held their ports
+        (or CPU) from their start to the abort instant — those intervals
+        are included so rack-activity and utilization accounting does
+        not silently under-attribute busy time.  Aborted intervals carry
+        ``nbytes=0.0``: no payload was delivered, which keeps the
+        switch-profile byte-conservation invariants (totals equal the
+        run's *completed* cross/intra bytes) intact.
+        """
         acc: dict[tuple[str, int], list[Interval]] = {}
         for event in result.events:
             if event.kind == EventKind.TRANSFER_END:
@@ -355,6 +428,19 @@ class RunTrace:
                 acc.setdefault(key, []).append(
                     Interval(timing.start, timing.end, event.job_id)
                 )
+            elif event.kind == EventKind.TRANSFER_ABORT:
+                timing = result.timings.get(event.job_id)
+                if timing is not None and timing.end > timing.start:
+                    for key in (("up", event.node), ("down", event.peer)):
+                        acc.setdefault(key, []).append(
+                            Interval(timing.start, timing.end, event.job_id, 0.0)
+                        )
+            elif event.kind == EventKind.COMPUTE_ABORT:
+                timing = result.timings.get(event.job_id)
+                if timing is not None and timing.end > timing.start:
+                    acc.setdefault(("cpu", event.node), []).append(
+                        Interval(timing.start, timing.end, event.job_id)
+                    )
 
         def sort_key(key):
             kind, node = key
@@ -578,6 +664,119 @@ class RunTrace:
         return cls.from_dict(
             {"makespan": makespan, "resources": resources, "critical_path": path}
         )
+
+
+# -- telemetry bridge ------------------------------------------------------
+
+
+def telemetry_from_sim(
+    result: SimResult,
+    cluster: Cluster | None = None,
+    *,
+    meta: dict | None = None,
+    offset: float = 0.0,
+    attempt: int | None = None,
+) -> TelemetryTrace:
+    """Re-emit a ``SimResult`` in the unified telemetry span schema.
+
+    The sim-side producer for :mod:`repro.telemetry`: every completed
+    job becomes an op span (category ``"op"`` — the identity the
+    sim↔live diff joins on), every mid-flight abort becomes an
+    ``"aborted"``-category span plus a ``fault.abort`` event, and the
+    run's :class:`~repro.sim.faults.FaultReport` ledger lands as
+    events (deaths, aborts, losses) and counters (``fault.*``,
+    ``bytes.*``), so a faulted schedule and its fault accounting live
+    in one exportable trace.  The clock is :data:`~repro.telemetry.CLOCK_SIM`.
+
+    ``offset`` shifts every timestamp (used to stitch the attempts of a
+    degraded repair onto one timeline); ``attempt`` tags the trace's
+    meta and every span for the same purpose.
+    """
+    run_meta = {"source": "sim"}
+    if attempt is not None:
+        run_meta["attempt"] = attempt
+    if meta:
+        run_meta.update(meta)
+    trace = TelemetryTrace(clock=CLOCK_SIM, meta=run_meta)
+
+    job_meta = _job_meta(result)
+    for jid, timing in result.timings.items():
+        m = job_meta.get(jid)
+        if m is None:
+            continue
+        attrs = {
+            "kind": m["kind"],
+            "node": m["node"],
+            "cross_rack": m["cross_rack"],
+            "nbytes": m["nbytes"],
+        }
+        if m["peer"] >= 0:
+            attrs["peer"] = m["peer"]
+        if cluster is not None:
+            attrs["rack"] = cluster.rack_of(m["node"])
+        if attempt is not None:
+            attrs["attempt"] = attempt
+        trace.spans.append(
+            Span(
+                name=jid,
+                start=timing.start,
+                end=timing.end,
+                category="aborted" if m["aborted"] else OP_CATEGORY,
+                op_id=jid,
+                attrs=attrs,
+            )
+        )
+
+    for event in result.events:
+        if event.kind == EventKind.NODE_DEATH:
+            trace.events.append(
+                TelemetryEvent(
+                    name="fault.death",
+                    time=event.time,
+                    category="fault",
+                    attrs={"node": event.node},
+                )
+            )
+        elif event.kind in (EventKind.TRANSFER_ABORT, EventKind.COMPUTE_ABORT):
+            # Mid-flight aborts carry a timing; failed-to-start jobs do
+            # not — distinguish them the way the FaultReport ledger does.
+            started = event.job_id in result.timings
+            trace.events.append(
+                TelemetryEvent(
+                    name="fault.abort" if started else "fault.failed",
+                    time=event.time,
+                    category="fault",
+                    op_id=event.job_id,
+                    attrs={"node": event.node, "nbytes": event.nbytes},
+                )
+            )
+        elif event.kind == EventKind.TRANSFER_LOST:
+            trace.events.append(
+                TelemetryEvent(
+                    name="fault.loss",
+                    time=event.time,
+                    category="fault",
+                    op_id=event.job_id,
+                    attrs={"node": event.node, "nbytes": event.nbytes},
+                )
+            )
+
+    trace.counters["bytes.cross_rack"] = result.cross_rack_bytes()
+    trace.counters["bytes.intra_rack"] = result.intra_rack_bytes()
+    report = result.faults
+    if report is not None:
+        trace.counters["fault.deaths"] = float(len(report.dead_nodes))
+        trace.counters["fault.aborts"] = float(len(report.aborted))
+        trace.counters["fault.failed"] = float(len(report.failed))
+        trace.counters["fault.skipped"] = float(len(report.skipped))
+        trace.counters["fault.losses"] = float(sum(report.lost.values()))
+        trace.counters["fault.retried_bytes"] = float(report.retried_bytes)
+        trace.counters["fault.aborted_bytes"] = float(report.aborted_bytes)
+        if report.skipped:
+            trace.meta["skipped_ops"] = sorted(report.skipped)
+    if offset:
+        return trace.shifted(offset)
+    return trace
 
 
 # -- renderers -------------------------------------------------------------

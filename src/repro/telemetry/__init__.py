@@ -1,0 +1,59 @@
+"""repro.telemetry — one span/event schema for all three plan interpreters.
+
+A :class:`~repro.repair.plan.RepairPlan` can be run three ways: predicted
+on the discrete-event engine (:mod:`repro.sim`), degraded through the
+fault-injecting re-planning loop (:mod:`repro.repair.faults`), or
+measured on real bytes by the asyncio live runtime (:mod:`repro.live`).
+This package gives them one vocabulary to report in:
+
+* :mod:`repro.telemetry.model` — :class:`Span` / :class:`TelemetryEvent`
+  / counters / gauges / histograms inside a :class:`TelemetryTrace`,
+  each trace tagged with its clock source (:data:`CLOCK_SIM` simulated
+  seconds vs :data:`CLOCK_WALL` measured seconds); the
+  :class:`TelemetryRecorder` collector and the falsy
+  :data:`NULL_RECORDER` that makes instrumentation zero-cost when off.
+* :mod:`repro.telemetry.export` — canonical JSONL (byte-identical
+  round-trip) and Chrome trace-event JSON (loads in Perfetto).
+* :mod:`repro.telemetry.diff` — sim↔live alignment by op identity:
+  per-op measured/predicted ratios, worst divergers, critical-path
+  deltas (:func:`diff_traces` / :func:`diff_repair`).
+
+Entrypoints elsewhere: ``telemetry_from_sim`` (:mod:`repro.sim.tracing`)
+converts any ``SimResult`` — fault-free or faulted — into this schema;
+``run_plan_live(recorder=...)`` emits it natively; ``rpr telemetry``
+is the CLI.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .diff import OpAlignment, TraceDiff, diff_repair, diff_traces, render_diff
+from .export import from_jsonl, to_chrome_trace, to_jsonl
+from .model import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    NULL_RECORDER,
+    NullRecorder,
+    OP_CATEGORY,
+    Span,
+    TelemetryEvent,
+    TelemetryRecorder,
+    TelemetryTrace,
+)
+
+__all__ = [
+    "CLOCK_SIM",
+    "CLOCK_WALL",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "OP_CATEGORY",
+    "OpAlignment",
+    "Span",
+    "TelemetryEvent",
+    "TelemetryRecorder",
+    "TelemetryTrace",
+    "TraceDiff",
+    "diff_repair",
+    "diff_traces",
+    "from_jsonl",
+    "render_diff",
+    "to_chrome_trace",
+    "to_jsonl",
+]

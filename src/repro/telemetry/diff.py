@@ -1,0 +1,290 @@
+"""Sim↔live trace diffing: per-op measured/predicted attribution.
+
+`run_live_validation` trusts the simulator when aggregate makespans
+agree; this module answers the next question — *which op* drifted when
+they do not.  Plan op ids are the join key (they are simultaneously sim
+job ids and live op ids), so the predicted trace and the measured trace
+align exactly op-for-op:
+
+* :func:`diff_traces` joins two :class:`~repro.telemetry.TelemetryTrace`
+  objects on their op spans and returns a :class:`TraceDiff` with one
+  :class:`OpAlignment` per common op (measured/predicted duration
+  ratio, both start times) plus the ops only one side saw;
+* :func:`diff_repair` is the one-call form for a
+  :class:`~repro.repair.RepairOutcome` + live result pair — it derives
+  both traces itself and threads the simulated critical path through,
+  so :meth:`TraceDiff.critical_path_delta` can say how much of the
+  makespan drift sits on the path that set the predicted finish time.
+
+Divergence is ranked by ``|ln ratio|`` so a transfer measured at half
+speed and one at double speed are equally alarming.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .model import TelemetryTrace
+
+__all__ = ["OpAlignment", "TraceDiff", "diff_repair", "diff_traces", "render_diff"]
+
+
+@dataclass(frozen=True)
+class OpAlignment:
+    """One op seen by both interpreters: predicted vs measured timing."""
+
+    op_id: str
+    kind: str  # "transfer" | "compute" | ""
+    predicted_s: float
+    measured_s: float
+    predicted_start: float
+    measured_start: float
+    cross_rack: bool = False
+    nbytes: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        """Measured / predicted duration (inf when prediction is zero)."""
+        if self.predicted_s > 0:
+            return self.measured_s / self.predicted_s
+        return float("inf") if self.measured_s > 0 else 1.0
+
+    @property
+    def divergence(self) -> float:
+        """``|ln ratio|`` — symmetric badness (0 = perfect calibration)."""
+        r = self.ratio
+        if r <= 0 or math.isinf(r):
+            return float("inf")
+        return abs(math.log(r))
+
+    def to_dict(self) -> dict:
+        return {
+            "op_id": self.op_id,
+            "kind": self.kind,
+            "predicted_s": self.predicted_s,
+            "measured_s": self.measured_s,
+            "ratio": self.ratio,
+            "predicted_start": self.predicted_start,
+            "measured_start": self.measured_start,
+            "cross_rack": self.cross_rack,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The aligned comparison of one predicted and one measured run."""
+
+    aligned: tuple[OpAlignment, ...]
+    sim_only: tuple[str, ...]
+    live_only: tuple[str, ...]
+    predicted_makespan: float
+    measured_makespan: float
+    path_ops: tuple[str, ...] = ()
+
+    @property
+    def all_aligned(self) -> bool:
+        """True when both sides saw exactly the same op set."""
+        return not self.sim_only and not self.live_only
+
+    @property
+    def makespan_ratio(self) -> float:
+        if self.predicted_makespan > 0:
+            return self.measured_makespan / self.predicted_makespan
+        return float("inf") if self.measured_makespan > 0 else 1.0
+
+    def worst(self, n: int = 5) -> list[OpAlignment]:
+        """The ``n`` most-diverged ops, worst first."""
+        return sorted(
+            self.aligned, key=lambda a: (-a.divergence, a.op_id)
+        )[:n]
+
+    def critical_path_delta(self) -> dict[str, float]:
+        """Predicted vs measured time along the *simulated* critical path.
+
+        Sums the durations of the path's ops on each side.  A
+        ``delta_s`` close to ``measured_makespan - predicted_makespan``
+        means the drift lives on the predicted bottleneck chain; a small
+        ``delta_s`` under a large makespan gap means the live run's
+        bottleneck moved somewhere the simulator did not predict.
+        """
+        by_id = {a.op_id: a for a in self.aligned}
+        predicted = measured = 0.0
+        for op_id in self.path_ops:
+            a = by_id.get(op_id)
+            if a is None:
+                continue
+            predicted += a.predicted_s
+            measured += a.measured_s
+        return {
+            "path_predicted_s": predicted,
+            "path_measured_s": measured,
+            "delta_s": measured - predicted,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "predicted_makespan": self.predicted_makespan,
+            "measured_makespan": self.measured_makespan,
+            "makespan_ratio": self.makespan_ratio,
+            "all_aligned": self.all_aligned,
+            "aligned": [a.to_dict() for a in self.aligned],
+            "sim_only": list(self.sim_only),
+            "live_only": list(self.live_only),
+            "critical_path": {
+                "ops": list(self.path_ops),
+                **self.critical_path_delta(),
+            },
+        }
+
+
+def diff_traces(
+    sim_trace: TelemetryTrace,
+    live_trace: TelemetryTrace,
+    *,
+    path_ops: tuple[str, ...] = (),
+) -> TraceDiff:
+    """Join two traces on op identity.
+
+    ``sim_trace`` supplies the predictions (usually :data:`CLOCK_SIM`),
+    ``live_trace`` the measurements (usually :data:`CLOCK_WALL`); the
+    clocks are deliberately *not* required to differ, so two live runs
+    (or two sim variants) can be diffed the same way.
+    """
+    sim_ops = sim_trace.op_spans()
+    live_ops = live_trace.op_spans()
+    aligned = []
+    for op_id in sorted(sim_ops.keys() & live_ops.keys()):
+        s, m = sim_ops[op_id], live_ops[op_id]
+        aligned.append(
+            OpAlignment(
+                op_id=op_id,
+                kind=s.attrs.get("kind", m.attrs.get("kind", "")),
+                predicted_s=s.duration,
+                measured_s=m.duration,
+                predicted_start=s.start,
+                measured_start=m.start,
+                cross_rack=bool(s.attrs.get("cross_rack", m.attrs.get("cross_rack", False))),
+                nbytes=float(s.attrs.get("nbytes", m.attrs.get("nbytes", 0.0))),
+            )
+        )
+    return TraceDiff(
+        aligned=tuple(aligned),
+        sim_only=tuple(sorted(sim_ops.keys() - live_ops.keys())),
+        live_only=tuple(sorted(live_ops.keys() - sim_ops.keys())),
+        predicted_makespan=sim_trace.extent,
+        measured_makespan=live_trace.extent,
+        path_ops=tuple(path_ops),
+    )
+
+
+def diff_repair(outcome, live) -> TraceDiff:
+    """Diff a simulated :class:`~repro.repair.RepairOutcome` against its live run.
+
+    ``live`` is the :class:`~repro.live.LiveResult` of executing
+    ``outcome.plan``.  Uses the live run's attached telemetry when it
+    carries one; otherwise synthesizes op spans from
+    ``LiveResult.timings`` (every live run records those), so the diff
+    works even for runs made without a recorder.  The simulated critical
+    path rides along for :meth:`TraceDiff.critical_path_delta`.
+    """
+    from ..sim.tracing import critical_path, telemetry_from_sim
+
+    sim_trace = telemetry_from_sim(
+        outcome.sim, outcome.cluster, meta={"scheme": outcome.scheme}
+    )
+    live_trace = getattr(live, "telemetry", None)
+    if live_trace is None:
+        live_trace = live_trace_from_timings(live, outcome.plan)
+    path_ops = tuple(seg.job_id for seg in critical_path(outcome.sim))
+    return diff_traces(sim_trace, live_trace, path_ops=path_ops)
+
+
+def live_trace_from_timings(live, plan) -> TelemetryTrace:
+    """Build a minimal wall-clock trace from ``LiveResult.timings``.
+
+    The fallback path for live runs executed without a recorder: one op
+    span per measured timing, tagged with the op's kind and endpoints
+    from ``plan`` when available.
+    """
+    from .model import CLOCK_WALL, OP_CATEGORY, Span
+
+    spans = []
+    for timing in live.timings.values():
+        attrs: dict = {}
+        op = plan.ops.get(timing.op_id) if plan is not None else None
+        if op is not None:
+            if hasattr(op, "src"):
+                attrs = {"kind": "transfer", "node": op.src, "peer": op.dst}
+            else:
+                attrs = {"kind": "compute", "node": op.node}
+        spans.append(
+            Span(
+                name=timing.op_id,
+                start=timing.start,
+                end=timing.end,
+                category=OP_CATEGORY,
+                op_id=timing.op_id,
+                attrs=attrs,
+            )
+        )
+    return TelemetryTrace(
+        clock=CLOCK_WALL,
+        meta={"source": "live", "transport": getattr(live, "transport", "?")},
+        spans=spans,
+    )
+
+
+def render_diff(diff: TraceDiff, top: int = 8) -> str:
+    """Terminal rendering of a :class:`TraceDiff` (the ``rpr telemetry diff`` body)."""
+    lines = [
+        "sim ↔ live trace diff — predicted {:.4f} s, measured {:.4f} s, "
+        "ratio {:.3f}".format(
+            diff.predicted_makespan, diff.measured_makespan, diff.makespan_ratio
+        ),
+        "ops: {} aligned, {} sim-only, {} live-only".format(
+            len(diff.aligned), len(diff.sim_only), len(diff.live_only)
+        ),
+    ]
+    if diff.sim_only:
+        lines.append("  sim-only: " + ", ".join(diff.sim_only))
+    if diff.live_only:
+        lines.append("  live-only: " + ", ".join(diff.live_only))
+    if diff.path_ops:
+        delta = diff.critical_path_delta()
+        lines.append(
+            "critical path ({} ops): predicted {:.4f} s, measured {:.4f} s, "
+            "delta {:+.4f} s".format(
+                len(diff.path_ops),
+                delta["path_predicted_s"],
+                delta["path_measured_s"],
+                delta["delta_s"],
+            )
+        )
+    worst = diff.worst(top)
+    if worst:
+        lines.append("")
+        lines.append(f"worst divergers (top {len(worst)}):")
+        header = ["op", "kind", "pred_s", "meas_s", "ratio", "x-rack"]
+        rows = [
+            [
+                a.op_id,
+                a.kind,
+                f"{a.predicted_s:.4f}",
+                f"{a.measured_s:.4f}",
+                f"{a.ratio:.3f}",
+                "yes" if a.cross_rack else "",
+            ]
+            for a in worst
+        ]
+        table = [header] + rows
+        widths = [max(len(str(r[i])) for r in table) for i in range(len(header))]
+
+        def fmt(cells):
+            return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+        lines.append(fmt(header))
+        lines.append(fmt(["-" * w for w in widths]))
+        lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

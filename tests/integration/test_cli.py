@@ -139,6 +139,75 @@ class TestTrace:
         )
         assert "bottleneck report" in capsys.readouterr().out
 
+    def test_faulted_trace_reports_the_chosen_attempt(self, capsys):
+        argv = ["trace", "--code", "8,3", "--fail", "2", "--kill", "6@0.5"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "under injected faults" in out
+        assert "attempt 2 of 2" in out
+        assert main(argv + ["--attempt", "0"]) == 0
+        first = capsys.readouterr().out
+        assert "attempt 1 of 2" in first
+        assert "abort" in first  # the path walks across the abort
+
+    def test_faulted_trace_attempt_out_of_range(self, capsys):
+        assert (
+            main(["trace", "--code", "8,3", "--fail", "2", "--kill", "6@0.5",
+                  "--attempt", "9"])
+            == 2
+        )
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    def test_report_summarises_spans_and_counters(self, capsys):
+        assert main(["telemetry", "report", "--code", "6,2"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry (sim clock)" in out
+        assert "bytes.cross_rack" in out
+        assert "slowest ops:" in out
+
+    def test_diff_aligns_every_op(self, capsys):
+        assert (
+            main(["telemetry", "diff", "--code", "6,2", "--scheme", "rpr",
+                  "--block-size", "8192"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 sim-only, 0 live-only" in out
+        assert "worst divergers" in out
+
+    def test_export_chrome_trace_loads(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert (
+            main(["telemetry", "export", "--code", "6,2", "--out", str(out_file)])
+            == 0
+        )
+        doc = json.loads(out_file.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_export_jsonl_round_trips(self, capsys, tmp_path):
+        from repro.telemetry import from_jsonl, to_jsonl
+
+        out_file = tmp_path / "trace.jsonl"
+        assert (
+            main(["telemetry", "export", "--format", "jsonl", "--code", "6,2",
+                  "--out", str(out_file)])
+            == 0
+        )
+        text = out_file.read_text()
+        assert to_jsonl(from_jsonl(text)) == text
+
+    def test_export_refuses_jsonl_of_both_sources(self, capsys):
+        assert (
+            main(["telemetry", "export", "--format", "jsonl", "--source", "both"])
+            == 2
+        )
+        assert "single trace" in capsys.readouterr().err
+
 
 class TestRebuild:
     def test_rebuild_runs(self, capsys):
@@ -245,6 +314,12 @@ class TestJsonEverywhere:
         ["extension", "lrc", "--json"],
         ["faults", "--code", "6,2", "--fail", "1", "--kill", "0@0.5", "--json"],
         ["live", "--code", "6,2", "--schemes", "rpr", "--json"],
+        ["trace", "--code", "8,3", "--fail", "2", "--kill", "6@0.5", "--json"],
+        ["telemetry", "report", "--code", "6,2", "--json"],
+        [
+            "telemetry", "diff", "--code", "6,2", "--scheme", "rpr",
+            "--block-size", "8192", "--json",
+        ],
     ]
 
     @pytest.mark.parametrize(

@@ -40,3 +40,54 @@ class TestAppendHistory:
         record = json.loads(line)
         assert record["engine"]["hot_path"] == 0.1
         assert record["coding"]["hot_path"] == 0.2
+
+
+class TestCompareReports:
+    """The perf gate's comparison logic (benchmarks/check_perf_regression.py)."""
+
+    def report(self, **best):
+        return {
+            "quick": False,
+            "results": {name: {"best_s": value, "reps": 3} for name, value in best.items()},
+        }
+
+    def test_clean_when_within_threshold(self):
+        from repro.perfharness import compare_reports
+
+        baseline = self.report(engine=0.100, coding=0.200)
+        current = self.report(engine=0.110, coding=0.190)
+        assert compare_reports(baseline, current) == []
+
+    def test_flags_regressions_beyond_threshold(self):
+        from repro.perfharness import compare_reports
+
+        baseline = self.report(engine=0.100, coding=0.200)
+        current = self.report(engine=0.130, coding=0.200)
+        messages = compare_reports(baseline, current, threshold=0.25)
+        assert len(messages) == 1
+        assert messages[0].startswith("engine:")
+        assert "1.30x" in messages[0]
+
+    def test_flags_benchmarks_that_vanished(self):
+        from repro.perfharness import compare_reports
+
+        baseline = self.report(engine=0.100, renamed=0.100)
+        current = self.report(engine=0.100)
+        (message,) = compare_reports(baseline, current)
+        assert "renamed" in message and "missing" in message
+
+    def test_skips_sub_floor_noise(self):
+        from repro.perfharness import COMPARE_FLOOR_S, compare_reports
+
+        tiny = COMPARE_FLOOR_S / 2
+        baseline = self.report(noisy=tiny)
+        current = self.report(noisy=tiny * 100)
+        assert compare_reports(baseline, current) == []
+
+    def test_refuses_quick_mode_mismatch(self):
+        from repro.perfharness import compare_reports
+
+        baseline = self.report(engine=0.1)
+        current = dict(self.report(engine=0.1), quick=True)
+        (message,) = compare_reports(baseline, current)
+        assert "quick-mode mismatch" in message

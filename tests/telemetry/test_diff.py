@@ -1,0 +1,134 @@
+"""Tests for sim↔live trace diffing (repro.telemetry.diff)."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    OP_CATEGORY,
+    OpAlignment,
+    Span,
+    TelemetryTrace,
+    diff_traces,
+    render_diff,
+)
+
+
+def trace_of(clock, durations: dict[str, tuple[float, float]]) -> TelemetryTrace:
+    """Trace with one op span per entry: op_id -> (start, end)."""
+    return TelemetryTrace(
+        clock=clock,
+        spans=[
+            Span(op_id, start, end, category=OP_CATEGORY, op_id=op_id,
+                 attrs={"kind": "transfer"})
+            for op_id, (start, end) in durations.items()
+        ],
+    )
+
+
+class TestOpAlignment:
+    def test_ratio_and_divergence(self):
+        a = OpAlignment("x", "transfer", 2.0, 4.0, 0.0, 0.0)
+        assert a.ratio == pytest.approx(2.0)
+        assert a.divergence == pytest.approx(math.log(2.0))
+        # Divergence is symmetric: half speed is as bad as double speed.
+        b = OpAlignment("y", "transfer", 2.0, 1.0, 0.0, 0.0)
+        assert b.divergence == pytest.approx(math.log(2.0))
+
+    def test_zero_prediction_edge_cases(self):
+        assert OpAlignment("x", "", 0.0, 0.5, 0.0, 0.0).ratio == float("inf")
+        assert OpAlignment("x", "", 0.0, 0.0, 0.0, 0.0).ratio == pytest.approx(1.0)
+
+
+class TestDiffTraces:
+    def test_full_alignment(self):
+        sim = trace_of(CLOCK_SIM, {"a": (0.0, 1.0), "b": (1.0, 3.0)})
+        live = trace_of(CLOCK_WALL, {"a": (0.0, 1.1), "b": (1.1, 3.5)})
+        diff = diff_traces(sim, live)
+        assert diff.all_aligned
+        assert [a.op_id for a in diff.aligned] == ["a", "b"]
+        assert diff.aligned[0].ratio == pytest.approx(1.1)
+        assert diff.predicted_makespan == pytest.approx(3.0)
+        assert diff.measured_makespan == pytest.approx(3.5)
+        assert diff.makespan_ratio == pytest.approx(3.5 / 3.0)
+
+    def test_one_sided_ops_are_reported(self):
+        sim = trace_of(CLOCK_SIM, {"a": (0.0, 1.0), "sim-extra": (0.0, 2.0)})
+        live = trace_of(CLOCK_WALL, {"a": (0.0, 1.0), "live-extra": (0.0, 2.0)})
+        diff = diff_traces(sim, live)
+        assert not diff.all_aligned
+        assert diff.sim_only == ("sim-extra",)
+        assert diff.live_only == ("live-extra",)
+
+    def test_worst_ranks_by_divergence(self):
+        sim = trace_of(CLOCK_SIM, {"near": (0.0, 1.0), "slow": (0.0, 1.0),
+                                   "fast": (0.0, 1.0)})
+        live = trace_of(CLOCK_WALL, {"near": (0.0, 1.05), "slow": (0.0, 3.0),
+                                     "fast": (0.0, 0.25)})
+        worst = diff_traces(sim, live).worst(2)
+        # 4x-fast beats 3x-slow beats 1.05x.
+        assert [a.op_id for a in worst] == ["fast", "slow"]
+
+    def test_critical_path_delta(self):
+        sim = trace_of(CLOCK_SIM, {"a": (0.0, 1.0), "b": (1.0, 3.0)})
+        live = trace_of(CLOCK_WALL, {"a": (0.0, 1.5), "b": (1.5, 4.0)})
+        diff = diff_traces(sim, live, path_ops=("a", "b", "missing"))
+        delta = diff.critical_path_delta()
+        assert delta["path_predicted_s"] == pytest.approx(3.0)
+        assert delta["path_measured_s"] == pytest.approx(4.0)
+        assert delta["delta_s"] == pytest.approx(1.0)
+
+    def test_to_dict_shape(self):
+        sim = trace_of(CLOCK_SIM, {"a": (0.0, 1.0)})
+        live = trace_of(CLOCK_WALL, {"a": (0.0, 2.0)})
+        data = diff_traces(sim, live, path_ops=("a",)).to_dict()
+        assert data["all_aligned"] is True
+        assert data["aligned"][0]["ratio"] == pytest.approx(2.0)
+        assert data["critical_path"]["ops"] == ["a"]
+
+
+class TestRenderDiff:
+    def test_mentions_alignment_and_worst_ops(self):
+        sim = trace_of(CLOCK_SIM, {"a": (0.0, 1.0), "b": (0.0, 1.0)})
+        live = trace_of(CLOCK_WALL, {"a": (0.0, 2.0), "c": (0.0, 1.0)})
+        text = render_diff(diff_traces(sim, live), top=3)
+        assert "1 aligned, 1 sim-only, 1 live-only" in text
+        assert "sim-only: b" in text
+        assert "live-only: c" in text
+        assert "worst divergers" in text
+
+
+class TestAcceptanceRS63:
+    """The PR's acceptance scenario: RS(6,3), one failure, RPR over the
+    memory transport — every op must align with a finite ratio."""
+
+    @pytest.fixture(scope="class")
+    def diff(self):
+        from repro.live import run_live_validation
+
+        report = run_live_validation(
+            6, 3, [1], schemes=["rpr"], block_size=8 * 1024, telemetry=True
+        )
+        return report.rows[0].diff
+
+    def test_every_op_aligned(self, diff):
+        assert diff is not None
+        assert diff.all_aligned
+        assert len(diff.aligned) == 9  # the RS(6,3) RPR plan's op count
+
+    def test_ratios_are_finite_and_positive(self, diff):
+        for a in diff.aligned:
+            assert 0.0 < a.ratio < float("inf")
+
+    def test_critical_path_threaded_through(self, diff):
+        assert diff.path_ops
+        delta = diff.critical_path_delta()
+        assert delta["path_predicted_s"] > 0
+        assert delta["path_measured_s"] > 0
+
+    def test_render_includes_every_section(self, diff):
+        text = render_diff(diff)
+        assert "aligned, 0 sim-only, 0 live-only" in text
+        assert "critical path" in text

@@ -1,0 +1,117 @@
+"""Tests for the telemetry exporters (repro.telemetry.export)."""
+
+import json
+
+import pytest
+
+from repro.experiments import build_simics_environment, run_scheme
+from repro.repair import RPRScheme
+from repro.telemetry import (
+    CLOCK_SIM,
+    OP_CATEGORY,
+    Span,
+    TelemetryEvent,
+    TelemetryTrace,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+
+def small_trace() -> TelemetryTrace:
+    return TelemetryTrace(
+        clock=CLOCK_SIM,
+        meta={"source": "sim", "scheme": "rpr"},
+        spans=[
+            Span("op-a", 0.0, 2.0, category=OP_CATEGORY, op_id="op-a",
+                 attrs={"node": 3, "kind": "transfer", "cross_rack": True}),
+            Span("op-a.port_wait", 0.0, 0.5, op_id="op-a", parent="op-a"),
+        ],
+        events=[TelemetryEvent("fault.death", 1.5, attrs={"node": 3})],
+        counters={"bytes.cross_rack": 1024.0},
+        gauges={"debt": [(0.5, 12.0), (1.0, 0.0)]},
+        histograms={"stall_s": [0.01, 0.02]},
+    )
+
+
+class TestJsonl:
+    def test_round_trip_is_byte_identical(self):
+        """The archival contract: emit -> parse -> re-emit reproduces the
+        stream exactly, so JSONL traces are safe to diff and hash."""
+        text = to_jsonl(small_trace())
+        assert to_jsonl(from_jsonl(text)) == text
+
+    def test_round_trip_on_a_real_repair(self):
+        env = build_simics_environment(6, 3)
+        trace = run_scheme(env, RPRScheme(), [1]).telemetry()
+        text = to_jsonl(trace)
+        rebuilt = from_jsonl(text)
+        assert to_jsonl(rebuilt) == text
+        assert rebuilt.op_spans().keys() == trace.op_spans().keys()
+        assert rebuilt.counters == trace.counters
+
+    def test_header_first_then_fixed_record_order(self):
+        lines = to_jsonl(small_trace()).splitlines()
+        kinds = [json.loads(line)["record"] for line in lines]
+        assert kinds[0] == "telemetry"
+        assert kinds == sorted(
+            kinds,
+            key=["telemetry", "span", "event", "counter", "gauge", "histogram"].index,
+        )
+
+    def test_parse_restores_values(self):
+        rebuilt = from_jsonl(to_jsonl(small_trace()))
+        assert rebuilt.clock == CLOCK_SIM
+        assert rebuilt.meta == {"source": "sim", "scheme": "rpr"}
+        assert rebuilt.spans[0].attrs["cross_rack"] is True
+        assert rebuilt.gauges["debt"] == [(0.5, 12.0), (1.0, 0.0)]
+        assert rebuilt.histograms["stall_s"] == [0.01, 0.02]
+
+    def test_missing_header_raises(self):
+        body_only = "\n".join(to_jsonl(small_trace()).splitlines()[1:]) + "\n"
+        with pytest.raises(ValueError, match="no header"):
+            from_jsonl(body_only)
+
+    def test_unknown_record_kind_raises(self):
+        text = to_jsonl(small_trace()) + '{"record":"mystery"}\n'
+        with pytest.raises(ValueError, match="unknown telemetry record"):
+            from_jsonl(text)
+
+    def test_blank_lines_ignored(self):
+        text = to_jsonl(small_trace()).replace("\n", "\n\n")
+        assert to_jsonl(from_jsonl(text)) == to_jsonl(small_trace())
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace([("sim", small_trace())])
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i", "C"}
+        # One process, named with its clock source.
+        process = next(e for e in events if e["name"] == "process_name")
+        assert process["args"]["name"] == "sim (sim)"
+        # Node 3 lands on thread 4; run-level rows on thread 0.
+        threads = {e["tid"]: e["args"]["name"]
+                   for e in events if e["name"] == "thread_name"}
+        assert threads[4] == "n3"
+
+    def test_span_timestamps_are_microseconds(self):
+        events = to_chrome_trace([("sim", small_trace())])["traceEvents"]
+        op = next(e for e in events if e["ph"] == "X" and e["name"] == "op-a")
+        assert op["ts"] == pytest.approx(0.0)
+        assert op["dur"] == pytest.approx(2e6)
+        assert op["args"]["op_id"] == "op-a"
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["ts"] == pytest.approx(1.5e6)
+        assert instant["s"] == "p"
+
+    def test_multiple_traces_become_processes(self):
+        doc = to_chrome_trace([("sim", small_trace()), ("live", small_trace())])
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_document_is_json_serializable(self):
+        doc = to_chrome_trace([("sim", small_trace())])
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,159 @@
+"""Live-runtime telemetry: recorded spans, pacing metrics, and the
+zero-cost disabled path."""
+
+import asyncio
+
+import pytest
+
+from repro.experiments import build_simics_environment, context_for
+from repro.live import TokenBucket, run_plan_live_sync
+from repro.repair import RPRScheme, initial_store_for
+from repro.telemetry import (
+    CLOCK_WALL,
+    NULL_RECORDER,
+    OP_CATEGORY,
+    TelemetryRecorder,
+    TelemetryTrace,
+)
+from repro.workloads import encoded_stripe
+
+BLOCK = 4 * 1024
+
+SEND_PHASES = {
+    "send.dep_wait", "send.port_wait", "send.latency",
+    "send.connect", "send.stream", "send.ack_wait",
+}
+COMBINE_PHASES = {"combine.dep_wait", "combine.cpu_wait"}
+
+
+def scenario(n=6, k=3, failed=(1,)):
+    env = build_simics_environment(n, k, block_size=BLOCK)
+    plan = RPRScheme().plan(context_for(env, list(failed)))
+    stripe = encoded_stripe(env.code, BLOCK, seed=7)
+    store = initial_store_for(stripe, env.placement, list(failed))
+    return plan, env, store
+
+
+def run(plan, env, store, *, bandwidth=None, recorder=None):
+    return run_plan_live_sync(
+        plan, env.cluster, store, bandwidth=bandwidth, recorder=recorder
+    )
+
+
+class TestRecordedRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        plan, env, store = scenario()
+        rec = TelemetryRecorder(CLOCK_WALL, meta={"source": "live"})
+        return plan, run(plan, env, store, recorder=rec)
+
+    def test_telemetry_attached(self, result):
+        _, live = result
+        assert isinstance(live.telemetry, TelemetryTrace)
+        assert live.telemetry.clock == CLOCK_WALL
+        assert live.telemetry.meta["source"] == "live"
+
+    def test_one_op_span_per_plan_op(self, result):
+        plan, live = result
+        assert live.telemetry.op_spans().keys() == set(plan.ops)
+
+    def test_op_spans_carry_identity_attrs(self, result):
+        plan, live = result
+        for op_id, span in live.telemetry.op_spans().items():
+            assert span.category == OP_CATEGORY
+            assert span.attrs["kind"] in ("transfer", "compute")
+            assert span.end >= span.start >= 0.0
+            assert span.end <= live.telemetry.extent
+
+    def test_phase_spans_nest_under_their_op(self, result):
+        plan, live = result
+        phases = [s for s in live.telemetry.spans if s.parent]
+        assert phases, "expected nested phase spans"
+        op_ids = set(plan.ops)
+        for phase in phases:
+            assert phase.parent in op_ids
+            assert phase.op_id == phase.parent
+            assert phase.name in SEND_PHASES | COMBINE_PHASES
+
+    def test_every_send_has_all_phases(self, result):
+        plan, live = result
+        sends = [oid for oid, span in live.telemetry.op_spans().items()
+                 if span.attrs["kind"] == "transfer"]
+        for oid in sends:
+            names = {s.name for s in live.telemetry.spans
+                     if s.parent == oid and not s.category}
+            assert names == SEND_PHASES
+
+    def test_counters_match_the_ledgers(self, result):
+        _, live = result
+        counters = live.telemetry.counters
+        assert counters["bytes.cross_rack"] == pytest.approx(live.cross_rack_bytes)
+        assert counters["bytes.intra_rack"] == pytest.approx(live.intra_rack_bytes)
+        assert counters["ops.sends"] + counters["ops.combines"] == len(live.timings)
+
+    def test_op_spans_agree_with_measured_timings(self, result):
+        _, live = result
+        for op_id, timing in live.timings.items():
+            span = live.telemetry.op_spans()[op_id]
+            assert span.start == pytest.approx(timing.start)
+            assert span.end == pytest.approx(timing.end)
+
+
+class TestDisabledPath:
+    def test_no_recorder_means_no_telemetry(self):
+        plan, env, store = scenario()
+        live = run(plan, env, store)
+        assert live.telemetry is None
+        assert live.recovered  # the run itself still works
+
+    def test_null_recorder_collapses_to_disabled(self):
+        plan, env, store = scenario()
+        live = run(plan, env, store, recorder=NULL_RECORDER)
+        assert live.telemetry is None
+
+
+class TestShapedRunPacing:
+    def test_shaped_run_records_pacing_and_throughput(self):
+        plan, env, store = scenario()
+        rec = TelemetryRecorder(CLOCK_WALL)
+        live = run(plan, env, store, bandwidth=env.bandwidth, recorder=rec)
+        tel = live.telemetry
+        # Buckets start empty, so every shaped transfer stalls at least once.
+        assert tel.counters["pacing.stalls"] >= 1
+        assert tel.histograms["pacing.stall_s"]
+        assert any(name.startswith("bucket.debt_bytes:") for name in tel.gauges)
+        assert any(name.startswith("throughput.") for name in tel.gauges)
+        assert tel.counters["chunks.sent"] >= tel.counters["ops.sends"]
+
+
+class TestTokenBucketEmission:
+    def test_stall_is_counted_and_measured(self):
+        sleeps = []
+
+        async def fake_sleep(s):
+            sleeps.append(s)
+
+        rec = TelemetryRecorder(CLOCK_WALL, time_source=lambda: 0.0)
+        bucket = TokenBucket(
+            1000.0, clock=lambda: 0.0, sleep=fake_sleep,
+            recorder=rec, label="n0->n1",
+        )
+        asyncio.run(bucket.acquire(500))
+        trace = rec.trace()
+        assert trace.counters["pacing.stalls"] == pytest.approx(1.0)
+        assert trace.histograms["pacing.stall_s"] == [pytest.approx(0.5)]
+        assert trace.gauges["bucket.debt_bytes:n0->n1"][0][1] == pytest.approx(500.0)
+        assert sleeps == [pytest.approx(0.5)]
+
+    def test_disabled_bucket_emits_nothing_but_still_paces(self):
+        sleeps = []
+
+        async def fake_sleep(s):
+            sleeps.append(s)
+
+        bucket = TokenBucket(
+            1000.0, clock=lambda: 0.0, sleep=fake_sleep, recorder=NULL_RECORDER
+        )
+        assert bucket._recorder is None  # the guard collapsed the falsy recorder
+        asyncio.run(bucket.acquire(500))
+        assert sleeps == [pytest.approx(0.5)]

@@ -1,0 +1,157 @@
+"""Tests for the unified span/event model (repro.telemetry.model)."""
+
+import pytest
+
+from repro.telemetry import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    NULL_RECORDER,
+    NullRecorder,
+    OP_CATEGORY,
+    Span,
+    TelemetryEvent,
+    TelemetryRecorder,
+    TelemetryTrace,
+)
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("x", 1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_dict_round_trip(self):
+        span = Span(
+            "op", 0.0, 1.0, category=OP_CATEGORY, op_id="a", parent="",
+            attrs={"node": 3, "cross_rack": True},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestRecorder:
+    def test_clock_validation(self):
+        with pytest.raises(ValueError, match="unknown clock"):
+            TelemetryRecorder("cpu")
+        with pytest.raises(ValueError, match="unknown clock"):
+            TelemetryTrace(clock="cpu")
+
+    def test_origin_subtraction(self):
+        rec = TelemetryRecorder(CLOCK_WALL, time_source=lambda: 100.0)
+        rec.set_origin(100.0)
+        rec.span("op", 100.5, 101.5, category=OP_CATEGORY, op_id="a", node=2)
+        rec.event("death", at=100.25, node=2)
+        rec.gauge("debt", 42.0, at=100.75)
+        trace = rec.trace()
+        assert trace.spans[0].start == pytest.approx(0.5)
+        assert trace.spans[0].end == pytest.approx(1.5)
+        assert trace.spans[0].attrs == {"node": 2}
+        assert trace.events[0].time == pytest.approx(0.25)
+        assert trace.gauges["debt"] == [(pytest.approx(0.75), 42.0)]
+
+    def test_now_uses_time_source(self):
+        ticks = iter([10.0, 10.5])
+        rec = TelemetryRecorder(CLOCK_WALL, time_source=lambda: next(ticks))
+        rec.set_origin(10.0)
+        assert rec.now() == pytest.approx(0.0)
+        assert rec.now() == pytest.approx(0.5)
+
+    def test_counters_and_histograms(self):
+        rec = TelemetryRecorder(CLOCK_SIM)
+        rec.count("stalls")
+        rec.count("stalls", 2.0)
+        rec.observe("wait_s", 0.1)
+        rec.observe("wait_s", 0.3)
+        trace = rec.trace()
+        assert trace.counters["stalls"] == pytest.approx(3.0)
+        assert trace.histograms["wait_s"] == [0.1, 0.3]
+
+    def test_trace_is_a_snapshot(self):
+        rec = TelemetryRecorder(CLOCK_SIM)
+        rec.count("n")
+        first = rec.trace()
+        rec.count("n")
+        assert first.counters["n"] == pytest.approx(1.0)
+        assert rec.trace().counters["n"] == pytest.approx(2.0)
+
+
+class TestNullRecorder:
+    """The zero-cost-when-disabled contract."""
+
+    def test_falsy_and_disabled(self):
+        assert not NULL_RECORDER
+        assert NULL_RECORDER.enabled is False
+        assert TelemetryRecorder(CLOCK_WALL).enabled is True
+        assert bool(TelemetryRecorder(CLOCK_WALL))
+
+    def test_guard_idiom_collapses_to_none(self):
+        # Every instrumented constructor stores
+        # ``recorder if recorder else None`` — both "off" spellings must
+        # collapse to the same fast path.
+        for off in (None, NULL_RECORDER, NullRecorder()):
+            assert (off if off else None) is None
+
+    def test_emissions_record_nothing(self):
+        rec = NullRecorder()
+        rec.span("x", 0.0, 1.0, op_id="a")
+        rec.event("x")
+        rec.count("x")
+        rec.gauge("x", 1.0)
+        rec.observe("x", 1.0)
+        trace = rec.trace()
+        assert not trace.spans and not trace.events
+        assert not trace.counters and not trace.gauges and not trace.histograms
+
+
+class TestTrace:
+    def build(self):
+        return TelemetryTrace(
+            clock=CLOCK_SIM,
+            meta={"source": "sim"},
+            spans=[
+                Span("a", 0.0, 2.0, category=OP_CATEGORY, op_id="a"),
+                Span("a.phase", 0.0, 1.0, op_id="a", parent="a"),
+            ],
+            events=[TelemetryEvent("death", 3.0)],
+            counters={"bytes": 10.0},
+            gauges={"debt": [(0.5, 4.0)]},
+            histograms={"wait": [0.1]},
+        )
+
+    def test_extent_covers_spans_and_events(self):
+        assert self.build().extent == pytest.approx(3.0)
+        assert TelemetryTrace(clock=CLOCK_SIM).extent == 0.0
+
+    def test_op_spans_filters_by_category(self):
+        ops = self.build().op_spans()
+        assert set(ops) == {"a"}
+        assert ops["a"].name == "a"
+
+    def test_shifted(self):
+        shifted = self.build().shifted(10.0)
+        assert shifted.spans[0].start == pytest.approx(10.0)
+        assert shifted.events[0].time == pytest.approx(13.0)
+        assert shifted.gauges["debt"][0][0] == pytest.approx(10.5)
+        # Counters and histogram values are time-free and unchanged.
+        assert shifted.counters == {"bytes": 10.0}
+        assert shifted.histograms == {"wait": [0.1]}
+
+    def test_merged_accumulates(self):
+        one, two = self.build(), self.build().shifted(5.0)
+        merged = one.merged(two)
+        assert len(merged.spans) == 4
+        assert merged.counters["bytes"] == pytest.approx(20.0)
+        assert len(merged.gauges["debt"]) == 2
+        assert merged.histograms["wait"] == [0.1, 0.1]
+        # Inputs are untouched.
+        assert one.counters["bytes"] == pytest.approx(10.0)
+
+    def test_merged_refuses_clock_mismatch(self):
+        wall = TelemetryTrace(clock=CLOCK_WALL)
+        with pytest.raises(ValueError, match="clock"):
+            self.build().merged(wall)
+
+    def test_dict_round_trip(self):
+        trace = self.build()
+        rebuilt = TelemetryTrace.from_dict(trace.to_dict())
+        assert rebuilt.to_dict() == trace.to_dict()
+        assert rebuilt.spans == trace.spans
+        assert rebuilt.gauges == trace.gauges
