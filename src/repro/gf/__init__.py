@@ -17,8 +17,8 @@ from .arithmetic import (
     scale,
     scale_accumulate,
 )
-from .batch import gf_matmul_blocks
-from .bufferpool import BufferPool, scratch_pool
+from .batch import adaptive_tile, gf_matmul_blocks
+from .bufferpool import DEFAULT_POOL_MAX_BYTES, BufferPool, scratch_pool
 from .cauchy import cauchy_coding_matrix, systematic_cauchy_generator
 from .matrix import (
     SingularMatrixError,
@@ -30,15 +30,28 @@ from .matrix import (
     systematic_vandermonde_generator,
     vandermonde,
 )
+from .splittable import (
+    KERNELS,
+    TableCache,
+    mul_into,
+    mul_xor_into,
+    select_kernel,
+    set_kernel_override,
+    table_cache,
+)
 from .tables import DEFAULT_PRIM_POLY, FIELD_SIZE, GFTableError, GFTables, get_tables
 
 __all__ = [
     "BufferPool",
+    "DEFAULT_POOL_MAX_BYTES",
     "DEFAULT_PRIM_POLY",
     "FIELD_SIZE",
     "GFTableError",
     "GFTables",
+    "KERNELS",
     "SingularMatrixError",
+    "TableCache",
+    "adaptive_tile",
     "apply_matrix_to_blocks",
     "cauchy_coding_matrix",
     "get_tables",
@@ -50,13 +63,18 @@ __all__ = [
     "gf_pow",
     "gf_sub",
     "linear_combine",
-    "scratch_pool",
     "mat_identity",
     "mat_inv",
     "mat_mul",
     "mat_solve",
+    "mul_into",
+    "mul_xor_into",
     "scale",
     "scale_accumulate",
+    "scratch_pool",
+    "select_kernel",
+    "set_kernel_override",
+    "table_cache",
     "systematic_cauchy_generator",
     "systematic_vandermonde_generator",
     "vandermonde",

@@ -4,24 +4,31 @@ The per-stripe kernels in :mod:`repro.gf.arithmetic` pay their Python
 dispatch and temporary-allocation cost once per block.  At store scale a
 node rebuild touches thousands of stripes with the *same* generator or
 recovery matrix, so the batched path amortises both: stripes are stacked
-along a leading axis and every non-zero coefficient becomes one table
-translation over the whole stack instead of one call per stripe.
+along a leading axis and every non-zero coefficient becomes one bulk
+table lookup over the whole stack instead of one call per stripe.
 
-Two implementation choices matter for throughput here (both measured on
+Three implementation choices matter for throughput here (all measured on
 this numpy build; see docs/PERFORMANCE.md):
 
-* Gathers run through :meth:`bytes.translate` — CPython's 256-entry table
-  lookup loop — which outperforms both ``np.take`` and fancy indexing for
-  uint8 table translation and never materialises the 8x-sized ``intp``
-  index temporary that numpy gathers build internally.
+* The multiply primitive is pluggable — :mod:`repro.gf.splittable`
+  provides the classic 256-entry ``bytes.translate`` kernel, the 4-bit
+  nibble-table kernel, and the 16-bit split-pair gather that processes
+  two payload bytes per lookup; which one runs is picked per machine
+  (``select_kernel``) and all are byte-identical.
 * The row/term loops are *tiled* along the flattened block axis so each
   source tile is loaded from memory once and then reused by every output
-  row while still cache-resident, instead of streaming the whole
-  multi-MiB stack once per matrix row.
+  row while still cache-resident.  The tile size adapts to the working
+  set — ``(num_blocks + num_rows) * tile`` bytes is held near a fixed
+  cache budget — instead of the old fixed 256 KiB, so wide recovery
+  matrices shrink their tiles and skinny parity matrices grow them.
+* Multiply-XOR is fused: the first non-trivial term of each row is
+  written straight into the output and later terms accumulate through
+  pooled chunk scratch, so no term ever allocates a block-sized
+  temporary (the old loop built one per translated term).
 
 Coefficient fast paths mirror the scalar kernels: zero coefficients are
 skipped outright, and unit coefficients (the XOR-parity row, eq. (2), and
-every eq. (6) recovery row) bypass the multiplication table entirely and
+every eq. (6) recovery row) bypass the multiplication tables entirely and
 reduce to ``bitwise_xor`` passes.
 """
 
@@ -29,14 +36,37 @@ from __future__ import annotations
 
 import numpy as np
 
+from .splittable import combine_tile, select_kernel
 from .tables import GFTables, get_tables
 
-__all__ = ["gf_matmul_blocks"]
+__all__ = ["gf_matmul_blocks", "adaptive_tile"]
 
-#: Elements per cache tile.  The working set of one tile is roughly
-#: ``(num_blocks + num_rows) * _TILE`` bytes; 256 KiB keeps realistic
-#: matmul shapes (6-12 blocks, 2-12 rows) inside the last-level cache.
-_TILE = 256 * 1024
+#: Cache budget the tile working set is sized against.  One tile's
+#: working set is every input block tile plus every output row tile:
+#: ``(num_blocks + num_rows) * tile`` bytes.  2 MiB sits inside typical
+#: L2/LLC slices while keeping tiles large enough to amortise dispatch.
+_TILE_BUDGET = 2 * 1024 * 1024
+
+#: Tile clamp range.  Below 32 KiB per-tile Python dispatch dominates;
+#: above 1 MiB tiling stops paying for itself on realistic shapes.
+_TILE_MIN = 32 * 1024
+_TILE_MAX = 1024 * 1024
+
+
+def adaptive_tile(num_blocks: int, num_rows: int, size: int) -> int:
+    """Elements per cache tile for an ``num_rows x num_blocks`` matmul.
+
+    Sized so the tile working set (all block tiles + all row tiles)
+    stays near the cache budget, clamped to a sane range, rounded to a
+    4 KiB multiple so split-pair kernels see even-length tiles and
+    gathers stay page-aligned.  A ``size`` smaller than one tile runs
+    untiled.
+    """
+    streams = max(1, num_blocks + num_rows)
+    tile = _TILE_BUDGET // streams
+    tile = max(_TILE_MIN, min(_TILE_MAX, tile))
+    tile &= ~0xFFF
+    return tile if tile < size else size
 
 
 def _block_rows(blocks) -> list[np.ndarray]:
@@ -67,6 +97,7 @@ def gf_matmul_blocks(
     blocks,
     tables: GFTables | None = None,
     out: np.ndarray | None = None,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Apply an ``r x c`` GF matrix to ``c`` stacked block arrays at once.
 
@@ -74,7 +105,7 @@ def gf_matmul_blocks(
     ``blocks[j]`` may have any shape (typically ``(block_size,)`` for one
     stripe or ``(num_stripes, block_size)`` for a stripe stack) as long as
     all of them agree.  This is the batched generalisation of
-    :func:`repro.gf.matrix.apply_matrix_to_blocks`: one table translation
+    :func:`repro.gf.matrix.apply_matrix_to_blocks`: one bulk multiply
     per non-zero coefficient per tile, XOR-only rows touch no tables.
 
     Parameters
@@ -85,8 +116,15 @@ def gf_matmul_blocks(
         A sequence of ``c`` equal-shaped uint8 arrays, or one array whose
         leading axis indexes the ``c`` blocks.
     out:
-        Optional pre-allocated ``(r, *block_shape)`` C-contiguous uint8
-        output.
+        Optional pre-allocated ``(r, *block_shape)`` uint8 output.  The
+        whole array need not be contiguous — each row ``out[i]`` must
+        be, which is what a stripe-range slice ``arena[:, lo:hi]`` of a
+        shared output arena provides.  The parallel codec relies on
+        this: workers write disjoint stripe ranges of one arena with no
+        assembly copies.
+    kernel:
+        Multiply kernel name (see :data:`repro.gf.splittable.KERNELS`);
+        defaults to the per-process measured selection.
 
     Returns
     -------
@@ -101,57 +139,39 @@ def gf_matmul_blocks(
             f"matrix shape {m.shape} incompatible with {len(rows)} blocks"
         )
     block_shape = rows[0].shape
-    out_shape = (m.shape[0],) + block_shape
+    num_rows = m.shape[0]
+    out_shape = (num_rows,) + block_shape
     if out is None:
         out = np.empty(out_shape, dtype=np.uint8)
-    elif (
-        out.shape != out_shape
-        or out.dtype != np.uint8
-        or not out.flags.c_contiguous
+    elif out.shape != out_shape or out.dtype != np.uint8:
+        raise ValueError(f"out buffer must be uint8 with shape {out_shape}")
+    elif not out.flags.c_contiguous and not all(
+        out[i].flags.c_contiguous for i in range(num_rows)
     ):
-        raise ValueError(
-            f"out buffer must be C-contiguous uint8 with shape {out_shape}"
-        )
+        raise ValueError("every out row must be C-contiguous")
 
     t = tables or get_tables()
-    mul_table = t.mul_table
-    num_rows = m.shape[0]
+    kern = kernel or select_kernel()
     num_blocks = len(rows)
-    # Python ints once, not per tile; translate tables lazily per coeff.
+    # Python ints once, not per tile.
     coeffs = [[int(m[i, j]) for j in range(num_blocks)] for i in range(num_rows)]
-    translate: dict[int, bytes] = {}
 
     flat_blocks = [b.reshape(-1) for b in rows]
     size = flat_blocks[0].size if num_blocks else 0
-    flat_out = out.reshape(num_rows, -1) if num_rows else out
+    # Per-row flat views: reshape of a contiguous row is always a view,
+    # even when the row stride makes the stacked array non-contiguous.
+    flat_out = [out[i].reshape(-1) for i in range(num_rows)]
+    tile = adaptive_tile(num_blocks, num_rows, size) or 1
 
-    for lo in range(0, size, _TILE):
-        hi = lo + _TILE
+    for lo in range(0, size, tile):
+        hi = lo + tile
         if hi > size:
             hi = size
-        for i in range(num_rows):
-            acc = flat_out[i, lo:hi]
-            first = True
-            for j in range(num_blocks):
-                coeff = coeffs[i][j]
-                if coeff == 0:
-                    continue
-                src = flat_blocks[j][lo:hi]
-                if coeff == 1:
-                    term = src
-                else:
-                    tr = translate.get(coeff)
-                    if tr is None:
-                        tr = mul_table[coeff].tobytes()
-                        translate[coeff] = tr
-                    term = np.frombuffer(
-                        src.tobytes().translate(tr), dtype=np.uint8
-                    )
-                if first:
-                    np.copyto(acc, term)
-                    first = False
-                else:
-                    np.bitwise_xor(acc, term, out=acc)
-            if first:  # all-zero row
-                acc[...] = 0
+        combine_tile(
+            coeffs,
+            [b[lo:hi] for b in flat_blocks],
+            [f[lo:hi] for f in flat_out],
+            t,
+            kern,
+        )
     return out

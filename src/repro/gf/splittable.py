@@ -1,0 +1,515 @@
+"""Split-table GF(2^8) multiply kernels and the process-wide table cache.
+
+The batched matmul in :mod:`repro.gf.batch` reduces to one primitive:
+combine ``c`` source blocks into ``r`` output rows as
+``out[i] = xor_j coeff[i][j] * src[j]`` over one cache tile.  This
+module provides three interchangeable implementations of that combine
+(and of the scalar ``acc ^= coeff * src`` it generalises), all
+byte-identical:
+
+``translate``
+    The original kernel: one 256-entry table through ``bytes.translate``
+    (CPython's tight translation loop).  Portable baseline.
+
+``split16``
+    The 16-bit split-table gather: the coefficient's 256-entry product
+    row is widened into a 65536-entry ``uint16`` table holding *two*
+    products per entry (``pair[hi*256+lo] = mul[lo] | mul[hi] << 8``),
+    and the block is gathered through it two bytes at a time via
+    ``np.take`` — half the lookups of any byte-wide scheme.  This is the
+    same word-splitting idea GF-Complete calls SPLIT multiplication
+    (there realised with PSHUFB); in numpy the win comes from halving
+    the index stream.  Measured ~1.5-2x over ``translate`` on this
+    numpy build (see docs/PERFORMANCE.md).
+
+``nibble4``
+    The 4-bit split-table path the classic SIMD kernels use: two
+    16-entry nibble tables per coefficient (``lo[v] = coeff * v``,
+    ``hi[v] = coeff * (v << 4)``), composed per byte as
+    ``lo[b & 15] ^ hi[b >> 4]`` with plain numpy uint8 gathers.  The
+    construction is the cheapest of the three (32 bytes per
+    coefficient) and is also how this module *builds* the wider tables,
+    but as a bulk kernel numpy's per-element index handling makes it
+    the slowest — it is kept selectable for reference and for machines
+    where gathers beat translation loops.
+
+The tile-level combine is where the fusion happens: each source block
+is *prepared* once per tile (``tobytes`` for translate, the
+``uint16 -> intp`` index widening for split16, the nibble split for
+nibble4) and the preparation is reused by every output row; each row's
+first non-trivial term is written straight into the output while later
+terms accumulate through chunk-sized pooled scratch — no term ever
+allocates a block-sized temporary.
+
+Which kernel runs is decided once per process by :func:`select_kernel`
+(a short in-situ measurement, overridable with the ``REPRO_GF_KERNEL``
+environment variable or :func:`set_kernel_override`).  All kernels are
+exact — equivalence is property-tested across random coefficients,
+block counts and non-tile-aligned sizes in
+``tests/properties/test_batch_equivalence.py``.
+
+Built tables are held in one process-wide byte-budgeted LRU
+(:data:`table_cache`): a ``split16`` table is 128 KiB, so an unbounded
+per-call dict (the previous design) would grow with every distinct
+coefficient a workload touches; the LRU keeps the hot generator /
+recovery coefficients resident and evicts the rest.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from .bufferpool import scratch_pool
+from .tables import GFTables, get_tables
+
+__all__ = [
+    "KERNELS",
+    "TableCache",
+    "table_cache",
+    "nibble_tables",
+    "pair_table",
+    "translate_table",
+    "combine_tile",
+    "mul_into",
+    "mul_xor_into",
+    "select_kernel",
+    "set_kernel_override",
+    "reset_selection",
+]
+
+#: Selectable kernel names, fastest-first on a typical x86 numpy build.
+KERNELS = ("split16", "translate", "nibble4")
+
+#: Environment variable that pins the kernel for the whole process.
+KERNEL_ENV = "REPRO_GF_KERNEL"
+
+#: Pairs per gather chunk for the split16 path (uint16 elements, so
+#: 128 KiB of payload per chunk).  The pooled ``intp`` index buffer for
+#: one chunk is 512 KiB — big enough to amortise the per-chunk numpy
+#: dispatch, small enough to stay cache-warm next to the 128 KiB table.
+_SPLIT_CHUNK = 64 * 1024
+
+#: Bytes per gather chunk for the nibble4 path.
+_NIBBLE_CHUNK = 64 * 1024
+
+_INTP_SIZE = np.dtype(np.intp).itemsize
+
+
+class TableCache:
+    """Byte-budgeted LRU for built multiply tables.
+
+    Keys are ``(prim_poly, kind, coeff)``; values are whatever the
+    builder produced (bytes for translate tables, arrays for the rest).
+    ``get`` refreshes recency; inserting past ``max_bytes`` evicts the
+    least recently used entries first.  A lock serialises the structural
+    updates so the parallel codec's worker threads can share one cache
+    (tables are immutable once built, so readers only race on recency).
+    """
+
+    def __init__(self, max_bytes: int = 8 * 1024 * 1024) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self._retained = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple):
+        with self._lock:
+            found = self._entries.get(key)
+            if found is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return found[0]
+
+    def put(self, key: tuple, value, nbytes: int) -> None:
+        with self._lock:
+            if key in self._entries:
+                _, old = self._entries.pop(key)
+                self._retained -= old
+            self._entries[key] = (value, nbytes)
+            self._retained += nbytes
+            while self._retained > self.max_bytes and len(self._entries) > 1:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._retained -= dropped
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._retained = 0
+
+    @property
+    def retained_bytes(self) -> int:
+        return self._retained
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "retained_bytes": self._retained,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The process-wide table LRU every kernel below draws from.
+table_cache = TableCache()
+
+
+def nibble_tables(
+    coeff: int, tables: GFTables | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The two 16-entry nibble product tables for ``coeff`` (cached).
+
+    ``lo[v] = coeff * v`` and ``hi[v] = coeff * (v << 4)`` over GF(256),
+    so any byte's product decomposes as ``lo[b & 15] ^ hi[b >> 4]``
+    (multiplication distributes over the XOR that *is* field addition).
+    """
+    t = tables or get_tables()
+    key = (t.prim_poly, "nibble4", coeff)
+    found = table_cache.get(key)
+    if found is None:
+        row = t.mul_table[coeff]
+        lo = row[:16].copy()
+        hi = row[np.arange(16) << 4].copy()
+        lo.setflags(write=False)
+        hi.setflags(write=False)
+        found = (lo, hi)
+        table_cache.put(key, found, 32)
+    return found
+
+
+def pair_table(coeff: int, tables: GFTables | None = None) -> np.ndarray:
+    """The 65536-entry uint16 split-pair table for ``coeff`` (cached).
+
+    ``pair[hi_byte * 256 + lo_byte] = mul[lo_byte] | mul[hi_byte] << 8``
+    — exactly what a little-endian ``uint16`` load of two payload bytes
+    must map to.  Composed from the coefficient's nibble tables (the
+    4-bit construction above), so building one is two 256-element
+    gathers plus an outer OR, ~25 µs.
+    """
+    t = tables or get_tables()
+    key = (t.prim_poly, "split16", coeff)
+    found = table_cache.get(key)
+    if found is None:
+        lo, hi = nibble_tables(coeff, t)
+        idx = np.arange(256, dtype=np.uint8)
+        row = (lo[idx & 15] ^ hi[idx >> 4]).astype(np.uint16)
+        found = (row[None, :] | (row[:, None] << 8)).reshape(-1)
+        found.setflags(write=False)
+        table_cache.put(key, found, found.nbytes)
+    return found
+
+
+def translate_table(coeff: int, tables: GFTables | None = None) -> bytes:
+    """The 256-byte ``bytes.translate`` table for ``coeff`` (cached)."""
+    t = tables or get_tables()
+    key = (t.prim_poly, "translate", coeff)
+    found = table_cache.get(key)
+    if found is None:
+        found = t.mul_table[coeff].tobytes()
+        table_cache.put(key, found, len(found))
+    return found
+
+
+# -- tile combiners ----------------------------------------------------------
+#
+# Each combiner computes ``outs[i][:] = xor_j coeffs[i][j] * srcs[j]``
+# over flat, C-contiguous, equal-length uint8 tile views.  Zero
+# coefficients are skipped, unit coefficients reduce to copy/XOR, each
+# row's first surviving term overwrites instead of accumulating, and
+# all-zero rows are zero-filled.  Per-block preparation work is shared
+# across every output row.
+#
+# Aliasing contract: an output may alias a source only as that source's
+# unit-coefficient *first* term of its own row (the ``acc ^= ...``
+# pattern of mul_xor_into, where the first action is a same-buffer
+# no-op copy); outputs must otherwise be disjoint from all sources.
+
+
+def _odd_tail(coeffs, srcs, outs, t: GFTables, pos: int) -> None:
+    """Scalar combine of the single unpaired trailing byte."""
+    mul = t.mul_table
+    for i, row in enumerate(coeffs):
+        val = 0
+        for j, coeff in enumerate(row):
+            if coeff:
+                val ^= int(mul[coeff, int(srcs[j][pos])])
+        outs[i][pos] = val
+
+
+def _combine_translate(coeffs, srcs, outs, t: GFTables) -> None:
+    num_rows = len(outs)
+    written = [False] * num_rows
+    for j in range(len(srcs)):
+        src = srcs[j]
+        src_bytes = None  # one tobytes per block tile, shared by all rows
+        for i in range(num_rows):
+            coeff = coeffs[i][j]
+            if coeff == 0:
+                continue
+            dst = outs[i]
+            if coeff == 1:
+                term = src
+            else:
+                if src_bytes is None:
+                    src_bytes = src.tobytes()
+                term = np.frombuffer(
+                    src_bytes.translate(translate_table(coeff, t)), dtype=np.uint8
+                )
+            if written[i]:
+                np.bitwise_xor(dst, term, out=dst)
+            else:
+                np.copyto(dst, term)
+                written[i] = True
+    for i in range(num_rows):
+        if not written[i]:
+            outs[i][...] = 0
+
+
+def _combine_split16(coeffs, srcs, outs, t: GFTables) -> None:
+    num_rows = len(outs)
+    num_blocks = len(srcs)
+    n = srcs[0].size
+    even = n & ~1
+    pairs = even >> 1
+    tabs = [[pair_table(c, t) if c > 1 else None for c in row] for row in coeffs]
+    s16 = [s[:even].view(np.uint16) for s in srcs]
+    d16 = [o[:even].view(np.uint16) for o in outs]
+    idx_buf = scratch_pool.take(_SPLIT_CHUNK * _INTP_SIZE)
+    tmp_buf = scratch_pool.take(_SPLIT_CHUNK * 2)
+    try:
+        idx_full = idx_buf.view(np.intp)
+        tmp_full = tmp_buf.view(np.uint16)
+        for lo in range(0, pairs, _SPLIT_CHUNK):
+            hi = lo + _SPLIT_CHUNK
+            if hi > pairs:
+                hi = pairs
+            idx = idx_full[: hi - lo]
+            tmp = tmp_full[: hi - lo]
+            written = [False] * num_rows
+            for j in range(num_blocks):
+                widened = False
+                for i in range(num_rows):
+                    coeff = coeffs[i][j]
+                    if coeff == 0:
+                        continue
+                    dst = d16[i][lo:hi]
+                    if coeff == 1:
+                        if written[i]:
+                            np.bitwise_xor(dst, s16[j][lo:hi], out=dst)
+                        else:
+                            np.copyto(dst, s16[j][lo:hi])
+                            written[i] = True
+                        continue
+                    if not widened:
+                        # uint16 -> intp once per (chunk, block), shared
+                        # by every row; np.take would otherwise build a
+                        # fresh full-size intp temporary per term.
+                        np.copyto(idx, s16[j][lo:hi])
+                        widened = True
+                    if written[i]:
+                        np.take(tabs[i][j], idx, out=tmp, mode="clip")
+                        np.bitwise_xor(dst, tmp, out=dst)
+                    else:
+                        np.take(tabs[i][j], idx, out=dst, mode="clip")
+                        written[i] = True
+            for i in range(num_rows):
+                if not written[i]:
+                    d16[i][lo:hi] = 0
+    finally:
+        scratch_pool.give(idx_buf)
+        scratch_pool.give(tmp_buf)
+    if even != n:
+        _odd_tail(coeffs, srcs, outs, t, n - 1)
+
+
+def _combine_nibble4(coeffs, srcs, outs, t: GFTables) -> None:
+    num_rows = len(outs)
+    num_blocks = len(srcs)
+    n = srcs[0].size
+    tabs = [[nibble_tables(c, t) if c > 1 else None for c in row] for row in coeffs]
+    bufs = [scratch_pool.take(_NIBBLE_CHUNK) for _ in range(4)]
+    na_full, nb_full, ta_full, tb_full = bufs
+    try:
+        for lo in range(0, n, _NIBBLE_CHUNK):
+            hi = lo + _NIBBLE_CHUNK
+            if hi > n:
+                hi = n
+            w = hi - lo
+            na, nb, ta, tb = na_full[:w], nb_full[:w], ta_full[:w], tb_full[:w]
+            written = [False] * num_rows
+            for j in range(num_blocks):
+                chunk = srcs[j][lo:hi]
+                split = False
+                for i in range(num_rows):
+                    coeff = coeffs[i][j]
+                    if coeff == 0:
+                        continue
+                    dst = outs[i][lo:hi]
+                    if coeff == 1:
+                        if written[i]:
+                            np.bitwise_xor(dst, chunk, out=dst)
+                        else:
+                            np.copyto(dst, chunk)
+                            written[i] = True
+                        continue
+                    if not split:
+                        # nibble decomposition once per (chunk, block)
+                        np.right_shift(chunk, 4, out=na)
+                        np.bitwise_and(chunk, 15, out=nb)
+                        split = True
+                    lo_tab, hi_tab = tabs[i][j]
+                    np.take(hi_tab, na, out=ta, mode="clip")
+                    np.take(lo_tab, nb, out=tb, mode="clip")
+                    np.bitwise_xor(ta, tb, out=ta)
+                    if written[i]:
+                        np.bitwise_xor(dst, ta, out=dst)
+                    else:
+                        np.copyto(dst, ta)
+                        written[i] = True
+            for i in range(num_rows):
+                if not written[i]:
+                    outs[i][lo:hi] = 0
+    finally:
+        for buf in bufs:
+            scratch_pool.give(buf)
+
+
+_COMBINERS = {
+    "translate": _combine_translate,
+    "split16": _combine_split16,
+    "nibble4": _combine_nibble4,
+}
+
+
+def combine_tile(
+    coeffs,
+    srcs,
+    outs,
+    tables: GFTables | None = None,
+    kernel: str | None = None,
+) -> None:
+    """``outs[i][:] = xor_j coeffs[i][j] * srcs[j]`` over one tile.
+
+    ``coeffs`` is an ``r x c`` list of Python ints, ``srcs`` are ``c``
+    flat contiguous uint8 views and ``outs`` ``r`` more, all the same
+    length.  This is the inner combine of the batched matmul, exposed so
+    the driver in :mod:`repro.gf.batch` carries no kernel-specific code.
+    """
+    t = tables or get_tables()
+    _COMBINERS[kernel or select_kernel()](coeffs, srcs, outs, t)
+
+
+# -- kernel selection --------------------------------------------------------
+
+_selected: str | None = None
+_override: str | None = None
+
+
+def set_kernel_override(name: str | None) -> None:
+    """Pin (or with ``None`` unpin) the kernel for this process.
+
+    Takes precedence over both the measured selection and the
+    ``REPRO_GF_KERNEL`` environment variable; used by the perf harness
+    to time each kernel on identical workloads and by tests.
+    """
+    if name is not None and name not in _COMBINERS:
+        raise ValueError(f"unknown GF kernel {name!r}; expected one of {KERNELS}")
+    global _override
+    _override = name
+
+
+def reset_selection() -> None:
+    """Forget the measured kernel choice (tests / benchmarking)."""
+    global _selected
+    _selected = None
+
+
+def _measure_kernels(probe_bytes: int = 256 * 1024, reps: int = 3) -> str:
+    """Best measured kernel for a parity-shaped combine on this machine."""
+    t = get_tables()
+    rng = np.random.default_rng(0)
+    srcs = [rng.integers(0, 256, probe_bytes, dtype=np.uint8) for _ in range(4)]
+    outs = [np.zeros(probe_bytes, dtype=np.uint8) for _ in range(2)]
+    coeffs = [[1, 1, 1, 1], [37, 91, 143, 250]]
+    best_name, best_time = KERNELS[0], float("inf")
+    for name in KERNELS:
+        impl = _COMBINERS[name]
+        impl(coeffs, srcs, outs, t)  # warm tables + pools
+        elapsed = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            impl(coeffs, srcs, outs, t)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        if elapsed < best_time:
+            best_name, best_time = name, elapsed
+    return best_name
+
+
+def select_kernel() -> str:
+    """The kernel name the batched matmul should use on this process.
+
+    Resolution order: :func:`set_kernel_override`, the
+    ``REPRO_GF_KERNEL`` environment variable, then a one-off in-situ
+    measurement cached for the process lifetime.  Selection only ever
+    affects speed — all kernels produce identical bytes.
+    """
+    if _override is not None:
+        return _override
+    global _selected
+    if _selected is None:
+        env = os.environ.get(KERNEL_ENV)
+        if env:
+            if env not in _COMBINERS:
+                raise ValueError(f"{KERNEL_ENV}={env!r} is not one of {KERNELS}")
+            _selected = env
+        else:
+            _selected = _measure_kernels()
+    return _selected
+
+
+def mul_into(
+    coeff: int,
+    src: np.ndarray,
+    out: np.ndarray,
+    tables: GFTables | None = None,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """``out[:] = coeff * src`` over GF(256) for flat contiguous uint8 arrays."""
+    t = tables or get_tables()
+    _COMBINERS[kernel or select_kernel()]([[coeff]], [src], [out], t)
+    return out
+
+
+def mul_xor_into(
+    coeff: int,
+    src: np.ndarray,
+    acc: np.ndarray,
+    tables: GFTables | None = None,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """``acc ^= coeff * src`` over GF(256) — the fused multiply-XOR primitive.
+
+    Expressed as the two-term combine ``acc = 1 * acc ^ coeff * src`` so
+    the accumulate shares the tile machinery (and its scratch reuse)
+    with the matmul path; the leading unit term is a same-buffer no-op.
+    """
+    t = tables or get_tables()
+    _COMBINERS[kernel or select_kernel()]([[1, coeff]], [acc, src], [acc], t)
+    return acc

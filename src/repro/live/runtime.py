@@ -208,9 +208,13 @@ class _LiveRun:
         """Receive one framed transfer, store it, ack it."""
         try:
             header, payload = await read_frame(stream, chunk_size=self.chunk_size)
-            self.store.setdefault(node_id, {})[header["key"]] = np.frombuffer(
-                payload, dtype=np.uint8
-            )
+            # read_frame assembled the payload into one preallocated
+            # bytearray; wrap it in place rather than copying to bytes.
+            # Stored blocks are read-only by contract (combines write to
+            # fresh arenas), so drop writability at the boundary.
+            received = np.frombuffer(payload, dtype=np.uint8)
+            received.flags.writeable = False
+            self.store.setdefault(node_id, {})[header["key"]] = received
             await stream.write(ACK)
         except asyncio.CancelledError:  # teardown
             raise
@@ -261,10 +265,12 @@ class _LiveRun:
             t_conn = time.monotonic() if rec is not None else 0.0
             t_sent = t_conn
             try:
+                # The frame is chunked as memoryview slices of the stored
+                # array itself — no tobytes() staging copy of the payload.
                 await send_frame(
                     stream,
                     {"op": oid, "key": op.key},
-                    payload.tobytes(),
+                    payload.data,
                     bucket=bucket,
                     chunk_size=self.chunk_size,
                     recorder=rec,

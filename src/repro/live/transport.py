@@ -38,12 +38,29 @@ DEFAULT_HIGH_WATER = 256 * 1024
 
 
 class Stream:
-    """Minimal duplex byte-stream interface shared by both transports."""
+    """Minimal duplex byte-stream interface shared by both transports.
+
+    ``write`` accepts any bytes-like object — the wire layer passes
+    ``memoryview`` slices of the sender's payload arena straight
+    through, so chunking a frame never copies on the send side.
+    ``read_exactly_into`` is the receive-side counterpart: it fills a
+    caller-provided view (a slice of one preallocated frame buffer), so
+    transports that can copy straight from their internal buffer skip
+    the intermediate ``bytes`` object ``read_exactly`` must build.
+    """
 
     async def read_exactly(self, n: int) -> bytes:
         raise NotImplementedError
 
-    async def write(self, data: bytes) -> None:
+    async def read_exactly_into(self, view: memoryview) -> None:
+        """Fill ``view`` completely from the stream.
+
+        Default falls back to :meth:`read_exactly` plus one copy;
+        transports override it when they can do better.
+        """
+        view[:] = await self.read_exactly(len(view))
+
+    async def write(self, data: "bytes | bytearray | memoryview") -> None:
         """Write ``data`` honouring the transport's backpressure."""
         raise NotImplementedError
 
@@ -60,7 +77,7 @@ class _MemoryDuct:
         self._eof = False
         self._cond = asyncio.Condition()
 
-    async def feed(self, data: bytes) -> None:
+    async def feed(self, data: "bytes | bytearray | memoryview") -> None:
         async with self._cond:
             if self._eof:
                 raise ConnectionResetError("peer closed the stream")
@@ -82,6 +99,19 @@ class _MemoryDuct:
             del self._buffer[:n]
             self._cond.notify_all()
             return out
+
+    async def read_into(self, view: memoryview) -> None:
+        """Copy straight from the duct buffer into ``view`` (one copy)."""
+        n = len(view)
+        async with self._cond:
+            while len(self._buffer) < n:
+                if self._eof:
+                    raise asyncio.IncompleteReadError(bytes(self._buffer), n)
+                await self._cond.wait()
+            with memoryview(self._buffer) as buffered:
+                view[:] = buffered[:n]
+            del self._buffer[:n]
+            self._cond.notify_all()
 
     async def close(self) -> None:
         async with self._cond:
@@ -106,7 +136,10 @@ class MemoryStream(Stream):
     async def read_exactly(self, n: int) -> bytes:
         return await self._read.read_exactly(n)
 
-    async def write(self, data: bytes) -> None:
+    async def read_exactly_into(self, view: memoryview) -> None:
+        await self._read.read_into(view)
+
+    async def write(self, data: "bytes | bytearray | memoryview") -> None:
         await self._write.feed(data)
 
     async def aclose(self) -> None:
@@ -124,7 +157,9 @@ class TcpStream(Stream):
     async def read_exactly(self, n: int) -> bytes:
         return await self._reader.readexactly(n)
 
-    async def write(self, data: bytes) -> None:
+    async def write(self, data: "bytes | bytearray | memoryview") -> None:
+        # StreamWriter.write copies bytes-like data into the transport
+        # buffer immediately, so passing a view of a reused arena is safe.
         self._writer.write(data)
         await self._writer.drain()
 

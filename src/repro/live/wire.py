@@ -45,7 +45,7 @@ class WireError(ConnectionError):
 async def send_frame(
     stream: Stream,
     header: dict,
-    payload: bytes | memoryview,
+    payload,  # any C-contiguous buffer: bytes, bytearray, memoryview, ndarray
     *,
     bucket: TokenBucket | None = None,
     chunk_size: int = DEFAULT_CHUNK,
@@ -60,38 +60,51 @@ async def send_frame(
     half is the bucket's own ``pacing.*`` emission).  ``None`` keeps the
     loop on the uninstrumented path.
     """
+    view = memoryview(payload)
+    if view.ndim != 1 or view.itemsize != 1:
+        view = view.cast("B")
     head = dict(header)
-    head["nbytes"] = len(payload)
+    head["nbytes"] = len(view)
     encoded = json.dumps(head, separators=(",", ":")).encode()
     await stream.write(_HEADER_LEN.pack(len(encoded)) + encoded)
-    view = memoryview(payload)
     rec = recorder if recorder else None
+    # Chunks go to the transport as slices of the caller's buffer — no
+    # per-chunk bytes() copies; both transports accept views directly.
     for offset in range(0, len(view), chunk_size):
         chunk = view[offset : offset + chunk_size]
         if bucket is not None:
             await bucket.acquire(len(chunk))
         if rec is not None:
             t0 = rec.now()
-            await stream.write(bytes(chunk))
+            await stream.write(chunk)
             rec.observe("chunk.write_s", rec.now() - t0)
             rec.count("chunks.sent")
         else:
-            await stream.write(bytes(chunk))
+            await stream.write(chunk)
 
 
 async def read_frame(
     stream: Stream, *, chunk_size: int = DEFAULT_CHUNK
-) -> tuple[dict, bytes]:
-    """Read one frame; returns ``(header, payload)``."""
+) -> tuple[dict, bytearray]:
+    """Read one frame; returns ``(header, payload)``.
+
+    The payload is assembled chunk by chunk straight into one bytearray
+    preallocated at the header's ``nbytes`` — no growing, no chunk-list
+    join, no final copy.  The bytearray is handed to the caller, who
+    typically wraps it zero-copy (``np.frombuffer``) for storage.
+    """
     try:
         (hlen,) = _HEADER_LEN.unpack(await stream.read_exactly(_HEADER_LEN.size))
         header = json.loads(await stream.read_exactly(hlen))
         nbytes = int(header["nbytes"])
-        payload = bytearray()
-        while len(payload) < nbytes:
-            payload.extend(
-                await stream.read_exactly(min(chunk_size, nbytes - len(payload)))
-            )
+        if nbytes < 0:
+            raise ValueError(f"negative payload length {nbytes}")
+        payload = bytearray(nbytes)
+        with memoryview(payload) as view:
+            for offset in range(0, nbytes, chunk_size):
+                await stream.read_exactly_into(
+                    view[offset : offset + chunk_size]
+                )
     except (json.JSONDecodeError, KeyError, ValueError, struct.error) as exc:
         raise WireError(f"malformed frame: {exc}") from exc
-    return header, bytes(payload)
+    return header, payload

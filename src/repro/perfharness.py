@@ -48,8 +48,14 @@ SCHEMA_VERSION = 1
 HISTORY_NAME = "BENCH_history.jsonl"
 
 
-def _measure(fn, reps: int, warmup: int = 1) -> dict:
-    """Best-of-``reps`` seconds for ``fn()``, after ``warmup`` calls."""
+def _measure(fn, reps: int, warmup: int = 1, nbytes: int | None = None) -> dict:
+    """Best-of-``reps`` seconds for ``fn()``, after ``warmup`` calls.
+
+    ``nbytes`` is the benchmark's estimated memory traffic (logical
+    bytes read + written per call); when given it is recorded as
+    ``bytes_touched`` so reports can derive ``bytes_touched / best_s``
+    as a memory-bandwidth figure.
+    """
     for _ in range(warmup):
         fn()
     best = float("inf")
@@ -59,7 +65,10 @@ def _measure(fn, reps: int, warmup: int = 1) -> dict:
         elapsed = time.perf_counter() - t0
         if elapsed < best:
             best = elapsed
-    return {"best_s": best, "reps": reps}
+    entry = {"best_s": best, "reps": reps}
+    if nbytes is not None:
+        entry["bytes_touched"] = nbytes
+    return entry
 
 
 def _env_info(quick: bool) -> dict:
@@ -85,7 +94,10 @@ def engine_suite(quick: bool = False) -> dict:
     from .rs import SIMICS_DECODE, get_code
     from .sim import SimulationEngine
 
-    stripe_counts = [40] if quick else [40, 200]
+    # The 100k-stripe graph (~202k jobs) is the scale headline for the
+    # signature-group scheduler; it only runs in full mode, with fewer
+    # reps — a single run is seconds, so best-of-2 is already stable.
+    stripe_counts = [40] if quick else [40, 200, 100_000]
     reps = 3 if quick else 7
     report = _env_info(quick)
     report["results"] = {}
@@ -97,7 +109,8 @@ def engine_suite(quick: bool = False) -> dict:
         graph = merge_plans(plans, SIMICS_DECODE)
         engine = SimulationEngine(cluster, SIMICS_BANDWIDTH)
         result = engine.run(graph)
-        timing = _measure(lambda: engine.run(graph), reps)
+        count_reps = 2 if num_stripes >= 100_000 else reps
+        timing = _measure(lambda: engine.run(graph), count_reps, warmup=0)
         timing.update(
             jobs=len(graph),
             events=len(result.events),
@@ -107,14 +120,28 @@ def engine_suite(quick: bool = False) -> dict:
     return report
 
 
-def coding_suite(quick: bool = False) -> dict:
+#: Worker counts the parallel-codec scaling curve measures by default.
+DEFAULT_WORKER_CURVE = (1, 2, 4, 8)
+
+
+def coding_suite(
+    quick: bool = False, worker_counts: tuple[int, ...] | None = None
+) -> dict:
     """GF/RS kernel timings: per-stripe baselines vs the batched stack.
 
     The ``derived`` section holds the speedup ratios the acceptance bars
     track (batched encode/decode vs N single-stripe calls at the same
-    total byte count).
+    total byte count, split-table kernels vs the ``translate`` baseline,
+    and the multicore codec's worker-scaling curve).  Entries that move
+    a known number of bytes carry a ``bytes_touched`` estimate (logical
+    bytes in + bytes out) so a memory-bandwidth figure can be derived.
+
+    ``worker_counts`` overrides :data:`DEFAULT_WORKER_CURVE` (the
+    ``rpr perf --workers N`` knob); the serial baseline is always
+    measured regardless.
     """
     from .gf import linear_combine, scale, scale_accumulate, scratch_pool
+    from .gf.splittable import KERNELS, set_kernel_override
     from .multistripe import (
         StripeStore,
         encode_store_payloads,
@@ -125,6 +152,8 @@ def coding_suite(quick: bool = False) -> dict:
     from .rs.decode import decode_blocks
 
     reps = 3 if quick else 9
+    if worker_counts is None:
+        worker_counts = DEFAULT_WORKER_CURVE
     num_stripes, block = 64, 64 * 1024
     big = (1 if quick else 4) * 1024 * 1024
     rng = np.random.default_rng(42)
@@ -138,19 +167,22 @@ def coding_suite(quick: bool = False) -> dict:
     buf = rng.integers(0, 256, big, dtype=np.uint8)
     acc = np.zeros(big, dtype=np.uint8)
     results["scale_4MiB" if not quick else "scale_1MiB"] = _measure(
-        lambda: scale(37, buf), reps
+        lambda: scale(37, buf), reps, nbytes=2 * big
     )
     results["scale_accumulate"] = _measure(
-        lambda: scale_accumulate(acc, 91, buf), reps
+        lambda: scale_accumulate(acc, 91, buf), reps, nbytes=3 * big
     )
     terms = [rng.integers(0, 256, big, dtype=np.uint8) for _ in range(6)]
     results["linear_combine_6"] = _measure(
-        lambda: linear_combine([3, 7, 19, 33, 101, 250], terms), reps
+        lambda: linear_combine([3, 7, 19, 33, 101, 250], terms),
+        reps,
+        nbytes=7 * big,
     )
 
     # -- batched encode vs per-stripe --------------------------------------
     data = rng.integers(0, 256, (num_stripes, code.n, block), dtype=np.uint8)
     arena = np.empty((num_stripes, code.width, block), dtype=np.uint8)
+    encode_bytes = (code.n + code.width) * num_stripes * block
 
     def encode_per_stripe():
         return [
@@ -158,10 +190,14 @@ def coding_suite(quick: bool = False) -> dict:
             for s in range(num_stripes)
         ]
 
-    results["encode_per_stripe"] = _measure(encode_per_stripe, reps)
-    results["encode_many"] = _measure(lambda: code.encode_many(data), reps)
+    results["encode_per_stripe"] = _measure(
+        encode_per_stripe, reps, nbytes=encode_bytes
+    )
+    results["encode_many"] = _measure(
+        lambda: code.encode_many(data), reps, nbytes=encode_bytes
+    )
     results["encode_many_arena"] = _measure(
-        lambda: code.encode_many(data, out=arena), reps
+        lambda: code.encode_many(data, out=arena), reps, nbytes=encode_bytes
     )
 
     # -- batched decode vs per-stripe --------------------------------------
@@ -181,10 +217,50 @@ def coding_suite(quick: bool = False) -> dict:
             for s in range(num_stripes)
         ]
 
-    results["decode_per_stripe"] = _measure(decode_per_stripe, reps)
-    results["decode_many"] = _measure(
-        lambda: code.decode_many(available, failed), reps
+    decode_bytes = (code.n + len(failed)) * num_stripes * block
+    results["decode_per_stripe"] = _measure(
+        decode_per_stripe, reps, nbytes=decode_bytes
     )
+    results["decode_many"] = _measure(
+        lambda: code.decode_many(available, failed), reps, nbytes=decode_bytes
+    )
+
+    # -- split-table kernels vs the translate baseline ---------------------
+    # Same 64-stripe encode/decode workload, each GF kernel pinned in
+    # turn so the comparison is pure kernel cost (no selection races).
+    try:
+        for kernel in KERNELS:
+            set_kernel_override(kernel)
+            results[f"encode_many_kernel_{kernel}"] = _measure(
+                lambda: code.encode_many(data, out=arena),
+                reps,
+                nbytes=encode_bytes,
+            )
+            results[f"decode_many_kernel_{kernel}"] = _measure(
+                lambda: code.decode_many(available, failed),
+                reps,
+                nbytes=decode_bytes,
+            )
+    finally:
+        set_kernel_override(None)
+
+    # -- multicore codec scaling curve -------------------------------------
+    parallel_curve: dict = {}
+    for workers in sorted(set(worker_counts)):
+        entry = _measure(
+            lambda w=workers: code.encode_many_parallel(
+                data, out=arena, workers=w
+            ),
+            reps,
+            nbytes=encode_bytes,
+        )
+        entry["workers"] = workers
+        results[f"encode_many_parallel_w{workers}"] = entry
+        # Speedup vs the serial arena encode: same workload, same output
+        # buffer, so the ratio is pure scheduling gain.
+        parallel_curve[str(workers)] = round(
+            results["encode_many_arena"]["best_s"] / entry["best_s"], 3
+        )
 
     # -- store-level rebuild through the batched stack ---------------------
     cluster = Cluster.homogeneous(5, 8)
@@ -213,6 +289,17 @@ def coding_suite(quick: bool = False) -> dict:
             / results["decode_many"]["best_s"],
             3,
         ),
+        "split16_encode_vs_translate_x": round(
+            results["encode_many_kernel_translate"]["best_s"]
+            / results["encode_many_kernel_split16"]["best_s"],
+            3,
+        ),
+        "split16_decode_vs_translate_x": round(
+            results["decode_many_kernel_translate"]["best_s"]
+            / results["decode_many_kernel_split16"]["best_s"],
+            3,
+        ),
+        "parallel_encode_speedup_by_workers": parallel_curve,
     }
     return report
 
@@ -248,11 +335,17 @@ def live_suite(quick: bool = False) -> dict:
             predicted.plan, env.cluster, store, bandwidth=None, recorder=recorder
         )
 
+    from .repair.plan import SendOp
+
+    wire_bytes = block * sum(
+        1 for op in predicted.plan.ops.values() if isinstance(op, SendOp)
+    )
+
     report = _env_info(quick)
     results: dict = {}
     report["results"] = results
 
-    plain = _measure(execute, reps)
+    plain = _measure(execute, reps, nbytes=wire_bytes)
     plain.update(ops=len(predicted.plan.ops))
     results["plan_execute_rs6_3"] = plain
 
@@ -267,6 +360,12 @@ def live_suite(quick: bool = False) -> dict:
         "block_bytes": block,
         "telemetry_overhead_ratio": round(
             instrumented["best_s"] / plain["best_s"], 3
+        ),
+        # Zero-copy headline: payload bytes crossing the wire (SendOps x
+        # block size) over the plain run's wall clock.  The memoryview
+        # send path and preallocated-frame receive path show up here.
+        "wire_throughput_MiBps": round(
+            wire_bytes / plain["best_s"] / (1024 * 1024), 1
         ),
     }
     return report
@@ -346,7 +445,11 @@ def append_history(out_dir: Path, reports: dict[str, dict]) -> Path:
     return path
 
 
-def write_reports(out_dir: Path, quick: bool = False) -> list[Path]:
+def write_reports(
+    out_dir: Path,
+    quick: bool = False,
+    worker_counts: tuple[int, ...] | None = None,
+) -> list[Path]:
     """Run both suites, write the ``BENCH_*.json`` reports, log history."""
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -357,7 +460,10 @@ def write_reports(out_dir: Path, quick: bool = False) -> list[Path]:
         ("BENCH_coding.json", coding_suite),
         ("BENCH_live.json", live_suite),
     ):
-        report = suite(quick)
+        if suite is coding_suite:
+            report = suite(quick, worker_counts=worker_counts)
+        else:
+            report = suite(quick)
         reports[name.removeprefix("BENCH_").removesuffix(".json")] = report
         path = out_dir / name
         path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -381,18 +487,40 @@ def main(argv=None) -> int:
         default=Path.cwd(),
         help="where to write the reports (default: current directory)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure the parallel codec at N workers (plus the serial "
+        "baseline) instead of the default 1/2/4/8 curve",
+    )
     args = parser.parse_args(argv)
-    for path in write_reports(args.out_dir, quick=args.quick):
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    worker_counts = (
+        None if args.workers is None else tuple(sorted({1, args.workers}))
+    )
+    for path in write_reports(
+        args.out_dir, quick=args.quick, worker_counts=worker_counts
+    ):
         if path.name == HISTORY_NAME:
             print(f"appended run to {path}")
             continue
         report = json.loads(path.read_text())
         print(f"wrote {path}")
         for name, entry in sorted(report["results"].items()):
-            if "best_s" in entry:
-                print(f"  {name:<28} {entry['best_s'] * 1e3:9.2f} ms")
+            if "best_s" not in entry:
+                continue
+            line = f"  {name:<32} {entry['best_s'] * 1e3:9.2f} ms"
+            if entry.get("bytes_touched"):
+                # Memory-bandwidth estimate: logical bytes in + out over
+                # the best wall clock — a roofline sanity figure.
+                gbps = entry["bytes_touched"] / entry["best_s"] / 1e9
+                line += f"  ~{gbps:6.2f} GB/s"
+            print(line)
         for name, value in sorted(report.get("derived", {}).items()):
-            print(f"  {name:<28} {value}")
+            print(f"  {name:<32} {value}")
     return 0
 
 

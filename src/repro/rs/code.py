@@ -13,6 +13,9 @@ rely on.
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
 
 import numpy as np
@@ -26,7 +29,13 @@ from ..gf import (
 )
 from .stripe import Stripe
 
-__all__ = ["RSCode", "PAPER_SINGLE_FAILURE_CODES", "PAPER_NONWORST_MULTI_CODES", "PAPER_WORST_CASE_CODES"]
+__all__ = [
+    "RSCode",
+    "DEFAULT_CODEC_WORKERS",
+    "PAPER_SINGLE_FAILURE_CODES",
+    "PAPER_NONWORST_MULTI_CODES",
+    "PAPER_WORST_CASE_CODES",
+]
 
 #: The six RS configurations of the paper's single-failure evaluation
 #: (Figures 7, 8 and 12).
@@ -46,6 +55,48 @@ PAPER_NONWORST_MULTI_CODES: tuple[tuple[int, int], ...] = ((6, 3), (8, 4), (12, 
 #: Codes used in the worst-case (k failures) evaluation (Figures 11 and 14):
 #: those with (n + k) / k > 3.
 PAPER_WORST_CASE_CODES: tuple[tuple[int, int], ...] = ((6, 2), (8, 2), (12, 4))
+
+
+#: Worker-count default for the parallel codec: the machine's cores,
+#: capped — past 8 workers the GF kernels are memory-bandwidth-bound and
+#: extra threads only contend.
+DEFAULT_CODEC_WORKERS = min(os.cpu_count() or 1, 8)
+
+_executors: dict[int, ThreadPoolExecutor] = {}
+_executors_lock = threading.Lock()
+
+
+def _codec_executor(workers: int) -> ThreadPoolExecutor:
+    """A process-wide thread pool per worker count, created lazily.
+
+    Threads, not processes: the hot kernel ops (``np.take`` gathers,
+    ``bitwise_xor``, bulk copies) all release the GIL over large buffers,
+    so threads already scale with cores — while sharing the input/output
+    arenas, the table LRU and the scratch pool directly, with zero
+    pickling or shared-memory plumbing.  Pools are reused across calls
+    so steady-state encode/decode pays no thread start-up.
+    """
+    with _executors_lock:
+        pool = _executors.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-codec"
+            )
+            _executors[workers] = pool
+        return pool
+
+
+def _shard_bounds(count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into ``shards`` near-equal contiguous ranges."""
+    shards = max(1, min(shards, count))
+    step, extra = divmod(count, shards)
+    bounds = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + step + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
 
 
 class RSCode:
@@ -204,6 +255,130 @@ class RSCode:
                 # contiguous (k, B) target: the kernel runs copy-free.
                 gf_matmul_blocks(coding, arr[s], self.tables, out=out[s, self.n :])
         return out
+
+    def encode_many_parallel(
+        self,
+        data: "np.ndarray",
+        out: "np.ndarray | None" = None,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Multicore :meth:`encode_many`: stripe shards across a thread pool.
+
+        The stripe axis is cut into ``workers`` contiguous shards; each
+        worker runs the same systematic-copy + parity-matmul loop as
+        :meth:`encode_many` over its own ``data[lo:hi]`` / ``out[lo:hi]``
+        slices of the shared arenas.  Shards are disjoint and every
+        worker writes only its own slice, so no locks guard the payload
+        path and nothing is pickled — see :func:`_codec_executor` for
+        why threads are the right pool.  Output is byte-identical to the
+        serial method.
+
+        Parameters
+        ----------
+        data, out:
+            As :meth:`encode_many`.
+        workers:
+            Shard/thread count; default :data:`DEFAULT_CODEC_WORKERS`.
+            ``1`` falls back to the serial path (same bytes, no pool).
+        """
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.uint8))
+        if arr.ndim != 3 or arr.shape[1] != self.n:
+            raise ValueError(
+                f"expected (num_stripes, {self.n}, block_size) data, "
+                f"got shape {arr.shape}"
+            )
+        workers = DEFAULT_CODEC_WORKERS if workers is None else workers
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        num_stripes = arr.shape[0]
+        if workers == 1 or num_stripes < 2:
+            return self.encode_many(arr, out=out)
+        out_shape = (num_stripes, self.width, arr.shape[2])
+        if out is None:
+            out = np.empty(out_shape, dtype=np.uint8)
+        elif (
+            out.shape != out_shape
+            or out.dtype != np.uint8
+            or not out.flags.c_contiguous
+        ):
+            raise ValueError(
+                f"out buffer must be C-contiguous uint8 with shape {out_shape}"
+            )
+        coding = self.generator[self.n :] if self.k else None
+
+        def encode_shard(lo: int, hi: int) -> None:
+            out[lo:hi, : self.n] = arr[lo:hi]
+            if coding is None:
+                return
+            for s in range(lo, hi):
+                gf_matmul_blocks(
+                    coding, arr[s], self.tables, out=out[s, self.n :]
+                )
+
+        pool = _codec_executor(workers)
+        futures = [
+            pool.submit(encode_shard, lo, hi)
+            for lo, hi in _shard_bounds(num_stripes, workers)
+        ]
+        for future in futures:
+            future.result()
+        return out
+
+    def decode_many_parallel(
+        self, available: dict, failed_ids, workers: int | None = None
+    ) -> dict:
+        """Multicore :meth:`decode_many`: stripe shards across a thread pool.
+
+        The recovery coefficient matrix is derived once (helpers are
+        shared by every stripe), then each worker applies it to its own
+        contiguous stripe range of the stacked helper blocks, writing
+        ``recovered[:, lo:hi]`` — a disjoint slice of one shared output
+        arena whose rows stay contiguous, so there is no post-pass
+        assembly copy.  Byte-identical to the serial method.
+        """
+        from .decode import InsufficientHelpersError, recovery_equations
+
+        failed_ids = list(failed_ids)
+        candidates = sorted(set(available) - set(failed_ids))
+        if len(candidates) < self.n:
+            raise InsufficientHelpersError(
+                f"only {len(candidates)} surviving blocks; need {self.n}"
+            )
+        helpers = candidates[: self.n]
+        blocks = [np.asarray(available[h], dtype=np.uint8) for h in helpers]
+        stacked = blocks[0].ndim >= 2
+        num_stripes = blocks[0].shape[0] if stacked else 1
+        workers = DEFAULT_CODEC_WORKERS if workers is None else workers
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == 1 or not stacked or num_stripes < 2:
+            return self.decode_many(available, failed_ids)
+        equations = recovery_equations(self, failed_ids, helpers)
+        matrix = np.zeros((len(equations), self.n), dtype=np.uint8)
+        for row, eq in enumerate(equations):
+            for helper, coeff in eq.terms:
+                matrix[row, helpers.index(helper)] = coeff
+        blocks = [np.ascontiguousarray(b) for b in blocks]
+        recovered = np.empty(
+            (len(equations),) + blocks[0].shape, dtype=np.uint8
+        )
+
+        def decode_shard(lo: int, hi: int) -> None:
+            gf_matmul_blocks(
+                matrix,
+                [b[lo:hi] for b in blocks],
+                self.tables,
+                out=recovered[:, lo:hi],
+            )
+
+        pool = _codec_executor(workers)
+        futures = [
+            pool.submit(decode_shard, lo, hi)
+            for lo, hi in _shard_bounds(num_stripes, workers)
+        ]
+        for future in futures:
+            future.result()
+        return {eq.target: recovered[i] for i, eq in enumerate(equations)}
 
     def decode_many(self, available: dict, failed_ids) -> dict:
         """Batched counterpart of :func:`repro.rs.decode.decode_blocks`.

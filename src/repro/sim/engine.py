@@ -20,20 +20,37 @@ Transfer durations are ``nbytes / rate(src, dst)`` with the rate supplied
 by the bandwidth model; there is no flow sharing, matching the paper's
 whole-transfer "timestep" accounting.
 
-Scheduling is *resource-indexed*: a blocked job registers as a waiter on
-one of the busy resources it needs (or on the cross-rack token when the
-switch cap is the blocker), and a completion only reconsiders the waiters
-of the resources it actually freed — never the whole pending set.  Waking
-a job through any one of its busy resources is sufficient because a job
-can only become startable once *every* resource it needs is free, so the
-registered one must free first; if the woken job is still blocked it
-re-registers on whichever resource blocks it now.  Candidates woken at
-one instant are processed in (ready-time, insertion-order) priority, so
-the schedule is bit-for-bit the one the original rescan-everything
-scheduler produced (golden tests in ``tests/sim/test_engine_golden.py``
-pin this).  Per-job durations, resource tuples and rack relations are
-precomputed once per run with per-endpoint-pair caching; see
-``docs/PERFORMANCE.md`` for measurements.
+Scheduling is *resource-indexed and lazily woken*: a blocked job
+registers as a waiter on one of the busy resources it needs (or on the
+cross-rack token when the switch cap is the blocker), and a completion
+only reconsiders waiters of the resources it actually freed — never the
+whole pending set.  Waking a job through any one of its busy resources
+is sufficient because a job can only become startable once *every*
+resource it needs is free, so the registered one must free first; if the
+woken job is still blocked it re-registers on whichever resource blocks
+it now.
+
+Wakeups are lazy: each resource keeps its waiters in a
+(ready-time, insertion-order) heap and a freed resource promotes only
+its *best* waiter into the candidate heap; when that candidate is
+processed without taking the resource (it started on nothing — parked
+elsewhere, was terminal, or token-blocked), the next-best waiter is
+promoted in its place.  This is schedule-equivalent to waking every
+waiter — candidates are still consumed in global (ready-time,
+insertion-order) priority, and a waiter left parked behind a better one
+that re-took the resource could not have started anyway — but turns the
+wake cost per completion from O(waiters) into O(log waiters).  On
+merged 100k-stripe rebuild graphs, where thousands of transfers contend
+for the same recovery-node port, that is the difference between minutes
+and seconds (the old wake-everything pass re-parked ~126 candidates per
+job at 5k stripes already).
+
+Job ids are interned to dense ints for the whole run: the hot loops
+compare ``(ready, seq)`` int/float pairs and index flat lists, never
+hash or compare job-id strings; per-job durations, resource tuples and
+rack relations are precomputed once per run with per-endpoint-pair
+caching.  Golden tests in ``tests/sim/test_engine_golden.py`` pin the
+schedules bit-for-bit; see ``docs/PERFORMANCE.md`` for measurements.
 """
 
 from __future__ import annotations
@@ -49,8 +66,15 @@ from .jobs import ComputeJob, JobGraph, TransferJob
 
 __all__ = ["JobTiming", "SimResult", "SimulationEngine"]
 
+_START_KINDS = frozenset({EventKind.TRANSFER_START, EventKind.COMPUTE_START})
 
-@dataclass(frozen=True)
+
+def _event_sort_key(e: TraceEvent) -> tuple[float, bool, str]:
+    """Chronological order, ends before starts at one instant, id tie-break."""
+    return (e.time, e.kind in _START_KINDS, e.job_id)
+
+
+@dataclass(frozen=True, slots=True)
 class JobTiming:
     """Start/end instants of one executed job."""
 
@@ -229,11 +253,12 @@ class SimulationEngine:
         once per scheduling decision.  The lookups double as the fail-fast
         validation of unknown nodes / missing bandwidth entries.
 
-        Returns ``(table, num_resources)`` where ``table`` maps job id to
-        ``(resource_ids, duration, cross, start_kind, end_kind, node,
-        peer, nbytes)`` and resource ids are dense ints (ports and CPUs
-        interned per run) so the scheduler's busy/waiter bookkeeping runs
-        on flat lists instead of hashed tuples.
+        Returns ``(table, num_resources)`` where ``table[seq]`` — jobs
+        interned to dense ints in insertion order — is ``(resource_ids,
+        duration, cross, start_kind, end_kind, node, peer, nbytes)`` and
+        resource ids are dense ints (ports and CPUs interned per run) so
+        the scheduler's busy/waiter bookkeeping runs on flat lists
+        instead of hashed strings or tuples.
         """
         pair_cache: dict[tuple[int, int], tuple[float, float, bool]] = {}
         resource_ids: dict[tuple[str, int], int] = {}
@@ -244,8 +269,8 @@ class SimulationEngine:
                 found = resource_ids[key] = len(resource_ids)
             return found
 
-        table: dict[str, tuple] = {}
-        for jid, job in jobs.items():
+        table: list[tuple] = []
+        for job in jobs.values():
             if isinstance(job, TransferJob):
                 pair = (job.src, job.dst)
                 cached = pair_cache.get(pair)
@@ -257,27 +282,31 @@ class SimulationEngine:
                     )
                     pair_cache[pair] = cached
                 rate, latency, same_rack = cached
-                table[jid] = (
-                    (rid(self._uplink(job.src)), rid(self._downlink(job.dst))),
-                    latency + job.nbytes / rate,
-                    not same_rack,
-                    EventKind.TRANSFER_START,
-                    EventKind.TRANSFER_END,
-                    job.src,
-                    job.dst,
-                    job.nbytes,
+                table.append(
+                    (
+                        (rid(self._uplink(job.src)), rid(self._downlink(job.dst))),
+                        latency + job.nbytes / rate,
+                        not same_rack,
+                        EventKind.TRANSFER_START,
+                        EventKind.TRANSFER_END,
+                        job.src,
+                        job.dst,
+                        job.nbytes,
+                    )
                 )
             else:
                 self.cluster.node(job.node)
-                table[jid] = (
-                    (rid(self._cpu(job.node)),),
-                    job.seconds,
-                    False,
-                    EventKind.COMPUTE_START,
-                    EventKind.COMPUTE_END,
-                    job.node,
-                    -1,
-                    0.0,
+                table.append(
+                    (
+                        (rid(self._cpu(job.node)),),
+                        job.seconds,
+                        False,
+                        EventKind.COMPUTE_START,
+                        EventKind.COMPUTE_END,
+                        job.node,
+                        -1,
+                        0.0,
+                    )
                 )
         return table, len(resource_ids)
 
@@ -303,18 +332,44 @@ class SimulationEngine:
         info, num_resources = self._job_table(jobs)
         heappush, heappop, isclose = heapq.heappush, heapq.heappop, math.isclose
 
-        order = {jid: i for i, jid in enumerate(jobs)}
-        remaining_deps = {jid: set(job.deps) for jid, job in jobs.items()}
-        dependents: dict[str, list[str]] = {jid: [] for jid in jobs}
-        for jid, job in jobs.items():
-            for dep in set(job.deps):
-                dependents[dep].append(jid)
+        # Jobs interned to dense seqs in insertion order: heap items are
+        # (ready_time, seq) pairs — seq doubles as the insertion-order
+        # tie-break — and every per-job fact is a flat-list index.
+        jids = list(jobs)
+        total = len(jids)
+        seq_of = {jid: i for i, jid in enumerate(jids)}
+        remaining = [0] * total
+        dependents: list[list[int]] = [[] for _ in range(total)]
+        for seq, job in enumerate(jobs.values()):
+            deps = set(job.deps)
+            remaining[seq] = len(deps)
+            for dep in deps:
+                dependents[seq_of[dep]].append(seq)
 
         busy = bytearray(num_resources)
-        # Resource id -> jobs (as (ready_time, seq, jid) keys) blocked on it.
-        waiters: list[list[tuple[float, int, str]] | None] = [None] * num_resources
+        # Blocked jobs are parked in a heap per *resource signature* — the
+        # full tuple of resource ids the job needs — rather than per single
+        # blocking resource.  A signature's waiters are only looked at when
+        # every resource in the signature is free, so a transfer stuck
+        # behind a long-busy peer port is never re-examined (the per-single-
+        # resource scheme bounced such jobs between the two port heaps at
+        # every instant, which went quadratic on merged 100k-stripe graphs).
+        # The number of distinct signatures touching a resource is bounded
+        # by the cluster shape (one per peer node plus the local CPU), not
+        # by queue depth, so each free event costs O(cluster), not O(jobs).
+        groups: dict[tuple[int, ...], list[tuple[float, int]]] = {}
+        # Resource id -> (waiter heap, signature) pairs for signatures
+        # containing it (registered at first park; empty heaps are skipped,
+        # never unregistered).  Heap references are stored directly so the
+        # promote scan never touches the dict.
+        res_groups: list[list[tuple[list, tuple[int, ...]]]] = [
+            [] for _ in range(num_resources)
+        ]
+        # from_res[seq]: the resource whose free event promoted this
+        # candidate (-1 if it became a candidate by dependency readiness).
+        from_res = [-1] * total
         # Jobs blocked solely on the cross-rack switch token.
-        token_waiters: list[tuple[float, int, str]] = []
+        token_waiters: list[tuple[float, int]] = []
         cross_inflight = 0
         cap = self.cross_capacity
 
@@ -322,17 +377,55 @@ class SimulationEngine:
         # deterministic (ready-time, insertion-order) priority.  A job's key
         # is fixed when its last dependency finishes and never changes, so
         # the greedy tie-break matches the original full-rescan scheduler.
-        candidates: list[tuple[float, int, str]] = []
-        for jid, deps in remaining_deps.items():
-            if not deps:
-                heappush(candidates, (0.0, order[jid], jid))
+        candidates: list[tuple[float, int]] = []
+        for seq in range(total):
+            if not remaining[seq]:
+                heappush(candidates, (0.0, seq))
 
-        running: list[tuple[float, int, str]] = []  # (end, order, jid)
+        def park(item: tuple[float, int], key: tuple[int, ...]) -> None:
+            parked = groups.get(key)
+            if parked is None:
+                parked = [item]
+                groups[key] = parked
+                entry = (parked, key)
+                for r in key:
+                    res_groups[r].append(entry)
+            else:
+                heappush(parked, item)
+
+        def promote(r: int) -> None:
+            # Move the best *startable* waiter needing (just-freed) resource
+            # r into the candidate heap: the minimum (ready, seq) among the
+            # tops of r's signature heaps whose resources are all free.  At
+            # most one candidate per free event is in flight: the next-best
+            # is promoted only after this one is consumed without re-taking
+            # r.  Waiters whose signature still has a busy resource stay
+            # parked untouched — they could not have started, and the free
+            # event of that busy resource will reconsider them.
+            best_item = None
+            best_heap = None
+            for parked, key in res_groups[r]:
+                if not parked:
+                    continue
+                top = parked[0]
+                if best_item is not None and best_item <= top:
+                    continue
+                for x in key:
+                    if busy[x]:
+                        break
+                else:
+                    best_item = top
+                    best_heap = parked
+            if best_heap is not None:
+                item = heappop(best_heap)
+                from_res[item[1]] = r
+                heappush(candidates, item)
+
+        running: list[tuple[float, int]] = []  # (end, seq)
         timings: dict[str, JobTiming] = {}
         events: list[TraceEvent] = []
         now = 0.0
         finished = 0
-        total = len(jobs)
 
         while finished < total:
             # Start every candidate whose resources are free; park the rest
@@ -340,30 +433,36 @@ class SimulationEngine:
             # frees nothing, so a single pass over the candidates suffices.
             while candidates:
                 item = heappop(candidates)
-                jid = item[2]
-                res, duration, cross, start_kind, _, node, peer, nbytes = info[jid]
-                blocker = -1
+                seq = item[1]
+                src = from_res[seq]
+                if src >= 0:
+                    from_res[seq] = -1
+                res, duration, cross, start_kind, _, node, peer, nbytes = info[seq]
+                blocked = False
                 for r in res:
                     if busy[r]:
-                        blocker = r
+                        blocked = True
                         break
-                if blocker >= 0:
-                    parked = waiters[blocker]
-                    if parked is None:
-                        waiters[blocker] = [item]
-                    else:
-                        parked.append(item)
+                if blocked:
+                    park(item, res)
+                    if src >= 0 and not busy[src]:
+                        promote(src)
                     continue
                 needs_token = cross and cap is not None
                 if needs_token and cross_inflight >= cap:
                     token_waiters.append(item)
+                    if src >= 0 and not busy[src]:
+                        promote(src)
                     continue
+                # Starting takes every resource in res — src among them —
+                # so the waiters left parked on src stay correctly parked.
                 for r in res:
                     busy[r] = 1
                 if needs_token:
                     cross_inflight += 1
                 end = now + duration
-                heappush(running, (end, item[1], jid))
+                heappush(running, (end, seq))
+                jid = jids[seq]
                 timings[jid] = JobTiming(job_id=jid, start=now, end=end)
                 events.append(
                     TraceEvent(
@@ -383,22 +482,18 @@ class SimulationEngine:
                     "(resource conflict cycle?)"
                 )
             # Advance to the next completion.
-            end, _, jid = heappop(running)
-            batch = [jid]
+            end, seq = heappop(running)
+            batch = [seq]
             # Complete everything ending at the same instant for determinism.
             while running and isclose(running[0][0], end, rel_tol=0, abs_tol=1e-12):
-                batch.append(heappop(running)[2])
+                batch.append(heappop(running)[1])
             now = end
             token_freed = False
-            for done_id in batch:
-                res, _, cross, _, end_kind, node, peer, nbytes = info[done_id]
+            for done_seq in batch:
+                res, _, cross, _, end_kind, node, peer, nbytes = info[done_seq]
                 for r in res:
                     busy[r] = 0
-                    woken = waiters[r]
-                    if woken:
-                        waiters[r] = None
-                        for item in woken:
-                            heappush(candidates, item)
+                    promote(r)
                 if cross and cap is not None:
                     cross_inflight -= 1
                     token_freed = True
@@ -406,7 +501,7 @@ class SimulationEngine:
                     TraceEvent(
                         time=now,
                         kind=end_kind,
-                        job_id=done_id,
+                        job_id=jids[done_seq],
                         node=node,
                         peer=peer,
                         cross_rack=cross,
@@ -414,17 +509,17 @@ class SimulationEngine:
                     )
                 )
                 finished += 1
-                for child in dependents[done_id]:
-                    deps_left = remaining_deps[child]
-                    deps_left.discard(done_id)
-                    if not deps_left:
-                        heappush(candidates, (now, order[child], child))
+                for child in dependents[done_seq]:
+                    left = remaining[child] - 1
+                    remaining[child] = left
+                    if not left:
+                        heappush(candidates, (now, child))
             if token_freed and token_waiters:
                 for item in token_waiters:
                     heappush(candidates, item)
                 token_waiters = []
 
-        events.sort(key=lambda e: (e.time, e.kind.endswith("start"), e.job_id))
+        events.sort(key=_event_sort_key)
         makespan = max(t.end for t in timings.values())
         return SimResult(
             makespan=makespan, timings=timings, events=events, jobs=dict(jobs)
@@ -458,46 +553,57 @@ class SimulationEngine:
             return SimResult(makespan=0.0, timings={}, events=[], faults=report)
 
         info, num_resources = self._job_table(jobs)
+        jids = list(jobs)
+        total = len(jids)
+        seq_of = {jid: i for i, jid in enumerate(jids)}
         if faults.stragglers:
-            scaled: dict[str, tuple] = {}
-            for jid, row in info.items():
+            scaled: list[tuple] = []
+            for row in info:
                 res, duration, cross, sk, ek, node, peer, nbytes = row
                 factor = faults.straggler_factor(node)
                 if peer >= 0:
                     factor = max(factor, faults.straggler_factor(peer))
-                scaled[jid] = (
-                    res, duration * factor, cross, sk, ek, node, peer, nbytes
+                scaled.append(
+                    (res, duration * factor, cross, sk, ek, node, peer, nbytes)
                 )
             info = scaled
         heappush, heappop, isclose = heapq.heappush, heapq.heappop, math.isclose
 
-        order = {jid: i for i, jid in enumerate(jobs)}
-        remaining_deps = {jid: set(job.deps) for jid, job in jobs.items()}
-        dependents: dict[str, list[str]] = {jid: [] for jid in jobs}
-        for jid, job in jobs.items():
-            for dep in set(job.deps):
-                dependents[dep].append(jid)
+        remaining = [0] * total
+        dependents: list[list[int]] = [[] for _ in range(total)]
+        for seq, job in enumerate(jobs.values()):
+            deps = set(job.deps)
+            remaining[seq] = len(deps)
+            for dep in deps:
+                dependents[seq_of[dep]].append(seq)
 
         busy = bytearray(num_resources)
-        waiters: list[list[tuple[float, int, str]] | None] = [None] * num_resources
-        token_waiters: list[tuple[float, int, str]] = []
+        waiters: list[list[tuple[float, int]] | None] = [None] * num_resources
+        from_res = [-1] * total
+        token_waiters: list[tuple[float, int]] = []
         cross_inflight = 0
         cap = self.cross_capacity
 
-        candidates: list[tuple[float, int, str]] = []
-        for jid, deps in remaining_deps.items():
-            if not deps:
-                heappush(candidates, (0.0, order[jid], jid))
+        candidates: list[tuple[float, int]] = []
+        for seq in range(total):
+            if not remaining[seq]:
+                heappush(candidates, (0.0, seq))
 
-        running: list[tuple[float, int, str]] = []
+        def promote(r: int) -> None:
+            parked = waiters[r]
+            if parked:
+                item = heappop(parked)
+                from_res[item[1]] = r
+                heappush(candidates, item)
+
+        running: list[tuple[float, int]] = []
         timings: dict[str, JobTiming] = {}
         events: list[TraceEvent] = []
         now = 0.0
         completed = 0
-        total = len(jobs)
-        terminal: set[str] = set()
+        terminal = bytearray(total)
         dead: dict[int, float] = {}
-        attempts: dict[str, int] = {}
+        attempts: dict[int, int] = {}
         skipped: list[str] = []
         pending_deaths = sorted((t, n) for n, t in faults.death_times().items())
 
@@ -506,27 +612,28 @@ class SimulationEngine:
                 return EventKind.TRANSFER_ABORT
             return EventKind.COMPUTE_ABORT
 
-        def touches(jid: str, node: int) -> bool:
-            row = info[jid]
+        def touches(seq: int, node: int) -> bool:
+            row = info[seq]
             return row[5] == node or row[6] == node
 
-        def cascade_skip(root: str) -> None:
+        def cascade_skip(root: int) -> None:
             nonlocal completed
             stack = list(dependents[root])
             while stack:
                 child = stack.pop()
-                if child in terminal:
+                if terminal[child]:
                     continue
-                terminal.add(child)
-                skipped.append(child)
+                terminal[child] = 1
+                skipped.append(jids[child])
                 completed += 1
                 stack.extend(dependents[child])
 
-        def fail_job(jid: str) -> None:
+        def fail_job(seq: int) -> None:
             # The job never starts: an endpoint is already dead.
             nonlocal completed
-            _, _, cross, _, end_kind, node, peer, nbytes = info[jid]
-            terminal.add(jid)
+            _, _, cross, _, end_kind, node, peer, nbytes = info[seq]
+            terminal[seq] = 1
+            jid = jids[seq]
             report.failed[jid] = now
             events.append(
                 TraceEvent(
@@ -540,7 +647,7 @@ class SimulationEngine:
                 )
             )
             completed += 1
-            cascade_skip(jid)
+            cascade_skip(seq)
 
         def process_deaths(upto: float) -> None:
             """Fire every pending death at time <= ``upto``."""
@@ -561,31 +668,28 @@ class SimulationEngine:
                         node=node,
                     )
                 )
-                doomed = [e for e in running if touches(e[2], node)]
+                doomed = [e for e in running if touches(e[1], node)]
                 if not doomed:
                     continue
-                running = [e for e in running if not touches(e[2], node)]
+                running = [e for e in running if not touches(e[1], node)]
                 heapq.heapify(running)
                 token_freed = False
-                for _, _, jid in sorted(doomed, key=lambda e: e[1]):
-                    res, duration, cross, _, end_kind, jnode, peer, nbytes = info[jid]
+                for _, seq in sorted(doomed, key=lambda e: e[1]):
+                    res, duration, cross, _, end_kind, jnode, peer, nbytes = info[seq]
                     for r in res:
                         busy[r] = 0
-                        woken = waiters[r]
-                        if woken:
-                            waiters[r] = None
-                            for item in woken:
-                                heappush(candidates, item)
+                        promote(r)
                     if cross and cap is not None:
                         cross_inflight -= 1
                         token_freed = True
+                    jid = jids[seq]
                     start = timings[jid].start
                     timings[jid] = JobTiming(job_id=jid, start=start, end=dtime)
                     if nbytes and duration > 0:
                         report.aborted_bytes += nbytes * min(
                             1.0, (dtime - start) / duration
                         )
-                    terminal.add(jid)
+                    terminal[seq] = 1
                     report.aborted[jid] = dtime
                     events.append(
                         TraceEvent(
@@ -599,7 +703,7 @@ class SimulationEngine:
                         )
                     )
                     completed += 1
-                    cascade_skip(jid)
+                    cascade_skip(seq)
                 if token_freed and token_waiters:
                     for item in token_waiters:
                         heappush(candidates, item)
@@ -610,12 +714,19 @@ class SimulationEngine:
         while completed < total:
             while candidates:
                 item = heappop(candidates)
-                jid = item[2]
-                if jid in terminal:
+                seq = item[1]
+                src = from_res[seq]
+                if src >= 0:
+                    from_res[seq] = -1
+                if terminal[seq]:
+                    if src >= 0 and not busy[src]:
+                        promote(src)
                     continue
-                res, duration, cross, start_kind, _, node, peer, nbytes = info[jid]
+                res, duration, cross, start_kind, _, node, peer, nbytes = info[seq]
                 if node in dead or (peer >= 0 and peer in dead):
-                    fail_job(jid)
+                    fail_job(seq)
+                    if src >= 0 and not busy[src]:
+                        promote(src)
                     continue
                 blocker = -1
                 for r in res:
@@ -627,18 +738,23 @@ class SimulationEngine:
                     if parked is None:
                         waiters[blocker] = [item]
                     else:
-                        parked.append(item)
+                        heappush(parked, item)
+                    if src >= 0 and not busy[src]:
+                        promote(src)
                     continue
                 needs_token = cross and cap is not None
                 if needs_token and cross_inflight >= cap:
                     token_waiters.append(item)
+                    if src >= 0 and not busy[src]:
+                        promote(src)
                     continue
                 for r in res:
                     busy[r] = 1
                 if needs_token:
                     cross_inflight += 1
                 end = now + duration
-                heappush(running, (end, item[1], jid))
+                heappush(running, (end, seq))
+                jid = jids[seq]
                 timings[jid] = JobTiming(job_id=jid, start=now, end=end)
                 events.append(
                     TraceEvent(
@@ -666,29 +782,26 @@ class SimulationEngine:
                 # The next event is a death, strictly before any completion.
                 process_deaths(pending_deaths[0][0])
                 continue
-            end, _, first = heappop(running)
+            end, first = heappop(running)
             batch = [first]
             while running and isclose(running[0][0], end, rel_tol=0, abs_tol=1e-12):
-                batch.append(heappop(running)[2])
+                batch.append(heappop(running)[1])
             now = end
             token_freed = False
-            for done_id in batch:
-                res, _, cross, _, end_kind, node, peer, nbytes = info[done_id]
+            for done_seq in batch:
+                res, _, cross, _, end_kind, node, peer, nbytes = info[done_seq]
                 for r in res:
                     busy[r] = 0
-                    woken = waiters[r]
-                    if woken:
-                        waiters[r] = None
-                        for item in woken:
-                            heappush(candidates, item)
+                    promote(r)
                 if cross and cap is not None:
                     cross_inflight -= 1
                     token_freed = True
-                attempt = attempts.get(done_id, 0)
+                done_id = jids[done_seq]
+                attempt = attempts.get(done_seq, 0)
                 if end_kind == EventKind.TRANSFER_END and faults.is_lost(
                     done_id, attempt
                 ):
-                    attempts[done_id] = attempt + 1
+                    attempts[done_seq] = attempt + 1
                     report.lost[done_id] = report.lost.get(done_id, 0) + 1
                     report.retried_bytes += nbytes
                     events.append(
@@ -702,7 +815,7 @@ class SimulationEngine:
                             nbytes=nbytes,
                         )
                     )
-                    heappush(candidates, (now, order[done_id], done_id))
+                    heappush(candidates, (now, done_seq))
                     continue
                 events.append(
                     TraceEvent(
@@ -715,13 +828,13 @@ class SimulationEngine:
                         nbytes=nbytes,
                     )
                 )
-                terminal.add(done_id)
+                terminal[done_seq] = 1
                 completed += 1
-                for child in dependents[done_id]:
-                    deps_left = remaining_deps[child]
-                    deps_left.discard(done_id)
-                    if not deps_left:
-                        heappush(candidates, (now, order[child], child))
+                for child in dependents[done_seq]:
+                    left = remaining[child] - 1
+                    remaining[child] = left
+                    if not left:
+                        heappush(candidates, (now, child))
             if token_freed and token_waiters:
                 for item in token_waiters:
                     heappush(candidates, item)
@@ -731,7 +844,7 @@ class SimulationEngine:
             process_deaths(now)
 
         report.skipped = tuple(skipped)
-        events.sort(key=lambda e: (e.time, e.kind.endswith("start"), e.job_id))
+        events.sort(key=_event_sort_key)
         makespan = max((t.end for t in timings.values()), default=0.0)
         return SimResult(
             makespan=makespan,

@@ -35,7 +35,7 @@ class EventKind:
     TRANSFER_LOST = "transfer_lost"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One timestamped scheduling event.
 

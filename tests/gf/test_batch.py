@@ -82,10 +82,10 @@ class TestGfMatmulBlocks:
 
     def test_spans_multiple_tiles(self):
         """Inputs larger than one cache tile must still be exact."""
-        from repro.gf.batch import _TILE
+        from repro.gf.batch import adaptive_tile
 
         rng = np.random.default_rng(4)
-        size = _TILE * 2 + 777
+        size = adaptive_tile(2, 1, 1 << 62) * 2 + 777
         blocks = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(2)]
         m = np.array([[37, 91]], dtype=np.uint8)
         got = gf_matmul_blocks(m, blocks)

@@ -1,0 +1,141 @@
+"""All GF multiply kernels must agree byte-for-byte, serial or parallel.
+
+The split-table kernels (``split16``, ``nibble4``) exist purely for
+speed: every byte they produce must match the ``translate`` baseline
+across random coefficient matrices, block counts, and block sizes that
+don't align to tiles, gather chunks, or uint16 pairs (odd lengths hit
+split16's scalar tail).  Likewise the multicore codec must be a pure
+scheduling change: ``encode_many_parallel``/``decode_many_parallel``
+shard stripes across threads but the bytes that land in the arena must
+be exactly the serial kernels' bytes for any worker count.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import gf_matmul_blocks
+from repro.gf.batch import adaptive_tile
+from repro.gf.splittable import KERNELS, mul_into, mul_xor_into
+from repro.rs import get_code
+
+#: Sizes chosen to straddle the alignment boundaries the kernels care
+#: about: the uint16 pair split (odd), the 64 Ki gather chunks, and the
+#: adaptive tile edges.
+_AWKWARD_SIZES = [1, 2, 3, 255, 4096, 4097, 65535, 65536 * 2 + 1]
+
+
+@st.composite
+def kernel_cases(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    r = draw(st.integers(1, 4))
+    c = draw(st.integers(1, 5))
+    size = draw(
+        st.one_of(st.sampled_from(_AWKWARD_SIZES), st.integers(1, 70000))
+    )
+    matrix = rng.choice(
+        np.array([0, 0, 1, 1, 2, 37, 91, 250], dtype=np.uint8), size=(r, c)
+    )
+    blocks = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(c)]
+    return matrix, blocks
+
+
+@given(kernel_cases())
+@settings(max_examples=30, deadline=None)
+def test_all_kernels_byte_identical(case):
+    matrix, blocks = case
+    reference = gf_matmul_blocks(matrix, blocks, kernel="translate")
+    for name in KERNELS:
+        if name == "translate":
+            continue
+        got = gf_matmul_blocks(matrix, blocks, kernel=name)
+        assert np.array_equal(got, reference), name
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    coeff=st.integers(0, 255),
+    size=st.sampled_from(_AWKWARD_SIZES),
+)
+@settings(max_examples=25, deadline=None)
+def test_scalar_primitives_agree_across_kernels(seed, coeff, size):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 256, size, dtype=np.uint8)
+    acc0 = rng.integers(0, 256, size, dtype=np.uint8)
+    ref_mul = mul_into(coeff, src, np.empty(size, np.uint8), kernel="translate")
+    ref_acc = mul_xor_into(coeff, src, acc0.copy(), kernel="translate")
+    for name in KERNELS:
+        got_mul = mul_into(coeff, src, np.empty(size, np.uint8), kernel=name)
+        got_acc = mul_xor_into(coeff, src, acc0.copy(), kernel=name)
+        assert np.array_equal(got_mul, ref_mul), name
+        assert np.array_equal(got_acc, ref_acc), name
+
+
+def test_adaptive_tile_shrinks_with_working_set():
+    huge = 1 << 40
+    skinny = adaptive_tile(2, 1, huge)
+    wide = adaptive_tile(30, 10, huge)
+    assert wide <= skinny
+    for tile in (skinny, wide):
+        assert tile % 4096 == 0
+    # Small inputs run untiled.
+    assert adaptive_tile(6, 2, 1000) == 1000
+
+
+class TestParallelCodecEquivalence:
+    def test_encode_parallel_matches_serial_any_workers(self):
+        code = get_code(6, 2)
+        rng = np.random.default_rng(11)
+        # 13 stripes over 4 workers: uneven shards, odd block size.
+        data = rng.integers(0, 256, (13, code.n, 4097), dtype=np.uint8)
+        serial = code.encode_many(data)
+        for workers in (1, 2, 3, 4, 8):
+            arena = np.empty((13, code.width, 4097), dtype=np.uint8)
+            got = code.encode_many_parallel(data, out=arena, workers=workers)
+            assert got is arena
+            assert np.array_equal(got, serial), workers
+
+    def test_decode_parallel_matches_serial_any_workers(self):
+        code = get_code(6, 3)
+        rng = np.random.default_rng(12)
+        data = rng.integers(0, 256, (11, code.n, 2049), dtype=np.uint8)
+        encoded = code.encode_many(data)
+        failed = [0, code.n + 1]
+        available = {
+            b: np.ascontiguousarray(encoded[:, b, :])
+            for b in range(code.width)
+            if b not in failed
+        }
+        serial = code.decode_many(available, failed)
+        for workers in (1, 2, 3, 4, 8):
+            got = code.decode_many_parallel(available, failed, workers=workers)
+            assert sorted(got) == sorted(serial)
+            for target in serial:
+                assert np.array_equal(got[target], serial[target]), (
+                    workers,
+                    target,
+                )
+
+    def test_single_stripe_falls_back_to_serial(self):
+        code = get_code(4, 2)
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 256, (1, code.n, 333), dtype=np.uint8)
+        assert np.array_equal(
+            code.encode_many_parallel(data, workers=4), code.encode_many(data)
+        )
+
+    def test_matmul_accepts_row_contiguous_out_slices(self):
+        """The decode shard write pattern: rows contiguous, stack not."""
+        code = get_code(6, 2)
+        rng = np.random.default_rng(14)
+        blocks = [
+            rng.integers(0, 256, (9, 515), dtype=np.uint8) for _ in range(6)
+        ]
+        matrix = code.generator[code.n :]
+        whole = gf_matmul_blocks(matrix, blocks)
+        arena = np.empty((code.k, 9, 515), dtype=np.uint8)
+        for lo, hi in ((0, 4), (4, 9)):
+            gf_matmul_blocks(
+                matrix, [b[lo:hi] for b in blocks], out=arena[:, lo:hi]
+            )
+        assert np.array_equal(arena, whole)
