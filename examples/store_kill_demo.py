@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Kill a storage daemon mid-flight and watch the service repair itself.
+
+This is the multi-process counterpart of ``object_store.py``: instead of
+one simulated :class:`~repro.system.StorageSystem`, it launches a *real*
+coordinator plus six storage daemons as separate OS processes
+(``repro.store``), then:
+
+1. PUTs an object — the client encodes RS(3,2) stripes locally and
+   writes blocks straight to the daemons,
+2. SIGKILLs the daemon holding stripe 0's first block (a genuinely
+   unclean death: no goodbye, no flushing),
+3. waits while the coordinator notices the missed heartbeats, plans a
+   rack-aware pipeline repair (RPR), and drives the surviving daemons
+   to rebuild the lost blocks onto live spares,
+4. GETs the object back and asserts the bytes are identical,
+5. prints each repair's measured cross-rack traffic next to the
+   simulator's prediction — the two must match exactly
+   (``ledger_match``).
+
+Run:  python examples/store_kill_demo.py [--smoke]
+
+``--smoke`` shrinks the object to one stripe for CI.
+"""
+
+import argparse
+import asyncio
+import os
+import tempfile
+from pathlib import Path
+
+from repro.live import audit_store_repairs
+from repro.store import StoreLauncher, call
+
+BLOCK_SIZE = 4096
+CONFIG = dict(
+    racks=3, per_rack=2, n=3, k=2, scheme="rpr", block_size=BLOCK_SIZE,
+    suspect_after=1.5, heartbeat_interval=0.25, startup_timeout=60.0,
+)
+
+
+def pick_victim(addr: dict, name: str) -> int:
+    """The node holding stripe 0's first block — guaranteed to hurt."""
+    info, _ = asyncio.run(
+        call(addr["host"], addr["port"], "object.lookup", {"name": name})
+    )
+    return info["stripes"][0]["placement"]["0"]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="single-stripe object (CI-sized)"
+    )
+    args = parser.parse_args(argv)
+    nbytes = (2 * BLOCK_SIZE if args.smoke else 3 * 2 * BLOCK_SIZE) + 123
+
+    with tempfile.TemporaryDirectory(prefix="rpr-store-") as tmp:
+        launcher = StoreLauncher(Path(tmp) / "cluster")
+        state = launcher.up(**CONFIG)
+        try:
+            print(
+                f"cluster up: coordinator + {len(state['daemons'])} daemons "
+                f"({CONFIG['racks']} racks x {CONFIG['per_rack']} nodes, "
+                f"RS({CONFIG['n']},{CONFIG['k']}), scheme {CONFIG['scheme']})"
+            )
+            client = launcher.client()
+            data = os.urandom(nbytes)
+            reply = client.put("demo.bin", data)
+            print(f"put demo.bin: {nbytes} bytes over {reply['stripes']} stripes")
+
+            victim = pick_victim(state["coordinator"], "demo.bin")
+            pid = launcher.kill_daemon(victim)
+            print(f"\nSIGKILL node {victim} (pid {pid}) — no goodbye, no flush")
+
+            status = client.wait_healthy(timeout=45.0, min_repairs=1)
+            print(
+                f"coordinator noticed the silence and repaired "
+                f"{len(status['repairs'])} stripes:"
+            )
+            for rec in status["repairs"]:
+                assert rec["ledger_match"], rec
+                print(
+                    f"  stripe {rec['sid']}: blocks {rec['failed_blocks']} "
+                    f"rebuilt on nodes {sorted(rec['targets'].values())}; "
+                    f"cross-rack {rec['measured']['cross_rack_bytes']} B measured "
+                    f"== {rec['simulated']['cross_rack_bytes']} B simulated "
+                    f"(ledger_match={rec['ledger_match']})"
+                )
+
+            audit = audit_store_repairs(status["repairs"])
+            assert audit.ledger_ok, audit.to_dict()
+            print(
+                f"independent audit: {audit.repairs} repairs, "
+                f"{audit.measured_cross_rack_bytes} B cross-rack measured "
+                f"vs {audit.simulated_cross_rack_bytes} B simulated — ledgers agree"
+            )
+
+            got = client.get("demo.bin")
+            assert got == data, "post-repair GET returned different bytes"
+            print(
+                f"\nget demo.bin after repair: {len(got)} bytes, "
+                f"byte-identical to what was stored"
+            )
+            print(
+                "every rebuilt block lives on a live spare; node "
+                f"{victim} is out of every placement"
+            )
+        finally:
+            launcher.down()
+        print("cluster down — all processes reaped")
+
+
+if __name__ == "__main__":
+    main()

@@ -865,6 +865,109 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    """Drive the multi-process object store service (see docs/LIVE.md).
+
+    ``up`` launches one coordinator and one daemon subprocess per node,
+    rooted at a state directory; the other verbs find the cluster
+    through that directory, so each can run as its own invocation.
+    ``kill`` SIGKILLs a daemon — the coordinator notices the missed
+    heartbeats and repairs the lost blocks onto live spares with the
+    configured scheme.
+    """
+    import json
+
+    from .store import LauncherError, StoreError, StoreLauncher
+
+    launcher = StoreLauncher(args.dir)
+    try:
+        if args.store_command == "up":
+            n, k = _parse_code(args.code)
+            state = launcher.up(
+                racks=args.racks,
+                per_rack=args.per_rack,
+                n=n,
+                k=k,
+                scheme=args.scheme,
+                block_size=args.block_size,
+                suspect_after=args.suspect_after,
+                heartbeat_interval=args.heartbeat_interval,
+            )
+            addr = state["coordinator"]
+            print(
+                f"store up: coordinator {addr['host']}:{addr['port']} "
+                f"(pid {addr['pid']}), {len(state['daemons'])} daemons, "
+                f"scheme {args.scheme}, state in {args.dir}"
+            )
+            return 0
+        if args.store_command == "down":
+            launcher.down()
+            print("store down: all processes stopped")
+            return 0
+        if args.store_command == "status":
+            status = launcher.status()
+            if args.json:
+                print(json.dumps(status, indent=2))
+                return 0
+            procs = status["processes"]
+            service = status["service"]
+            print(f"processes: {sum(procs.values())}/{len(procs)} running")
+            for name, alive in sorted(procs.items()):
+                print(f"  {name:<14} {'running' if alive else 'DEAD'}")
+            if "error" in service:
+                print(f"service unreachable: {service['error']}")
+                return 1
+            alive_nodes = sum(1 for e in service["nodes"].values() if e["alive"])
+            print(
+                f"service: scheme {service['scheme']}, "
+                f"RS({service['code']['n']},{service['code']['k']}), "
+                f"{alive_nodes}/{len(service['nodes'])} nodes alive, "
+                f"{len(service['objects'])} objects, "
+                f"{len(service['degraded'])} degraded stripes, "
+                f"{len(service['repairs'])} repairs done"
+            )
+            return 0
+        if args.store_command == "kill":
+            pid = launcher.kill_daemon(args.node)
+            print(
+                f"SIGKILLed daemon for node {args.node} (pid {pid}); the "
+                f"coordinator will notice the missed heartbeats and repair"
+            )
+            return 0
+
+        client = launcher.client()
+        if args.store_command == "put":
+            data = (
+                sys.stdin.buffer.read()
+                if args.file == "-"
+                else open(args.file, "rb").read()
+            )
+            client.put(args.name, data)
+            print(f"put {args.name}: {len(data)} bytes")
+            return 0
+        if args.store_command == "get":
+            data = client.get(args.name)
+            if args.out:
+                with open(args.out, "wb") as fh:
+                    fh.write(data)
+                print(f"got {args.name}: {len(data)} bytes -> {args.out}")
+            else:
+                sys.stdout.buffer.write(data)
+            return 0
+        if args.store_command == "rm":
+            reply = client.delete(args.name)
+            print(f"deleted {args.name} ({reply['dropped']} blocks dropped)")
+            return 0
+        if args.store_command == "ls":
+            for entry in client.list_objects():
+                print(f"{entry['size']:>12}  {entry['stripes']:>3} stripes  {entry['name']}")
+            return 0
+        raise AssertionError(f"unhandled store command {args.store_command!r}")
+    except (LauncherError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_perf(args) -> int:
     from .perfharness import main as perf_main
 
@@ -1114,6 +1217,50 @@ def build_parser() -> argparse.ArgumentParser:
     lv.add_argument("--seed", type=int, default=0, help="stripe payload seed")
     lv.add_argument("--json", action="store_true", help="machine-readable report")
     lv.set_defaults(func=_cmd_live)
+
+    st = sub.add_parser(
+        "store",
+        help="run the multi-process object store service "
+        "(coordinator + daemons as real subprocesses)",
+    )
+    st.add_argument(
+        "--dir", default=".rpr-store",
+        help="state directory the cluster is rooted at (default: .rpr-store)",
+    )
+    stsub = st.add_subparsers(dest="store_command", required=True)
+    st_up = stsub.add_parser("up", help="launch coordinator + one daemon per node")
+    st_up.add_argument("--racks", type=int, default=3)
+    st_up.add_argument("--per-rack", type=int, default=2)
+    st_up.add_argument("--code", default="3,2", help="RS code as 'n,k'")
+    st_up.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    st_up.add_argument(
+        "--block-size", type=int, default=64 * 1024,
+        help="bytes per stored block",
+    )
+    st_up.add_argument(
+        "--suspect-after", type=float, default=2.0,
+        help="seconds of heartbeat silence before a node is declared dead",
+    )
+    st_up.add_argument("--heartbeat-interval", type=float, default=0.5)
+    stsub.add_parser("down", help="stop every process and clear the state dir")
+    st_status = stsub.add_parser(
+        "status", help="process liveness + service-side cluster status"
+    )
+    st_status.add_argument("--json", action="store_true", help="machine-readable output")
+    st_kill = stsub.add_parser(
+        "kill", help="SIGKILL one daemon so the coordinator must repair"
+    )
+    st_kill.add_argument("node", type=int, help="node id of the daemon to kill")
+    st_put = stsub.add_parser("put", help="store an object (striped + encoded)")
+    st_put.add_argument("name")
+    st_put.add_argument("file", help="path to read, or '-' for stdin")
+    st_get = stsub.add_parser("get", help="fetch an object back")
+    st_get.add_argument("name")
+    st_get.add_argument("--out", default=None, help="write here instead of stdout")
+    st_rm = stsub.add_parser("rm", help="delete an object")
+    st_rm.add_argument("name")
+    stsub.add_parser("ls", help="list stored objects")
+    st.set_defaults(func=_cmd_store)
 
     pf = sub.add_parser(
         "perf", help="time the engine and coding hot paths, write BENCH_*.json"

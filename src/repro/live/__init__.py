@@ -23,7 +23,9 @@ Layers:
   dependency waits, port exclusivity, measured timings.
 * :mod:`repro.live.validate` — cross-validation against
   :class:`repro.sim.SimulationEngine`: byte-identical recovery plus
-  measured-vs-predicted makespan per scheme.
+  measured-vs-predicted makespan per scheme, and
+  :func:`~repro.live.validate.audit_store_repairs` to re-check the
+  multi-process store service's (:mod:`repro.store`) repair ledgers.
 
 See ``docs/LIVE.md`` for the full specification and ``rpr live`` for the
 CLI entry point.
@@ -38,11 +40,14 @@ from .runtime import (
     run_plan_live_sync,
 )
 from .shaper import LinkShaper, TokenBucket
-from .transport import MemoryTransport, TcpTransport, open_transport
+from .transport import MemoryTransport, TcpTransport, connect_tcp, open_transport
+from .wire import WireError, read_ack, read_frame, send_frame
 from .validate import (
     DEFAULT_LIVE_BANDWIDTH,
     LiveSchemeReport,
     LiveValidationReport,
+    StoreRepairAudit,
+    audit_store_repairs,
     live_environment,
     run_live_validation,
 )
@@ -57,11 +62,18 @@ __all__ = [
     "LiveTimeoutError",
     "LiveValidationReport",
     "MemoryTransport",
+    "StoreRepairAudit",
     "TcpTransport",
     "TokenBucket",
+    "WireError",
+    "audit_store_repairs",
+    "connect_tcp",
     "live_environment",
     "open_transport",
+    "read_ack",
+    "read_frame",
     "run_live_validation",
     "run_plan_live",
     "run_plan_live_sync",
+    "send_frame",
 ]

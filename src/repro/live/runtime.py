@@ -42,7 +42,7 @@ from ..repair.plan import CombineOp, RepairPlan, SendOp
 from ..telemetry.model import OP_CATEGORY, TelemetryRecorder, TelemetryTrace
 from .shaper import LinkShaper
 from .transport import MemoryTransport, Stream, TcpTransport, open_transport
-from .wire import ACK, DEFAULT_CHUNK, read_frame, send_frame
+from .wire import ACK, DEFAULT_CHUNK, read_ack, read_frame, send_frame
 
 __all__ = [
     "LiveError",
@@ -277,9 +277,9 @@ class _LiveRun:
                 )
                 if rec is not None:
                     t_sent = time.monotonic()
-                ack = await stream.read_exactly(1)
-                if ack != ACK:
-                    raise LiveError(f"send {oid!r}: bad ack {ack!r}")
+                # A vanished or wedged receiver surfaces as WireError
+                # (the run's outer timeout is the only other backstop).
+                await read_ack(stream)
             finally:
                 await stream.aclose()
             end = time.monotonic()

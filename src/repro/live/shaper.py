@@ -112,6 +112,12 @@ class TokenBucket:
         The deduction happens before the wait, so concurrent senders on
         one link serialise fairly behind the lock and the aggregate
         long-run throughput is exactly ``rate``.
+
+        The charge is exception-safe: if the pacing sleep is cancelled
+        (the sender's task died mid-transfer), the deduction is rolled
+        back — those bytes never went out, and the bucket outlives the
+        transfer, so a leaked charge would tax the link's *next*
+        transfer.
         """
         if nbytes <= 0:
             return
@@ -125,7 +131,23 @@ class TokenBucket:
                     rec.count("pacing.stalls")
                     rec.observe("pacing.stall_s", wait)
                     rec.gauge(f"bucket.debt_bytes:{self.label}", -self._tokens)
-                await self._sleep(wait)
+                try:
+                    await self._sleep(wait)
+                except BaseException:
+                    self._tokens = min(self._tokens + nbytes, self.capacity)
+                    raise
+
+    def refund(self, nbytes: int) -> None:
+        """Return ``nbytes`` of charge that never reached the wire.
+
+        Called by :func:`repro.live.wire.send_frame` when a chunk's
+        write raises after its tokens were acquired.  Capped at
+        ``capacity`` like any other credit, so a refund can never mint a
+        burst larger than the configured one.
+        """
+        if nbytes <= 0:
+            return
+        self._tokens = min(self._tokens + nbytes, self.capacity)
 
 
 class LinkShaper:

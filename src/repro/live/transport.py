@@ -27,6 +27,7 @@ __all__ = [
     "TcpStream",
     "MemoryTransport",
     "TcpTransport",
+    "connect_tcp",
     "open_transport",
 ]
 
@@ -201,8 +202,46 @@ class MemoryTransport:
         self._tasks.clear()
 
 
+async def connect_tcp(
+    host: str,
+    port: int,
+    *,
+    attempts: int = 5,
+    initial_backoff: float = 0.05,
+    max_backoff: float = 1.0,
+) -> TcpStream:
+    """Open a TCP connection, retrying ``ConnectionRefusedError``.
+
+    A freshly-spawned daemon (or a node server racing a back-to-back
+    validation run) may not be listening yet when the first connect
+    lands; refusals are retried with capped exponential backoff instead
+    of failing the whole run on a startup race.  Any other error — and
+    the final refusal — propagates.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    delay = initial_backoff
+    for attempt in range(attempts):
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            return TcpStream(reader, writer)
+        except ConnectionRefusedError:
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, max_backoff)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 class TcpTransport:
-    """Localhost TCP: one ``asyncio`` server per node, ephemeral ports."""
+    """Localhost TCP: one ``asyncio`` server per node.
+
+    Every node binds port 0 — the kernel picks a free ephemeral port —
+    and the chosen port is recorded in the transport's node registry
+    (:meth:`port_of`), never assumed.  Binding a remembered port would
+    race back-to-back runs: the old server's socket can linger in
+    TIME_WAIT while the next run tries to claim the same number.
+    """
 
     name = "tcp"
 
@@ -212,6 +251,12 @@ class TcpTransport:
         self._ports: dict[int, int] = {}
 
     async def start(self, node_ids: Iterable[int], handler: ConnectionHandler) -> None:
+        if self._servers:
+            raise RuntimeError(
+                "TcpTransport already started; aclose() it before reuse — "
+                "restarting over live servers leaks them and leaves the "
+                "port registry pointing at dead sockets"
+            )
         for node_id in node_ids:
 
             async def on_connect(reader, writer, node_id=node_id):
@@ -226,8 +271,7 @@ class TcpTransport:
         return self._ports[node_id]
 
     async def connect(self, src: int, dst: int) -> Stream:
-        reader, writer = await asyncio.open_connection(self.host, self._ports[dst])
-        return TcpStream(reader, writer)
+        return await connect_tcp(self.host, self._ports[dst], attempts=3)
 
     async def aclose(self) -> None:
         for server in self._servers.values():

@@ -43,6 +43,8 @@ __all__ = [
     "DEFAULT_LIVE_BLOCK",
     "LiveSchemeReport",
     "LiveValidationReport",
+    "StoreRepairAudit",
+    "audit_store_repairs",
     "live_environment",
     "run_live_validation",
 ]
@@ -144,6 +146,63 @@ class LiveValidationReport:
             "ordering_ok": self.ordering_ok(),
             "schemes": [row.to_dict() for row in self.rows],
         }
+
+
+@dataclass(frozen=True)
+class StoreRepairAudit:
+    """Independent verdict over a store service's repair records.
+
+    The coordinator stamps each record with its own ``ledger_match``;
+    this audit re-derives the comparison from the raw ``measured`` and
+    ``simulated`` numbers so a coordinator bug cannot grade its own
+    homework.  ``mismatches`` holds the offending records verbatim.
+    """
+
+    repairs: int
+    ledger_ok: bool
+    measured_cross_rack_bytes: int
+    simulated_cross_rack_bytes: int
+    mismatches: tuple[dict, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "repairs": self.repairs,
+            "ledger_ok": self.ledger_ok,
+            "measured_cross_rack_bytes": self.measured_cross_rack_bytes,
+            "simulated_cross_rack_bytes": self.simulated_cross_rack_bytes,
+            "mismatches": list(self.mismatches),
+        }
+
+
+def audit_store_repairs(records) -> StoreRepairAudit:
+    """Cross-check store repair records against the simulator's ledger.
+
+    ``records`` is the ``repairs`` list from a coordinator ``status``
+    reply (or :meth:`repro.store.StoreClient.status`): one dict per
+    repaired stripe carrying the ``measured`` ledger aggregated from
+    daemon op reports and the ``simulated`` outcome for the same plan.
+    A record mismatches when its measured cross-rack bytes differ from
+    the simulator's prediction — the byte-exactness contract the whole
+    service is built around.
+    """
+    records = list(records)
+    mismatches = tuple(
+        rec
+        for rec in records
+        if int(rec["measured"]["cross_rack_bytes"])
+        != int(rec["simulated"]["cross_rack_bytes"])
+    )
+    return StoreRepairAudit(
+        repairs=len(records),
+        ledger_ok=not mismatches,
+        measured_cross_rack_bytes=sum(
+            int(rec["measured"]["cross_rack_bytes"]) for rec in records
+        ),
+        simulated_cross_rack_bytes=sum(
+            int(rec["simulated"]["cross_rack_bytes"]) for rec in records
+        ),
+        mismatches=mismatches,
+    )
 
 
 def live_environment(

@@ -1,4 +1,4 @@
-"""The framed wire protocol the live runtime speaks.
+"""The framed wire protocol the live runtime and store service speak.
 
 One transfer is one frame on one connection:
 
@@ -15,17 +15,43 @@ shaped rate bounds the wire rate and backpressure from a slow receiver
 propagates to the sender naturally.  The receiver stores the payload and
 answers a single :data:`ACK` byte; the sender treats the ack as transfer
 completion (the moment the simulator calls ``TRANSFER_END``).
+
+Failure semantics (the part a single process never exercises):
+
+* A peer dying mid-frame — EOF after the length prefix, inside the
+  header, or anywhere in the payload — raises :class:`WireError`; a
+  frame read never hangs on a half-delivered frame and never returns
+  short bytes.
+* ``timeout`` bounds how long a read may sit without progress, so a
+  live-but-silent peer (SIGSTOP, dropped ack, wedged event loop on the
+  other side) surfaces as :class:`WireError` instead of a stuck task.
+* Adversarial headers — an oversized ``!I`` length, non-JSON bytes, a
+  negative or absurd payload length — are rejected before any large
+  allocation happens.
+* ``send_frame`` is exception-safe against the shaper: tokens charged
+  for a chunk that was never written are refunded, so a dropped
+  connection cannot starve the next transfer on that link.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import struct
 
 from .shaper import TokenBucket
 from .transport import Stream
 
-__all__ = ["ACK", "DEFAULT_CHUNK", "send_frame", "read_frame", "WireError"]
+__all__ = [
+    "ACK",
+    "DEFAULT_CHUNK",
+    "MAX_HEADER_BYTES",
+    "MAX_FRAME_PAYLOAD",
+    "send_frame",
+    "read_frame",
+    "read_ack",
+    "WireError",
+]
 
 _HEADER_LEN = struct.Struct("!I")
 
@@ -37,9 +63,37 @@ ACK = b"\x06"
 #: per-chunk overhead on real sockets.
 DEFAULT_CHUNK = 16 * 1024
 
+#: Headers are small JSON envelopes; anything claiming more than this is
+#: a corrupt or hostile length prefix, rejected before allocation.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Upper bound on a frame payload (1 GiB).  The largest legitimate
+#: payload in the system is one 256 MB block; a header claiming more is
+#: corrupt and must not drive a giant ``bytearray`` allocation.
+MAX_FRAME_PAYLOAD = 1 << 30
+
 
 class WireError(ConnectionError):
-    """Raised on malformed frames or unexpected stream endings."""
+    """Raised on malformed frames, truncation, or read timeouts."""
+
+
+async def _read_step(awaitable, timeout: float | None, what: str):
+    """One bounded read: EOF and timeouts both surface as WireError."""
+    try:
+        if timeout is None:
+            return await awaitable
+        return await asyncio.wait_for(awaitable, timeout)
+    except asyncio.TimeoutError:
+        raise WireError(f"frame read timed out after {timeout}s ({what})") from None
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"peer closed mid-frame ({what}: got {len(exc.partial)} of "
+            f"{exc.expected} bytes)"
+        ) from exc
+    except WireError:
+        raise
+    except (ConnectionError, EOFError) as exc:
+        raise WireError(f"connection lost mid-frame ({what}): {exc}") from exc
 
 
 async def send_frame(
@@ -59,6 +113,12 @@ async def send_frame(
     the per-chunk half of the live runtime's send timing (the pacing
     half is the bucket's own ``pacing.*`` emission).  ``None`` keeps the
     loop on the uninstrumented path.
+
+    Bucket accounting is exception-safe: a chunk's tokens are charged
+    before its write, and refunded if that write raises (the bytes never
+    hit the wire, so the link owes nothing for them).  Without the
+    refund a connection dropping mid-chunk would leave the per-link
+    bucket permanently in debt, starving the next transfer.
     """
     view = memoryview(payload)
     if view.ndim != 1 or view.itemsize != 1:
@@ -74,17 +134,26 @@ async def send_frame(
         chunk = view[offset : offset + chunk_size]
         if bucket is not None:
             await bucket.acquire(len(chunk))
-        if rec is not None:
-            t0 = rec.now()
-            await stream.write(chunk)
-            rec.observe("chunk.write_s", rec.now() - t0)
-            rec.count("chunks.sent")
-        else:
-            await stream.write(chunk)
+        try:
+            if rec is not None:
+                t0 = rec.now()
+                await stream.write(chunk)
+                rec.observe("chunk.write_s", rec.now() - t0)
+                rec.count("chunks.sent")
+            else:
+                await stream.write(chunk)
+        except BaseException:
+            if bucket is not None:
+                bucket.refund(len(chunk))
+            raise
 
 
 async def read_frame(
-    stream: Stream, *, chunk_size: int = DEFAULT_CHUNK
+    stream: Stream,
+    *,
+    chunk_size: int = DEFAULT_CHUNK,
+    timeout: float | None = None,
+    max_payload: int = MAX_FRAME_PAYLOAD,
 ) -> tuple[dict, bytearray]:
     """Read one frame; returns ``(header, payload)``.
 
@@ -92,19 +161,53 @@ async def read_frame(
     preallocated at the header's ``nbytes`` — no growing, no chunk-list
     join, no final copy.  The bytearray is handed to the caller, who
     typically wraps it zero-copy (``np.frombuffer``) for storage.
+
+    ``timeout`` bounds each individual read (a *progress* timeout, not a
+    whole-frame budget, so a long payload at a shaped rate is fine as
+    long as bytes keep arriving).  Truncation at any boundary, a stalled
+    peer, or a malformed header all raise :class:`WireError`.
     """
+    raw_len = await _read_step(
+        stream.read_exactly(_HEADER_LEN.size), timeout, "header length"
+    )
     try:
-        (hlen,) = _HEADER_LEN.unpack(await stream.read_exactly(_HEADER_LEN.size))
-        header = json.loads(await stream.read_exactly(hlen))
-        nbytes = int(header["nbytes"])
-        if nbytes < 0:
-            raise ValueError(f"negative payload length {nbytes}")
-        payload = bytearray(nbytes)
-        with memoryview(payload) as view:
-            for offset in range(0, nbytes, chunk_size):
-                await stream.read_exactly_into(
-                    view[offset : offset + chunk_size]
-                )
-    except (json.JSONDecodeError, KeyError, ValueError, struct.error) as exc:
+        (hlen,) = _HEADER_LEN.unpack(raw_len)
+    except struct.error as exc:  # pragma: no cover - read_exactly guarantees 4
         raise WireError(f"malformed frame: {exc}") from exc
+    if hlen > MAX_HEADER_BYTES:
+        raise WireError(
+            f"header length {hlen} exceeds the {MAX_HEADER_BYTES}-byte cap"
+        )
+    raw_header = await _read_step(stream.read_exactly(hlen), timeout, "header")
+    try:
+        header = json.loads(raw_header)
+        nbytes = int(header["nbytes"])
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed frame: {exc}") from exc
+    if nbytes < 0:
+        raise WireError(f"malformed frame: negative payload length {nbytes}")
+    if nbytes > max_payload:
+        raise WireError(
+            f"payload length {nbytes} exceeds the {max_payload}-byte cap"
+        )
+    payload = bytearray(nbytes)
+    with memoryview(payload) as view:
+        for offset in range(0, nbytes, chunk_size):
+            await _read_step(
+                stream.read_exactly_into(view[offset : offset + chunk_size]),
+                timeout,
+                f"payload byte {offset} of {nbytes}",
+            )
     return header, payload
+
+
+async def read_ack(stream: Stream, *, timeout: float | None = None) -> None:
+    """Await the receiver's single :data:`ACK` byte.
+
+    A missing ack — peer gone (EOF), peer wedged (``timeout``), or a
+    stray byte that is not :data:`ACK` — raises :class:`WireError`; the
+    sender can always distinguish "delivered" from "unknown".
+    """
+    byte = await _read_step(stream.read_exactly(1), timeout, "ack")
+    if byte != ACK:
+        raise WireError(f"bad ack {byte!r} (expected {ACK!r})")

@@ -44,6 +44,7 @@ from .rpr import HeterogeneityAwareRPR, RPRScheme
 from .selection import (
     first_n_helpers,
     group_survivors_by_rack,
+    pick_live_spares,
     rack_aware_helpers,
     remote_rack_count,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "group_survivors_by_rack",
     "initial_store_for",
     "missing_payload_message",
+    "pick_live_spares",
     "rack_aware_helpers",
     "recovery_targets",
     "remote_rack_count",

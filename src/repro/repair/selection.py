@@ -15,13 +15,17 @@ decode from.  The choice drives both the traffic and the decode cost:
 
 from __future__ import annotations
 
-from .base import RepairContext
+from typing import Iterable
+
+from ..cluster import Cluster, Placement
+from .base import RepairContext, RepairPlanningError
 
 __all__ = [
     "first_n_helpers",
     "rack_aware_helpers",
     "group_survivors_by_rack",
     "remote_rack_count",
+    "pick_live_spares",
 ]
 
 
@@ -142,3 +146,60 @@ def rack_aware_helpers(ctx: RepairContext, prefer_xor: bool = True) -> list[int]
         ):
             return xor_set
     return greedy
+
+
+def pick_live_spares(
+    cluster: Cluster,
+    placement: Placement,
+    failed_blocks: Iterable[int],
+    *,
+    dead_nodes: Iterable[int] = (),
+) -> tuple[tuple[int, int], ...]:
+    """Pick a live recovery node for every failed block.
+
+    :func:`repro.repair.recovery_targets` implements the paper's pure
+    policy — first spare in the failed block's rack — but assumes every
+    node is alive.  Systems that actually lose nodes (the in-process
+    :class:`repro.system.StorageSystem`, the multi-process store
+    service) need the same policy *minus dead nodes*: prefer a free live
+    node in the failed block's own rack, fall back to any free live node
+    when that rack is out of spares.  Nodes holding surviving blocks of
+    the stripe are never candidates, and distinct failed blocks get
+    distinct targets.
+
+    Returns ``((block_id, node_id), ...)`` in ``failed_blocks`` order —
+    directly usable as a :class:`~repro.repair.RepairContext`
+    ``recovery_override``.
+
+    Raises
+    ------
+    RepairPlanningError
+        When some block has no live free node anywhere.
+    """
+    failed = list(failed_blocks)
+    dead = set(dead_nodes)
+    used = {
+        node
+        for bid, node in placement.block_to_node.items()
+        if bid not in set(failed)
+    }
+    taken: set[int] = set()
+
+    def free(nodes: Iterable[int]) -> list[int]:
+        return [
+            node
+            for node in nodes
+            if node not in used and node not in taken and node not in dead
+        ]
+
+    override: list[tuple[int, int]] = []
+    for bid in failed:
+        rack = cluster.rack_of(placement.node_of(bid))
+        candidates = free(cluster.nodes_in_rack(rack)) or free(cluster.node_ids())
+        if not candidates:
+            raise RepairPlanningError(
+                f"no live node available to rebuild block {bid}"
+            )
+        override.append((bid, candidates[0]))
+        taken.add(candidates[0])
+    return tuple(override)

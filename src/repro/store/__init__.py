@@ -1,0 +1,72 @@
+"""The multi-process object store service.
+
+Everything before this package runs repair plans in one process — the
+byte executor, the discrete-event simulator, even the "live" asyncio
+runtime all share a single interpreter, which is exactly how
+wire/runtime bugs (EOF mid-frame, token-bucket corruption on dropped
+connections, assumed ports) stayed hidden.  This package runs the same
+plans across real process boundaries:
+
+* :mod:`~repro.store.coordinator` — metadata, heartbeat failure
+  detection, repair orchestration (the namenode).
+* :mod:`~repro.store.daemon` — one process per storage node holding
+  real block bytes (the datanodes).
+* :mod:`~repro.store.client` — PUT/GET/DELETE with client-side
+  encoding; data flows client↔daemon, never through the coordinator.
+* :mod:`~repro.store.repair` — plan partitioning + daemon-side
+  data-driven execution; repair bytes flow daemon→daemon.
+* :mod:`~repro.store.launcher` — plain-subprocess harness behind
+  ``rpr store up/down/status/kill``.
+
+See ``docs/LIVE.md`` ("Store service") for the architecture tour and
+``examples/store_kill_demo.py`` for the headline PUT → SIGKILL →
+automatic repair → byte-identical GET walk-through.
+"""
+
+from .client import StoreClient, SyncStoreClient
+from .coordinator import Coordinator, SCHEMES
+from .daemon import StorageDaemon
+from .heartbeat import DEFAULT_INTERVAL, FailureDetector, HeartbeatSender, NodeEntry
+from .launcher import LauncherError, StoreLauncher
+from .messages import (
+    PROTOCOL_VERSION,
+    Request,
+    StoreError,
+    StoreProtocolError,
+    call,
+    read_request,
+    send_response,
+)
+from .repair import (
+    NodeAssignment,
+    RepairSession,
+    ledger_from_reports,
+    partition_plan,
+    stored_block_key,
+)
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_INTERVAL",
+    "FailureDetector",
+    "HeartbeatSender",
+    "LauncherError",
+    "NodeAssignment",
+    "NodeEntry",
+    "PROTOCOL_VERSION",
+    "RepairSession",
+    "Request",
+    "SCHEMES",
+    "StorageDaemon",
+    "StoreClient",
+    "StoreError",
+    "StoreLauncher",
+    "StoreProtocolError",
+    "SyncStoreClient",
+    "call",
+    "ledger_from_reports",
+    "partition_plan",
+    "read_request",
+    "send_response",
+    "stored_block_key",
+]

@@ -1,0 +1,213 @@
+"""Client API: PUT/GET/DELETE real objects against the store service.
+
+The client does the data-path heavy lifting so the coordinator stays a
+pure metadata service: it encodes stripes locally with the same
+:class:`~repro.rs.RSCode` the cluster is configured for, writes blocks
+*directly* to the daemons named by ``put.begin``, and only then commits
+— the coordinator independently stats the daemons before accepting.
+Reads are the mirror image: ``object.lookup`` for placement + routing,
+then data blocks straight from the daemons, reassembled locally.
+
+:class:`StoreClient` is the asyncio API; :class:`SyncStoreClient` wraps
+it call-per-``asyncio.run`` for scripts, demos and the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+
+import numpy as np
+
+from ..rs import get_code
+from ..system.objects import ObjectInfo, reassemble, split_into_stripes
+from ..telemetry import CLOCK_WALL, TelemetryRecorder
+from .messages import StoreError, call
+from .repair import stored_block_key
+
+__all__ = ["StoreClient", "SyncStoreClient"]
+
+
+def _as_bytes_array(data) -> np.ndarray:
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        data = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.asarray(data, dtype=np.uint8).ravel()
+
+
+class StoreClient:
+    """Asyncio client for one coordinator (and its daemons)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        recorder: TelemetryRecorder | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.rec = recorder or TelemetryRecorder(
+            CLOCK_WALL, meta={"component": "client"}
+        )
+
+    async def _coordinator(self, mtype: str, body: dict | None = None) -> dict:
+        reply, _ = await call(self.host, self.port, mtype, body)
+        return reply
+
+    # -- object operations --------------------------------------------------
+
+    async def put(self, name: str, data) -> dict:
+        """Encode, place and commit one object; returns the commit reply."""
+        payload = _as_bytes_array(data)
+        start = self.rec.now()
+        status = await self._coordinator("status")
+        n, k = status["code"]["n"], status["code"]["k"]
+        code = get_code(n, k)
+        stripes = split_into_stripes(payload, n, status["block_size"])
+        grant = await self._coordinator(
+            "put.begin", {"name": name, "size": int(payload.size), "nstripes": len(stripes)}
+        )
+        routing = grant["routing"]
+        claims = []
+        for spec, data_blocks in zip(grant["stripes"], stripes):
+            sid = int(spec["sid"])
+            placement = {int(bid): node for bid, node in spec["placement"].items()}
+            crcs = {}
+            writes = []
+            for bid, block in enumerate(code.encode(data_blocks)):
+                node = placement[bid]
+                host, port = routing[str(node)]
+                crcs[bid] = zlib.crc32(block.tobytes()) & 0xFFFFFFFF
+                writes.append(
+                    call(
+                        host, port, "block.put",
+                        {"key": stored_block_key(sid, bid)},
+                        blob=block.data,
+                    )
+                )
+            await asyncio.gather(*writes)
+            claims.append({"sid": sid, "crcs": {str(b): c for b, c in crcs.items()}})
+        reply = await self._coordinator("put.commit", {"name": name, "stripes": claims})
+        self.rec.span(
+            f"put:{name}", start, self.rec.now(), category="client",
+            op="put", nbytes=int(payload.size),
+        )
+        self.rec.count("client.put_bytes", int(payload.size))
+        return reply
+
+    async def get(self, name: str) -> bytes:
+        """Fetch and reassemble one object's bytes (data blocks only)."""
+        start = self.rec.now()
+        info = await self._coordinator("object.lookup", {"name": name})
+        n = info["n"]
+        routing = info["routing"]
+        stripe_blocks = []
+        for spec in info["stripes"]:
+            sid = int(spec["sid"])
+            missing = set(spec["missing"])
+            placement = {int(bid): node for bid, node in spec["placement"].items()}
+            blocks = []
+            for bid in range(n):
+                if bid in missing:
+                    raise StoreError(
+                        f"object {name!r} is degraded (stripe {sid} block {bid} "
+                        f"missing); wait for repair to finish"
+                    )
+                host, port = routing[str(placement[bid])]
+                _, blob = await call(
+                    host, port, "block.get", {"key": stored_block_key(sid, bid)}
+                )
+                blocks.append(np.frombuffer(bytes(blob), dtype=np.uint8))
+            stripe_blocks.append(blocks)
+        shape = ObjectInfo(
+            name=name,
+            size=int(info["size"]),
+            stripe_ids=tuple(int(s["sid"]) for s in info["stripes"]),
+            block_size=int(info["block_size"]),
+            n=n,
+        )
+        out = reassemble(shape, stripe_blocks)
+        self.rec.span(
+            f"get:{name}", start, self.rec.now(), category="client",
+            op="get", nbytes=int(out.size),
+        )
+        self.rec.count("client.get_bytes", int(out.size))
+        return out.tobytes()
+
+    async def delete(self, name: str) -> dict:
+        return await self._coordinator("object.delete", {"name": name})
+
+    async def list_objects(self) -> list[dict]:
+        return (await self._coordinator("object.list"))["objects"]
+
+    async def status(self) -> dict:
+        return await self._coordinator("status")
+
+    # -- service-level helpers ----------------------------------------------
+
+    async def wait_healthy(
+        self, *, timeout: float = 30.0, poll: float = 0.2, min_repairs: int = 0
+    ) -> dict:
+        """Poll until no stripe is degraded (and ``min_repairs`` finished).
+
+        Returns the final status; raises :class:`StoreError` when
+        ``timeout`` elapses first — a repair that should have happened
+        and didn't is a test failure, not something to wait out forever.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while True:
+            status = await self.status()
+            healthy = (
+                not status["degraded"]
+                and not status["repairing"]
+                and len(status["repairs"]) >= min_repairs
+            )
+            if healthy:
+                return status
+            if loop.time() >= deadline:
+                raise StoreError(
+                    f"service still degraded after {timeout}s: "
+                    f"degraded={status['degraded']} "
+                    f"repairs={len(status['repairs'])}/{min_repairs}"
+                )
+            await asyncio.sleep(poll)
+
+    async def shutdown_service(self) -> None:
+        """Gracefully stop every daemon, then the coordinator."""
+        status = await self.status()
+        for info in status["nodes"].values():
+            if info["alive"]:
+                try:
+                    await call(info["host"], info["port"], "shutdown", attempts=1)
+                except (StoreError, ConnectionError, OSError):
+                    pass  # a daemon dying mid-shutdown is still shut down
+        await self._coordinator("shutdown")
+
+
+class SyncStoreClient:
+    """Blocking facade over :class:`StoreClient` for scripts and the CLI."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._client = StoreClient(host, port)
+
+    def put(self, name: str, data) -> dict:
+        return asyncio.run(self._client.put(name, data))
+
+    def get(self, name: str) -> bytes:
+        return asyncio.run(self._client.get(name))
+
+    def delete(self, name: str) -> dict:
+        return asyncio.run(self._client.delete(name))
+
+    def list_objects(self) -> list[dict]:
+        return asyncio.run(self._client.list_objects())
+
+    def status(self) -> dict:
+        return asyncio.run(self._client.status())
+
+    def wait_healthy(self, **kwargs) -> dict:
+        return asyncio.run(self._client.wait_healthy(**kwargs))
+
+    def shutdown_service(self) -> None:
+        asyncio.run(self._client.shutdown_service())

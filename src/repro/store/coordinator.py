@@ -1,0 +1,560 @@
+"""The coordinator: metadata, liveness, and repair orchestration.
+
+The namenode half of the store service.  It owns every decision the
+daemons are too dumb to make:
+
+* **Metadata** — object → stripes → block placement (the same
+  :class:`~repro.cluster.Placement` machinery and per-stripe
+  rack/slot rotation as the in-process :class:`repro.system.StorageSystem`),
+  plus write-time CRC32 per block, which later *proves* a repair rebuilt
+  the exact bytes.
+* **Liveness** — a :class:`~repro.store.heartbeat.FailureDetector` fed
+  by daemon heartbeats; a SIGKILLed daemon is noticed as silence.
+* **Repair** — on a death, affected stripes are re-planned with the
+  configured scheme (traditional / CAR / RPR — the paper's three), the
+  plan is partitioned across surviving daemons
+  (:func:`~repro.store.repair.partition_plan`), executed by them with
+  repair bytes flowing daemon→daemon, and cross-checked two ways:
+  rebuilt CRCs against write-time CRCs (byte-exactness) and the
+  measured transfer ledger against :func:`~repro.repair.simulate_repair`'s
+  prediction for the same plan (the simulator cross-validation the live
+  runtime already does in one process).
+
+Clients never proxy bytes through the coordinator: ``put.begin`` hands
+out placements and routing, the client talks to daemons directly, and
+``put.commit`` verifies the daemons actually hold what the client
+claims to have written before any metadata becomes durable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cluster import Cluster, Placement, RPRPlacement, SIMICS_BANDWIDTH
+from ..live.transport import TcpStream
+from ..multistripe.store import rotate_placement
+from ..repair import (
+    CARRepair,
+    RepairContext,
+    RepairPlanningError,
+    RPRScheme,
+    TraditionalRepair,
+    pick_live_spares,
+    simulate_repair,
+)
+from ..rs import get_code
+from ..telemetry import CLOCK_WALL, TelemetryRecorder, to_jsonl
+from .heartbeat import FailureDetector
+from .messages import Request, StoreError, call, serve_connection
+from .repair import ledger_from_reports, partition_plan, stored_block_key
+
+__all__ = ["Coordinator", "SCHEMES", "main"]
+
+SCHEMES = {
+    "traditional": TraditionalRepair,
+    "car": CARRepair,
+    "rpr": RPRScheme,
+}
+
+#: Default per-repair deadline handed to daemons (seconds).
+DEFAULT_REPAIR_TIMEOUT = 30.0
+
+
+@dataclass
+class StripeMeta:
+    """Coordinator-side record of one stored stripe."""
+
+    sid: int
+    placement: Placement
+    checksums: dict[int, int] = field(default_factory=dict)
+    missing: set[int] = field(default_factory=set)
+
+    def to_dict(self) -> dict:
+        return {
+            "sid": self.sid,
+            "placement": {
+                str(bid): node for bid, node in self.placement.block_to_node.items()
+            },
+            "missing": sorted(self.missing),
+        }
+
+
+class Coordinator:
+    """The store service's single metadata/orchestration process."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        code,
+        *,
+        scheme: str = "rpr",
+        block_size: int = 64 * 1024,
+        host: str = "127.0.0.1",
+        suspect_after: float = 2.0,
+        sweep_interval: float = 0.25,
+        repair_timeout: float = DEFAULT_REPAIR_TIMEOUT,
+        bandwidth=SIMICS_BANDWIDTH,
+        recorder: TelemetryRecorder | None = None,
+    ) -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; expected one of {sorted(SCHEMES)}")
+        self.cluster = cluster
+        self.code = code
+        self.scheme_name = scheme
+        self.scheme = SCHEMES[scheme]()
+        self.block_size = block_size
+        self.host = host
+        self.sweep_interval = sweep_interval
+        self.repair_timeout = repair_timeout
+        self.bandwidth = bandwidth
+        self.port: int | None = None
+        self.rec = recorder or TelemetryRecorder(
+            CLOCK_WALL, meta={"component": "coordinator", "scheme": scheme}
+        )
+        self.detector = FailureDetector(suspect_after=suspect_after)
+        self.stripes: dict[int, StripeMeta] = {}
+        self.objects: dict[str, dict] = {}
+        self.repairs: list[dict] = []
+        self._pending_puts: dict[str, dict] = {}
+        self._sid_counter = itertools.count()
+        self._rid_counter = itertools.count()
+        self._base_placement = RPRPlacement().place(cluster, code.n, code.k)
+        self._server: asyncio.base_events.Server | None = None
+        self._sweep_task: asyncio.Task | None = None
+        self._repair_lock = asyncio.Lock()
+        self._repair_tasks: set[asyncio.Task] = set()
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> int:
+        if self._server is not None:
+            raise RuntimeError("coordinator already started")
+        self._server = await asyncio.start_server(self._on_connect, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._sweep_task = asyncio.ensure_future(self._sweep_loop())
+        return self.port
+
+    async def run_until_shutdown(self) -> None:
+        await self._stopping.wait()
+
+    async def aclose(self) -> None:
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            try:
+                await self._sweep_task
+            except asyncio.CancelledError:
+                pass
+            self._sweep_task = None
+        for task in list(self._repair_tasks):
+            task.cancel()
+        if self._repair_tasks:
+            await asyncio.gather(*self._repair_tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- liveness & repair orchestration ------------------------------------
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            self.on_nodes_dead([e.node_id for e in self.detector.sweep()])
+
+    def on_nodes_dead(self, node_ids) -> list[int]:
+        """Mark blocks on dead nodes missing; kick off repair if needed.
+
+        Returns the affected stripe ids.  Public so tests (and an
+        impatient operator RPC) can force the reaction without waiting
+        for the sweep timer.
+        """
+        affected = []
+        for node_id in node_ids:
+            self.rec.event("node.dead", category="fault", node=node_id)
+            for meta in self.stripes.values():
+                for bid, node in meta.placement.block_to_node.items():
+                    if node == node_id and bid not in meta.missing:
+                        meta.missing.add(bid)
+                        affected.append(meta.sid)
+        if affected:
+            task = asyncio.ensure_future(self._repair_degraded())
+            self._repair_tasks.add(task)
+            task.add_done_callback(self._repair_tasks.discard)
+        return affected
+
+    async def _repair_degraded(self) -> None:
+        # One repair wave at a time; each stripe sequentially within it
+        # (matching the paper's serial per-stripe repair accounting).
+        async with self._repair_lock:
+            for sid in sorted(self.stripes):
+                if self.stripes[sid].missing:
+                    try:
+                        await self._repair_stripe(sid)
+                    except (StoreError, RepairPlanningError, ConnectionError, OSError) as exc:
+                        self.rec.event(
+                            "repair.failed", category="fault", sid=sid, error=str(exc)
+                        )
+
+    async def _repair_stripe(self, sid: int) -> dict:
+        meta = self.stripes[sid]
+        failed = tuple(sorted(meta.missing))
+        alive = self.detector.alive_ids()
+        dead = set(self.cluster.node_ids()) - alive
+        override = pick_live_spares(
+            self.cluster, meta.placement, failed, dead_nodes=dead
+        )
+        ctx = RepairContext(
+            code=self.code,
+            cluster=self.cluster,
+            placement=meta.placement,
+            failed_blocks=failed,
+            block_size=self.block_size,
+            recovery_override=override,
+        )
+        plan = self.scheme.plan(ctx)
+        outcome = simulate_repair(self.scheme, ctx, self.bandwidth)
+        parts = partition_plan(plan, meta.placement, sid, failed)
+        routing = {}
+        for node_id in parts:
+            entry = self.detector.entry(node_id)
+            if entry is None or not entry.alive:
+                raise StoreError(
+                    f"repair of stripe {sid} needs node {node_id}, which is dead"
+                )
+            routing[node_id] = [entry.host, entry.port]
+        rid = f"r{next(self._rid_counter)}"
+        start = self.rec.now()
+        results = await asyncio.gather(
+            *(
+                call(
+                    *routing[node_id],
+                    "repair.exec",
+                    {
+                        "rid": rid,
+                        "assignment": part.to_dict(),
+                        "routing": routing,
+                        "block_size": self.block_size,
+                        "timeout": self.repair_timeout,
+                    },
+                    timeout=self.repair_timeout + 10.0,
+                )
+                for node_id, part in parts.items()
+            )
+        )
+        reports = [body for body, _blob in results]
+
+        # Byte-exactness: every rebuilt block must carry its write-time CRC.
+        crc_ok = True
+        rebuilt = 0
+        for report in reports:
+            for committed in report["committed"]:
+                bid = int(committed["block_id"])
+                rebuilt += 1
+                if committed["crc"] != meta.checksums[bid]:
+                    crc_ok = False
+                    self.rec.event(
+                        "repair.crc_mismatch", category="fault",
+                        sid=sid, block=bid, rid=rid,
+                    )
+        if rebuilt != len(failed):
+            raise StoreError(
+                f"repair {rid} committed {rebuilt} blocks, expected {len(failed)}"
+            )
+        if not crc_ok:
+            raise StoreError(f"repair {rid} rebuilt wrong bytes for stripe {sid}")
+
+        # Ledger cross-check: measured daemon→daemon traffic vs simulator.
+        measured = ledger_from_reports(
+            self.cluster, [r for report in reports for r in report["reports"]]
+        )
+        record = {
+            "rid": rid,
+            "sid": sid,
+            "scheme": self.scheme_name,
+            "failed_blocks": list(failed),
+            "targets": {str(bid): node for bid, node in override},
+            "measured": measured,
+            "simulated": {
+                "cross_rack_bytes": int(outcome.cross_rack_bytes),
+                "intra_rack_bytes": int(outcome.intra_rack_bytes),
+                "repair_time": outcome.total_repair_time,
+            },
+            "ledger_match": measured["cross_rack_bytes"]
+            == int(outcome.cross_rack_bytes),
+            "wall_seconds": self.rec.now() - start,
+        }
+        self.repairs.append(record)
+        self.rec.span(
+            f"repair:{rid}", start, self.rec.now(), category="repair",
+            rid=rid, sid=sid, scheme=self.scheme_name,
+            cross_rack_bytes=measured["cross_rack_bytes"],
+            ledger_match=record["ledger_match"],
+        )
+
+        mapping = dict(meta.placement.block_to_node)
+        for bid, target in override:
+            mapping[bid] = target
+        meta.placement = Placement(
+            n=self.code.n, k=self.code.k, block_to_node=mapping
+        )
+        meta.missing.clear()
+        return record
+
+    # -- RPC dispatch -------------------------------------------------------
+
+    async def _on_connect(self, reader, writer) -> None:
+        await serve_connection(TcpStream(reader, writer), self._dispatch)
+
+    async def _dispatch(self, request: Request):
+        handler = getattr(self, "_rpc_" + request.mtype.replace(".", "_"), None)
+        if handler is None:
+            raise StoreError(f"coordinator: unknown rpc {request.mtype!r}")
+        return await handler(request)
+
+    async def _rpc_heartbeat(self, request: Request):
+        body = request.body
+        meta = {k: v for k, v in body.items() if k not in ("node_id", "host", "port")}
+        self.detector.beat(
+            int(body["node_id"]), body["host"], int(body["port"]), meta
+        )
+        return {"nodes": len(self.detector.nodes)}, None
+
+    async def _rpc_status(self, request: Request):
+        return {
+            "scheme": self.scheme_name,
+            "code": {"n": self.code.n, "k": self.code.k},
+            "block_size": self.block_size,
+            "cluster": {
+                "racks": self.cluster.num_racks,
+                "nodes": self.cluster.num_nodes,
+            },
+            "nodes": self.detector.to_dict(),
+            "objects": {
+                name: {"size": info["size"], "stripes": info["stripe_ids"]}
+                for name, info in self.objects.items()
+            },
+            "degraded": sorted(
+                sid for sid, meta in self.stripes.items() if meta.missing
+            ),
+            "repairing": bool(self._repair_tasks),
+            "repairs": self.repairs,
+        }, None
+
+    def _routing(self, node_ids) -> dict:
+        routing = {}
+        for node_id in node_ids:
+            entry = self.detector.entry(node_id)
+            if entry is None or not entry.alive:
+                raise StoreError(f"node {node_id} is not alive")
+            routing[str(node_id)] = [entry.host, entry.port]
+        return routing
+
+    async def _rpc_put_begin(self, request: Request):
+        body = request.body
+        name, size, nstripes = body["name"], int(body["size"]), int(body["nstripes"])
+        if name in self.objects or name in self._pending_puts:
+            raise StoreError(f"object {name!r} already exists")
+        if nstripes < 1:
+            raise StoreError("object must span at least one stripe")
+        alive = self.detector.alive_ids()
+        stripes = []
+        for _ in range(nstripes):
+            sid = next(self._sid_counter)
+            placement = rotate_placement(
+                self.cluster,
+                self._base_placement,
+                rack_offset=sid % self.cluster.num_racks,
+                slot_offset=sid // self.cluster.num_racks,
+            )
+            lands_on = set(placement.block_to_node.values())
+            if not lands_on <= alive:
+                raise StoreError(
+                    f"stripe {sid} would land on dead nodes "
+                    f"{sorted(lands_on - alive)}; repair or restart them first"
+                )
+            stripes.append((sid, placement))
+        self._pending_puts[name] = {"size": size, "stripes": stripes}
+        involved = {n for _, p in stripes for n in p.block_to_node.values()}
+        return {
+            "name": name,
+            "block_size": self.block_size,
+            "n": self.code.n,
+            "k": self.code.k,
+            "stripes": [
+                {
+                    "sid": sid,
+                    "placement": {
+                        str(bid): node
+                        for bid, node in placement.block_to_node.items()
+                    },
+                }
+                for sid, placement in stripes
+            ],
+            "routing": self._routing(involved),
+        }, None
+
+    async def _rpc_put_commit(self, request: Request):
+        body = request.body
+        name = body["name"]
+        pending = self._pending_puts.get(name)
+        if pending is None:
+            raise StoreError(f"no pending put for object {name!r}")
+        claimed = {int(s["sid"]): {int(b): int(c) for b, c in s["crcs"].items()}
+                   for s in body["stripes"]}
+        # Trust nothing: stat the daemons and compare CRCs before the
+        # metadata becomes durable.
+        for sid, placement in pending["stripes"]:
+            if set(claimed.get(sid, {})) != set(range(self.code.width)):
+                raise StoreError(f"put.commit missing CRCs for stripe {sid}")
+            by_node: dict[int, list[int]] = {}
+            for bid, node in placement.block_to_node.items():
+                by_node.setdefault(node, []).append(bid)
+            for node, bids in by_node.items():
+                entry = self.detector.entry(node)
+                if entry is None or not entry.alive:
+                    raise StoreError(f"node {node} died during put of {name!r}")
+                keys = {stored_block_key(sid, bid): bid for bid in bids}
+                found, _ = await call(
+                    entry.host, entry.port, "block.stat", {"keys": list(keys)}
+                )
+                for key, bid in keys.items():
+                    stat = found["found"].get(key)
+                    if stat is None:
+                        raise StoreError(
+                            f"daemon {node} holds no block {key!r}; "
+                            f"client must rewrite before committing"
+                        )
+                    if stat["crc"] != claimed[sid][bid]:
+                        raise StoreError(
+                            f"daemon {node} holds different bytes for {key!r}"
+                        )
+        for sid, placement in pending["stripes"]:
+            self.stripes[sid] = StripeMeta(
+                sid=sid, placement=placement, checksums=claimed[sid]
+            )
+        self.objects[name] = {
+            "size": pending["size"],
+            "stripe_ids": [sid for sid, _ in pending["stripes"]],
+        }
+        del self._pending_puts[name]
+        self.rec.count("coordinator.objects_put")
+        return {"name": name, "stripes": len(claimed)}, None
+
+    async def _rpc_object_lookup(self, request: Request):
+        name = request.body["name"]
+        info = self.objects.get(name)
+        if info is None:
+            raise StoreError(f"no object {name!r}")
+        stripes = [self.stripes[sid].to_dict() for sid in info["stripe_ids"]]
+        involved = {
+            node
+            for sid in info["stripe_ids"]
+            for node in self.stripes[sid].placement.block_to_node.values()
+        }
+        return {
+            "name": name,
+            "size": info["size"],
+            "n": self.code.n,
+            "block_size": self.block_size,
+            "stripes": stripes,
+            "routing": self._routing(involved),
+        }, None
+
+    async def _rpc_object_delete(self, request: Request):
+        name = request.body["name"]
+        info = self.objects.get(name)
+        if info is None:
+            raise StoreError(f"no object {name!r}")
+        by_node: dict[int, list[str]] = {}
+        for sid in info["stripe_ids"]:
+            meta = self.stripes[sid]
+            for bid, node in meta.placement.block_to_node.items():
+                if bid not in meta.missing:
+                    by_node.setdefault(node, []).append(stored_block_key(sid, bid))
+        dropped = 0
+        for node, keys in by_node.items():
+            entry = self.detector.entry(node)
+            if entry is None or not entry.alive:
+                continue  # its blocks died with it
+            body, _ = await call(entry.host, entry.port, "block.delete", {"keys": keys})
+            dropped += body["dropped"]
+        for sid in info["stripe_ids"]:
+            del self.stripes[sid]
+        del self.objects[name]
+        return {"name": name, "dropped": dropped}, None
+
+    async def _rpc_object_list(self, request: Request):
+        return {
+            "objects": [
+                {"name": name, "size": info["size"], "stripes": len(info["stripe_ids"])}
+                for name, info in sorted(self.objects.items())
+            ]
+        }, None
+
+    async def _rpc_shutdown(self, request: Request):
+        self._stopping.set()
+        return {}, None
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    cluster = Cluster.homogeneous(args.racks, args.per_rack)
+    coordinator = Coordinator(
+        cluster,
+        get_code(args.n, args.k),
+        scheme=args.scheme,
+        block_size=args.block_size,
+        suspect_after=args.suspect_after,
+        sweep_interval=args.sweep_interval,
+    )
+    port = await coordinator.start()
+    if args.state_file:
+        # The launcher polls this file for the bound port; write-then-rename
+        # so it never reads a half-written JSON.
+        state = Path(args.state_file)
+        tmp = state.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"host": coordinator.host, "port": port}))
+        tmp.replace(state)
+    print(json.dumps({"host": coordinator.host, "port": port}), flush=True)
+    try:
+        await coordinator.run_until_shutdown()
+    finally:
+        await coordinator.aclose()
+        if args.telemetry:
+            Path(args.telemetry).write_text(to_jsonl(coordinator.rec.trace()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.coordinator",
+        description="Metadata/repair coordinator of the repro object store.",
+    )
+    parser.add_argument("--racks", type=int, required=True)
+    parser.add_argument("--per-rack", type=int, required=True)
+    parser.add_argument("--n", type=int, required=True)
+    parser.add_argument("--k", type=int, required=True)
+    parser.add_argument("--scheme", choices=sorted(SCHEMES), default="rpr")
+    parser.add_argument("--block-size", type=int, default=64 * 1024)
+    parser.add_argument("--suspect-after", type=float, default=2.0)
+    parser.add_argument("--sweep-interval", type=float, default=0.25)
+    parser.add_argument(
+        "--state-file", default=None,
+        help="write {'host', 'port'} JSON here once the RPC port is bound",
+    )
+    parser.add_argument(
+        "--telemetry", default=None,
+        help="write coordinator telemetry JSONL here on graceful shutdown",
+    )
+    args = parser.parse_args(argv)
+    asyncio.run(_amain(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

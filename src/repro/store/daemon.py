@@ -1,0 +1,243 @@
+"""The storage-node daemon: one process, one node's blocks.
+
+A daemon is deliberately dumb — the HDFS-datanode half of the service.
+It holds a dict of committed blocks, answers block I/O RPCs, streams
+heartbeats at the coordinator, and executes whatever repair assignment
+the coordinator hands it (:mod:`repro.store.repair`).  All policy —
+placement, failure detection, repair planning — lives in the
+coordinator; a daemon never decides anything, so killing one (the whole
+point of the service) loses exactly one node's worth of bytes and no
+brain.
+
+Runs in-process for tests (:class:`StorageDaemon`) or as a subprocess
+(``python -m repro.store.daemon``) for the real multi-process harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..live.transport import TcpStream
+from ..telemetry import CLOCK_WALL, TelemetryRecorder, to_jsonl
+from .heartbeat import DEFAULT_INTERVAL, HeartbeatSender
+from .messages import Request, StoreError, serve_connection
+from .repair import NodeAssignment, RepairSession
+
+__all__ = ["StorageDaemon", "main"]
+
+#: Generous ceiling for one repair session (the coordinator passes the
+#: real deadline per repair; this guards a coordinator that forgot).
+DEFAULT_REPAIR_TIMEOUT = 60.0
+
+
+def _as_block(blob) -> np.ndarray:
+    """An inbound blob as a uint8 array (owns its bytes after the frame)."""
+    arr = np.frombuffer(bytes(blob), dtype=np.uint8)
+    return arr
+
+
+class StorageDaemon:
+    """One storage node: block store + RPC server + heartbeats."""
+
+    def __init__(
+        self,
+        node_id: int,
+        coordinator: tuple[str, int] | None = None,
+        *,
+        host: str = "127.0.0.1",
+        heartbeat_interval: float = DEFAULT_INTERVAL,
+        recorder: TelemetryRecorder | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.coordinator = coordinator
+        self.host = host
+        self.heartbeat_interval = heartbeat_interval
+        self.port: int | None = None
+        self.blocks: dict[str, np.ndarray] = {}
+        self.rec = recorder or TelemetryRecorder(
+            CLOCK_WALL, meta={"component": "daemon", "node": node_id}
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._hb: HeartbeatSender | None = None
+        self._hb_task: asyncio.Task | None = None
+        self._sessions: dict[str, RepairSession] = {}
+        #: repair payloads that arrived before their repair.exec did.
+        self._early: dict[str, list[tuple[str, np.ndarray]]] = {}
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind (port 0 — the kernel picks), start beating; returns the port."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._server = await asyncio.start_server(self._on_connect, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.coordinator is not None:
+            # The first beat doubles as registration and carries the port
+            # actually bound — never a configured guess.
+            self._hb = HeartbeatSender(
+                self.node_id,
+                self.coordinator,
+                port=self.port,
+                host=self.host,
+                interval=self.heartbeat_interval,
+            )
+            self._hb_task = asyncio.ensure_future(
+                self._hb.run(lambda: {"blocks": len(self.blocks)})
+            )
+        return self.port
+
+    async def run_until_shutdown(self) -> None:
+        await self._stopping.wait()
+
+    async def aclose(self) -> None:
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            try:
+                await self._hb_task
+            except asyncio.CancelledError:
+                pass
+            self._hb_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- RPC dispatch -------------------------------------------------------
+
+    async def _on_connect(self, reader, writer) -> None:
+        await serve_connection(TcpStream(reader, writer), self._dispatch)
+
+    async def _dispatch(self, request: Request):
+        handler = getattr(self, "_rpc_" + request.mtype.replace(".", "_"), None)
+        if handler is None:
+            raise StoreError(f"daemon {self.node_id}: unknown rpc {request.mtype!r}")
+        return await handler(request)
+
+    async def _rpc_ping(self, request: Request):
+        return {"node_id": self.node_id, "blocks": len(self.blocks)}, None
+
+    async def _rpc_block_put(self, request: Request):
+        key = request.body["key"]
+        payload = _as_block(request.blob)
+        self.blocks[key] = payload
+        self.rec.count("daemon.block_put_bytes", payload.nbytes)
+        return {"key": key, "nbytes": int(payload.nbytes),
+                "crc": zlib.crc32(payload.tobytes()) & 0xFFFFFFFF}, None
+
+    async def _rpc_block_get(self, request: Request):
+        key = request.body["key"]
+        payload = self.blocks.get(key)
+        if payload is None:
+            raise StoreError(f"daemon {self.node_id}: no block {key!r}")
+        self.rec.count("daemon.block_get_bytes", payload.nbytes)
+        return {"key": key, "nbytes": int(payload.nbytes)}, payload.data
+
+    async def _rpc_block_delete(self, request: Request):
+        dropped = sum(self.blocks.pop(key, None) is not None
+                      for key in request.body["keys"])
+        return {"dropped": int(dropped)}, None
+
+    async def _rpc_block_stat(self, request: Request):
+        found = {}
+        for key in request.body["keys"]:
+            payload = self.blocks.get(key)
+            if payload is not None:
+                found[key] = {
+                    "nbytes": int(payload.nbytes),
+                    "crc": zlib.crc32(payload.tobytes()) & 0xFFFFFFFF,
+                }
+        return {"found": found}, None
+
+    async def _rpc_repair_block(self, request: Request):
+        rid, key = request.body["rid"], request.body["key"]
+        payload = _as_block(request.blob)
+        session = self._sessions.get(rid)
+        if session is not None:
+            session.deliver(key, payload)
+        else:
+            # A fast peer beat our repair.exec here; park the payload and
+            # replay it once the assignment arrives.
+            self._early.setdefault(rid, []).append((key, payload))
+        return {"rid": rid, "key": key}, None
+
+    async def _rpc_repair_exec(self, request: Request):
+        body = request.body
+        rid = body["rid"]
+        if rid in self._sessions:
+            raise StoreError(f"daemon {self.node_id}: repair {rid!r} already running")
+        session = RepairSession(
+            rid,
+            NodeAssignment.from_dict(body["assignment"]),
+            {int(nid): (host, int(port))
+             for nid, (host, port) in body["routing"].items()},
+            block_size=int(body["block_size"]),
+            recorder=self.rec,
+        )
+        self._sessions[rid] = session
+        for key, payload in self._early.pop(rid, []):
+            session.deliver(key, payload)
+        start = self.rec.now()
+        try:
+            report = await session.run(
+                self.blocks, timeout=float(body.get("timeout", DEFAULT_REPAIR_TIMEOUT))
+            )
+        finally:
+            self._sessions.pop(rid, None)
+        self.rec.span(
+            f"repair:{rid}:{self.node_id}", start, self.rec.now(),
+            category="repair", rid=rid, node=self.node_id,
+            ops=len(session.reports), committed=len(session.committed),
+        )
+        return report, None
+
+    async def _rpc_shutdown(self, request: Request):
+        self._stopping.set()
+        return {"node_id": self.node_id}, None
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    host, port = args.coordinator.rsplit(":", 1)
+    daemon = StorageDaemon(
+        args.node_id,
+        (host, int(port)),
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    await daemon.start()
+    try:
+        await daemon.run_until_shutdown()
+    finally:
+        await daemon.aclose()
+        if args.telemetry:
+            Path(args.telemetry).write_text(to_jsonl(daemon.rec.trace()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.daemon",
+        description="One storage-node daemon of the repro object store.",
+    )
+    parser.add_argument("--node-id", type=int, required=True)
+    parser.add_argument(
+        "--coordinator", required=True, metavar="HOST:PORT",
+        help="coordinator RPC address to register with (via heartbeats)",
+    )
+    parser.add_argument("--heartbeat-interval", type=float, default=DEFAULT_INTERVAL)
+    parser.add_argument(
+        "--telemetry", default=None,
+        help="write this daemon's telemetry JSONL here on graceful shutdown",
+    )
+    args = parser.parse_args(argv)
+    asyncio.run(_amain(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Node liveness: daemon-side heartbeats, coordinator-side detection.
+
+A daemon announces itself by heartbeating — the first beat *is* the
+registration, carrying the ephemeral port the daemon actually bound
+(never a configured guess; see the transport layer's port-registry
+rationale).  The coordinator's :class:`FailureDetector` keeps one entry
+per node and declares a node dead once its last beat is older than
+``suspect_after`` — exactly how a SIGKILLed daemon is noticed, since a
+killed process simply stops beating.
+
+Both halves take injectable clocks so the detector's arithmetic is unit
+tested without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .messages import call
+
+__all__ = ["HeartbeatSender", "FailureDetector", "NodeEntry", "DEFAULT_INTERVAL"]
+
+#: Default seconds between beats; the detector's default suspicion
+#: threshold is a few multiples of this.
+DEFAULT_INTERVAL = 0.5
+
+
+class HeartbeatSender:
+    """Daemon side: beat the coordinator every ``interval`` seconds.
+
+    A failed beat (coordinator restarting, transient refusals beyond the
+    connect backoff) is *not* fatal — the daemon keeps serving and
+    retries at the next tick; the cost of a dropped beat is bounded by
+    the detector's ``suspect_after`` slack.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        coordinator: tuple[str, int],
+        *,
+        port: int,
+        host: str = "127.0.0.1",
+        interval: float = DEFAULT_INTERVAL,
+        rpc=call,
+    ) -> None:
+        self.node_id = node_id
+        self.coordinator = coordinator
+        self.host = host
+        self.port = port
+        self.interval = interval
+        self.beats_sent = 0
+        self.beats_failed = 0
+        self._rpc = rpc
+
+    async def beat_once(self, extra: dict | None = None) -> bool:
+        """One beat; returns True when the coordinator acknowledged."""
+        body = {"node_id": self.node_id, "host": self.host, "port": self.port}
+        if extra:
+            body.update(extra)
+        try:
+            await self._rpc(
+                self.coordinator[0],
+                self.coordinator[1],
+                "heartbeat",
+                body,
+                timeout=max(self.interval * 4, 2.0),
+                attempts=2,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.beats_failed += 1
+            return False
+        self.beats_sent += 1
+        return True
+
+    async def run(self, extra: Callable[[], dict] | None = None) -> None:
+        """Beat forever (cancel the task to stop)."""
+        while True:
+            await self.beat_once(extra() if extra else None)
+            await asyncio.sleep(self.interval)
+
+
+@dataclass
+class NodeEntry:
+    """What the coordinator knows about one storage node."""
+
+    node_id: int
+    host: str
+    port: int
+    last_beat: float
+    alive: bool = True
+    beats: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def addr(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+class FailureDetector:
+    """Coordinator side: registry of nodes and their last heartbeat.
+
+    ``suspect_after`` is the silence threshold: :meth:`sweep` returns
+    the nodes that just crossed it (newly dead) so the caller can kick
+    off repair exactly once per death.  A node that beats again after
+    being declared dead is *revived* as empty capacity — its in-memory
+    payloads died with the old process, and any blocks it held have
+    been (or are being) rebuilt elsewhere.
+    """
+
+    def __init__(
+        self,
+        *,
+        suspect_after: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if suspect_after <= 0:
+            raise ValueError(f"suspect_after must be positive, got {suspect_after}")
+        self.suspect_after = suspect_after
+        self._clock = clock
+        self.nodes: dict[int, NodeEntry] = {}
+
+    def beat(self, node_id: int, host: str, port: int, meta: dict | None = None) -> NodeEntry:
+        """Record one heartbeat; returns the (possibly new) entry."""
+        now = self._clock()
+        entry = self.nodes.get(node_id)
+        if entry is None:
+            entry = self.nodes[node_id] = NodeEntry(
+                node_id=node_id, host=host, port=port, last_beat=now
+            )
+        entry.host = host
+        entry.port = port
+        entry.last_beat = now
+        entry.alive = True
+        entry.beats += 1
+        if meta:
+            entry.meta.update(meta)
+        return entry
+
+    def sweep(self) -> list[NodeEntry]:
+        """Mark overdue nodes dead; returns only the *newly* dead ones."""
+        now = self._clock()
+        newly_dead = []
+        for entry in self.nodes.values():
+            if entry.alive and now - entry.last_beat > self.suspect_after:
+                entry.alive = False
+                newly_dead.append(entry)
+        return newly_dead
+
+    def alive_ids(self) -> set[int]:
+        return {nid for nid, e in self.nodes.items() if e.alive}
+
+    def dead_ids(self) -> set[int]:
+        return {nid for nid, e in self.nodes.items() if not e.alive}
+
+    def entry(self, node_id: int) -> NodeEntry | None:
+        return self.nodes.get(node_id)
+
+    def to_dict(self) -> dict:
+        now = self._clock()
+        return {
+            str(nid): {
+                "host": e.host,
+                "port": e.port,
+                "alive": e.alive,
+                "beat_age_s": now - e.last_beat,
+                "beats": e.beats,
+                **({"meta": e.meta} if e.meta else {}),
+            }
+            for nid, e in sorted(self.nodes.items())
+        }

@@ -1,0 +1,186 @@
+"""The store service's request/response protocol over wire frames.
+
+Every RPC is one connection carrying exactly two frames of the live
+runtime's wire protocol (:mod:`repro.live.wire`): a request frame from
+the caller, a response frame back.  Frame headers stay tiny (they are
+capped at :data:`~repro.live.wire.MAX_HEADER_BYTES`); structured bodies
+ride at the *front of the frame payload* as JSON, followed by any raw
+block bytes:
+
+```
+frame payload = [ blen bytes of JSON body | raw binary blob ]
+header        = {"t": <type>, "v": 1, "blen": <json length>, ...}
+```
+
+so a large message (a serialized repair plan, a block transfer) never
+fights the header cap, and the blob half is moved with the wire layer's
+zero-copy chunking.
+
+All three components — coordinator, daemons, clients — speak only this
+shape; :func:`call` is the single client-side entry point (connect with
+backoff, send, await the response with a timeout, close).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..live.transport import Stream, connect_tcp
+from ..live.wire import WireError, read_frame, send_frame
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "StoreError",
+    "StoreProtocolError",
+    "Request",
+    "call",
+    "read_request",
+    "send_response",
+    "response_error",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Default per-read progress timeout for service frames (seconds).
+DEFAULT_RPC_TIMEOUT = 30.0
+
+
+class StoreError(RuntimeError):
+    """A store operation failed (service-side errors travel back as this)."""
+
+
+class StoreProtocolError(StoreError):
+    """The peer spoke a frame this protocol cannot interpret."""
+
+
+class Request:
+    """One parsed incoming request: type, JSON body, binary blob."""
+
+    __slots__ = ("mtype", "body", "blob")
+
+    def __init__(self, mtype: str, body: dict, blob: memoryview) -> None:
+        self.mtype = mtype
+        self.body = body
+        self.blob = blob
+
+
+def _pack(body: dict | None, blob) -> tuple[int, bytes]:
+    encoded = b"" if body is None else json.dumps(body, separators=(",", ":")).encode()
+    if blob is None or len(blob) == 0:
+        return len(encoded), encoded
+    return len(encoded), encoded + bytes(blob)
+
+
+def _split(header: dict, payload: bytearray) -> tuple[dict, memoryview]:
+    blen = int(header.get("blen", 0))
+    if blen < 0 or blen > len(payload):
+        raise StoreProtocolError(f"body length {blen} outside payload of {len(payload)}")
+    view = memoryview(payload)
+    try:
+        body = json.loads(view[:blen].tobytes()) if blen else {}
+    except json.JSONDecodeError as exc:
+        raise StoreProtocolError(f"message body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise StoreProtocolError(f"message body must be a JSON object, got {type(body).__name__}")
+    return body, view[blen:]
+
+
+async def send_request(
+    stream: Stream, mtype: str, body: dict | None = None, blob=None
+) -> None:
+    blen, payload = _pack(body, blob)
+    await send_frame(
+        stream, {"t": mtype, "v": PROTOCOL_VERSION, "blen": blen}, payload
+    )
+
+
+async def read_request(
+    stream: Stream, *, timeout: float | None = DEFAULT_RPC_TIMEOUT
+) -> Request:
+    """Server side: parse one request frame into a :class:`Request`."""
+    header, payload = await read_frame(stream, timeout=timeout)
+    mtype = header.get("t")
+    if not isinstance(mtype, str):
+        raise StoreProtocolError(f"request frame without a type: {header}")
+    if header.get("v") != PROTOCOL_VERSION:
+        raise StoreProtocolError(
+            f"protocol version {header.get('v')!r} != {PROTOCOL_VERSION}"
+        )
+    body, blob = _split(header, payload)
+    return Request(mtype, body, blob)
+
+
+async def send_response(
+    stream: Stream, body: dict | None = None, blob=None, *, ok: bool = True,
+    error: str | None = None,
+) -> None:
+    blen, payload = _pack(body, blob)
+    head = {"t": "resp", "v": PROTOCOL_VERSION, "ok": ok, "blen": blen}
+    if error is not None:
+        head["error"] = error
+    await send_frame(stream, head, payload)
+
+
+async def response_error(stream: Stream, error: str) -> None:
+    """Shorthand for a failed response with no body."""
+    await send_response(stream, ok=False, error=error)
+
+
+async def call(
+    host: str,
+    port: int,
+    mtype: str,
+    body: dict | None = None,
+    blob=None,
+    *,
+    timeout: float = DEFAULT_RPC_TIMEOUT,
+    attempts: int = 5,
+) -> tuple[dict, memoryview]:
+    """One round trip: connect (with refused-connection backoff), send
+    the request, await the response; returns ``(body, blob)``.
+
+    A response with ``ok: false`` raises :class:`StoreError` carrying
+    the service-side message; wire-level trouble (truncation, timeout,
+    refused after backoff) raises :class:`WireError` /
+    ``ConnectionError`` for the caller's retry policy to judge.
+    """
+    stream = await connect_tcp(host, port, attempts=attempts)
+    try:
+        await send_request(stream, mtype, body, blob)
+        header, payload = await read_frame(stream, timeout=timeout)
+        if not header.get("ok", False):
+            raise StoreError(
+                header.get("error") or f"rpc {mtype!r} failed with no error message"
+            )
+        body_out, blob_out = _split(header, payload)
+        return body_out, blob_out
+    finally:
+        await stream.aclose()
+
+
+async def serve_connection(stream: Stream, dispatch, *, timeout=DEFAULT_RPC_TIMEOUT) -> None:
+    """Server loop body: read one request, dispatch, respond, close.
+
+    ``dispatch(request)`` returns ``(body, blob)`` (either may be
+    ``None``) or raises :class:`StoreError` for a client-visible
+    failure; anything else is reported as an internal error string so a
+    daemon never dies from one bad connection.
+    """
+    try:
+        try:
+            request = await read_request(stream, timeout=timeout)
+        except (WireError, ConnectionError):
+            return  # peer vanished or spoke garbage: nothing to answer
+        try:
+            body, blob = await dispatch(request)
+        except StoreError as exc:
+            await response_error(stream, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - service must stay up
+            await response_error(stream, f"internal error: {exc!r}")
+            return
+        await send_response(stream, body, blob)
+    except (WireError, ConnectionError):
+        pass  # peer died while we were answering; its caller sees the error
+    finally:
+        await stream.aclose()

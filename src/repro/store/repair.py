@@ -1,0 +1,417 @@
+"""Distributed repair: partition a plan across daemons, execute locally.
+
+The single-process live runtime (:mod:`repro.live.runtime`) holds every
+node's payloads in one dict and runs every op as a task in one loop.
+The store service crosses the process boundary: the coordinator
+*partitions* a :class:`repro.repair.RepairPlan` into per-node
+assignments — each daemon receives only the ops it owns (sends whose
+``src`` it is, combines at its node) — and the daemons execute them
+**data-driven**: an op fires once its input payloads exist locally and
+its same-node predecessor ops are done.  Cross-node dependencies need no
+control messages at all, because every remote dependency in a repair
+plan *is* the send that delivers one of the op's inputs (partitioning
+verifies this property and refuses plans that violate it); repair bytes
+travelling daemon→daemon double as the dependency tokens, exactly like
+the paper's testbed where pipelining emerges from data arrival.
+
+The coordinator's ledger for a repair is then assembled from the
+daemons' op reports and compared byte-for-byte against the simulator's
+prediction for the same plan — the service-path half of the live
+cross-validation story.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import Placement
+from ..gf import GFTables, get_tables, linear_combine
+from ..repair.plan import CombineOp, RepairPlan, SendOp, block_key
+from .messages import StoreError, StoreProtocolError, call
+
+__all__ = [
+    "stored_block_key",
+    "NodeAssignment",
+    "partition_plan",
+    "RepairSession",
+    "ledger_from_reports",
+]
+
+
+def stored_block_key(stripe_id: int, block_id: int) -> str:
+    """The daemon-store key of one committed stripe block."""
+    return f"b:{stripe_id}:{block_id}"
+
+
+def _owner(op: SendOp | CombineOp) -> int:
+    return op.src if isinstance(op, SendOp) else op.node
+
+
+def _inputs(op: SendOp | CombineOp) -> tuple[str, ...]:
+    if isinstance(op, SendOp):
+        return (op.key,)
+    return tuple(key for key, _ in op.terms)
+
+
+def _serialize_op(op: SendOp | CombineOp) -> dict:
+    if isinstance(op, SendOp):
+        return {
+            "kind": "send",
+            "op_id": op.op_id,
+            "src": op.src,
+            "dst": op.dst,
+            "key": op.key,
+            "deps": list(op.deps),
+        }
+    return {
+        "kind": "combine",
+        "op_id": op.op_id,
+        "node": op.node,
+        "out_key": op.out_key,
+        "terms": [[key, coeff] for key, coeff in op.terms],
+        "mb": op.with_matrix_build,
+        "deps": list(op.deps),
+    }
+
+
+def _deserialize_op(data: dict) -> SendOp | CombineOp:
+    if data["kind"] == "send":
+        return SendOp(
+            op_id=data["op_id"],
+            src=int(data["src"]),
+            dst=int(data["dst"]),
+            key=data["key"],
+            deps=tuple(data["deps"]),
+        )
+    if data["kind"] == "combine":
+        return CombineOp(
+            op_id=data["op_id"],
+            node=int(data["node"]),
+            out_key=data["out_key"],
+            terms=tuple((key, int(coeff)) for key, coeff in data["terms"]),
+            with_matrix_build=bool(data.get("mb", False)),
+            deps=tuple(data["deps"]),
+        )
+    raise StoreProtocolError(f"unknown op kind {data.get('kind')!r}")
+
+
+@dataclass
+class NodeAssignment:
+    """Everything one daemon needs to play its part in one repair."""
+
+    node: int
+    ops: list[SendOp | CombineOp] = field(default_factory=list)
+    #: plan payload key -> committed store key, for blocks this node holds.
+    seeds: dict[str, str] = field(default_factory=dict)
+    #: outputs this node must commit: (block_id, plan key, store key).
+    outputs: list[tuple[int, str, str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "ops": [_serialize_op(op) for op in self.ops],
+            "seeds": dict(self.seeds),
+            "outputs": [[bid, key, skey] for bid, key, skey in self.outputs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeAssignment":
+        return cls(
+            node=int(data["node"]),
+            ops=[_deserialize_op(o) for o in data["ops"]],
+            seeds=dict(data["seeds"]),
+            outputs=[
+                (int(bid), key, skey) for bid, key, skey in data["outputs"]
+            ],
+        )
+
+
+def partition_plan(
+    plan: RepairPlan,
+    placement: Placement,
+    stripe_id: int,
+    failed_blocks,
+) -> dict[int, NodeAssignment]:
+    """Split ``plan`` into per-daemon assignments.
+
+    Every op lands at its owner (a send's source, a combine's node).
+    The partition is only sound if cross-node dependencies are carried
+    by the data itself, so each remote dep is checked to be a send that
+    delivers one of the dependent op's inputs to its owner; any other
+    shape (e.g. a pure ordering edge between nodes) would need a control
+    channel the service deliberately does not have, and raises
+    :class:`StoreProtocolError` at planning time instead of deadlocking
+    daemons at run time.
+    """
+    plan.validate()
+    failed = set(failed_blocks)
+    parts: dict[int, NodeAssignment] = {}
+
+    def part(node: int) -> NodeAssignment:
+        found = parts.get(node)
+        if found is None:
+            found = parts[node] = NodeAssignment(node=node)
+        return found
+
+    for op in plan.ops.values():
+        owner = _owner(op)
+        inputs = set(_inputs(op))
+        for dep in op.deps:
+            dep_op = plan.ops[dep]
+            if _owner(dep_op) == owner:
+                continue  # same daemon: ordinary local ordering
+            if (
+                isinstance(dep_op, SendOp)
+                and dep_op.dst == owner
+                and dep_op.key in inputs
+            ):
+                continue  # the dependency IS the payload arrival
+            raise StoreProtocolError(
+                f"op {op.op_id!r} at node {owner} depends on remote op "
+                f"{dep!r} that does not deliver any of its inputs; this "
+                f"plan cannot run data-driven across daemons"
+            )
+        part(owner).ops.append(op)
+
+    # Seed every holder of a surviving original block that the plan reads.
+    read_keys = {key for op in plan.ops.values() for key in _inputs(op)}
+    for bid in range(placement.width):
+        if bid in failed:
+            continue
+        key = block_key(bid)
+        if key in read_keys:
+            part(placement.node_of(bid)).seeds[key] = stored_block_key(stripe_id, bid)
+
+    for bid, (node, key) in plan.outputs.items():
+        part(node).outputs.append((bid, key, stored_block_key(stripe_id, bid)))
+    return parts
+
+
+def ledger_from_reports(cluster, reports: list[dict]) -> dict:
+    """Aggregate daemons' send reports into the simulator's ledger shape."""
+    intra = cross = 0
+    cross_by_rack: dict[int, int] = {}
+    sends = combines = 0
+    for report in reports:
+        if report["kind"] == "combine":
+            combines += 1
+            continue
+        sends += 1
+        nbytes = int(report["nbytes"])
+        src, dst = int(report["src"]), int(report["dst"])
+        if cluster.same_rack(src, dst):
+            intra += nbytes
+        else:
+            cross += nbytes
+            rack = cluster.rack_of(src)
+            cross_by_rack[rack] = cross_by_rack.get(rack, 0) + nbytes
+    return {
+        "intra_rack_bytes": intra,
+        "cross_rack_bytes": cross,
+        "cross_uploaded_by_rack": cross_by_rack,
+        "sends": sends,
+        "combines": combines,
+    }
+
+
+class RepairSession:
+    """One repair's worth of work on one daemon.
+
+    Owns the repair-scoped payload namespace, fires assigned ops as
+    their inputs materialise, pushes sends to peer daemons as
+    ``repair.block`` RPCs, and commits finished outputs into the
+    daemon's block store.  ``deliver`` is the ingress the daemon calls
+    for every inbound ``repair.block``; payloads may arrive *before*
+    the session's assignment does (a fast peer), which is why the daemon
+    buffers early arrivals and replays them into the session.
+    """
+
+    def __init__(
+        self,
+        rid: str,
+        assignment: NodeAssignment,
+        routing: dict[int, tuple[str, int]],
+        *,
+        block_size: int,
+        tables: GFTables | None = None,
+        rpc=call,
+        recorder=None,
+    ) -> None:
+        self.rid = rid
+        self.assignment = assignment
+        self.routing = {int(nid): (host, int(port)) for nid, (host, port) in routing.items()}
+        self.block_size = block_size
+        self.tables = tables or get_tables()
+        self.rpc = rpc
+        self.rec = recorder if recorder else None
+        self.payloads: dict[str, np.ndarray] = {}
+        self._key_events: dict[str, asyncio.Event] = {}
+        self._op_done: dict[str, asyncio.Event] = {
+            op.op_id: asyncio.Event() for op in assignment.ops
+        }
+        self._local_ops = set(self._op_done)
+        self.reports: list[dict] = []
+        self.committed: list[dict] = []
+
+    # -- payload plumbing ---------------------------------------------------
+
+    def _event_for(self, key: str) -> asyncio.Event:
+        event = self._key_events.get(key)
+        if event is None:
+            event = self._key_events[key] = asyncio.Event()
+        return event
+
+    def deliver(self, key: str, payload: np.ndarray) -> None:
+        """An inbound payload (seed, repair.block, or combine output)."""
+        self.payloads[key] = payload
+        self._event_for(key).set()
+
+    async def _await_key(self, key: str) -> np.ndarray:
+        await self._event_for(key).wait()
+        return self.payloads[key]
+
+    # -- op execution -------------------------------------------------------
+
+    async def _run_op(self, op: SendOp | CombineOp) -> None:
+        for dep in op.deps:
+            if dep in self._local_ops:
+                await self._op_done[dep].wait()
+        for key in _inputs(op):
+            await self._await_key(key)
+        if isinstance(op, SendOp):
+            await self._run_send(op)
+        else:
+            self._run_combine(op)
+        self._op_done[op.op_id].set()
+
+    async def _run_send(self, op: SendOp) -> None:
+        try:
+            host, port = self.routing[op.dst]
+        except KeyError:
+            raise StoreError(
+                f"repair {self.rid}: send {op.op_id!r} targets node "
+                f"{op.dst} with no route (dead or uninvolved daemon?)"
+            ) from None
+        payload = np.ascontiguousarray(self.payloads[op.key])
+        start = time.monotonic()
+        await self.rpc(
+            host,
+            port,
+            "repair.block",
+            {"rid": self.rid, "key": op.key},
+            blob=payload.data,
+        )
+        end = time.monotonic()
+        self.reports.append(
+            {
+                "kind": "send",
+                "op_id": op.op_id,
+                "src": op.src,
+                "dst": op.dst,
+                "key": op.key,
+                "nbytes": int(payload.nbytes),
+                "start": start,
+                "end": end,
+            }
+        )
+        if self.rec is not None:
+            self.rec.span(
+                op.op_id, start, end, category="op", op_id=op.op_id,
+                kind="transfer", node=op.src, peer=op.dst,
+                nbytes=int(payload.nbytes), rid=self.rid,
+            )
+
+    def _run_combine(self, op: CombineOp) -> None:
+        start = time.monotonic()
+        out = linear_combine(
+            [coeff for _, coeff in op.terms],
+            [self.payloads[key] for key, _ in op.terms],
+            self.tables,
+        )
+        end = time.monotonic()
+        self.deliver(op.out_key, out)
+        self.reports.append(
+            {
+                "kind": "combine",
+                "op_id": op.op_id,
+                "node": op.node,
+                "out_key": op.out_key,
+                "start": start,
+                "end": end,
+            }
+        )
+        if self.rec is not None:
+            self.rec.span(
+                op.op_id, start, end, category="op", op_id=op.op_id,
+                kind="compute", node=op.node, rid=self.rid,
+            )
+
+    async def _commit_output(self, block_id: int, key: str, stored_key: str, blocks: dict) -> None:
+        payload = await self._await_key(key)
+        blocks[stored_key] = payload
+        self.committed.append(
+            {
+                "block_id": block_id,
+                "stored_key": stored_key,
+                "crc": zlib.crc32(payload.tobytes()) & 0xFFFFFFFF,
+                "nbytes": int(payload.nbytes),
+            }
+        )
+
+    async def run(self, blocks: dict, *, timeout: float) -> dict:
+        """Execute every assigned op and commit outputs; returns the report.
+
+        ``blocks`` is the daemon's committed store: seeds are read from
+        it, rebuilt outputs land in it.  A deadline turns a stalled
+        session (dead peer, partitioned plan bug) into a
+        :class:`StoreError` naming the stuck ops — the distributed twin
+        of the runtime's :class:`~repro.live.runtime.LiveTimeoutError`.
+        """
+        for key, stored_key in self.assignment.seeds.items():
+            if stored_key in blocks:
+                self.deliver(key, blocks[stored_key])
+        tasks: dict[str, asyncio.Task] = {
+            op.op_id: asyncio.ensure_future(self._run_op(op))
+            for op in self.assignment.ops
+        }
+        for bid, key, stored_key in self.assignment.outputs:
+            tasks[f"commit:{bid}"] = asyncio.ensure_future(
+                self._commit_output(bid, key, stored_key, blocks)
+            )
+        if not tasks:
+            return self.report()
+        try:
+            done, pending = await asyncio.wait(
+                tasks.values(), timeout=timeout, return_when=asyncio.FIRST_EXCEPTION
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            for task in done:
+                task.result()
+            if pending:
+                stuck = sorted(
+                    name for name, t in tasks.items() if not t.done() or t.cancelled()
+                )
+                raise StoreError(
+                    f"repair {self.rid} timed out after {timeout}s on node "
+                    f"{self.assignment.node}; unfinished: {stuck}"
+                )
+        finally:
+            for task in tasks.values():
+                task.cancel()
+        return self.report()
+
+    def report(self) -> dict:
+        return {
+            "node": self.assignment.node,
+            "rid": self.rid,
+            "reports": list(self.reports),
+            "committed": list(self.committed),
+        }

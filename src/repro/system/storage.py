@@ -27,10 +27,12 @@ import numpy as np
 from ..cluster import BandwidthModel, Cluster, Placement, RPRPlacement, SIMICS_BANDWIDTH
 from ..repair import (
     RepairContext,
+    RepairPlanningError,
     RepairScheme,
     RPRScheme,
     degraded_read_context,
     execute_plan,
+    pick_live_spares,
     simulate_repair,
 )
 from ..repair.plan import block_key
@@ -475,40 +477,17 @@ class StorageSystem:
         self, state: _StripeState, failed: tuple[int, ...]
     ) -> tuple[tuple[int, int], ...]:
         """Pick live spare targets (the default policy ignores dead nodes)."""
-        placement = state.stored.placement
-        used = {
-            node
-            for bid, node in placement.block_to_node.items()
-            if bid not in failed
-        }
-        override = []
-        taken: set[int] = set()
-        for bid in failed:
-            rack = self.cluster.rack_of(placement.node_of(bid))
-            candidates = [
-                node
-                for node in self.cluster.nodes_in_rack(rack)
-                if node not in used
-                and node not in taken
-                and node not in self._dead_nodes
-            ]
-            if not candidates:
-                # fall back to any live free node anywhere
-                candidates = [
-                    node
-                    for node in self.cluster.node_ids()
-                    if node not in used
-                    and node not in taken
-                    and node not in self._dead_nodes
-                ]
-            if not candidates:
-                raise StorageError(
-                    f"no live node available to rebuild block {bid} of "
-                    f"stripe {state.stored.stripe_id}"
-                )
-            override.append((bid, candidates[0]))
-            taken.add(candidates[0])
-        return tuple(override)
+        try:
+            return pick_live_spares(
+                self.cluster,
+                state.stored.placement,
+                failed,
+                dead_nodes=self._dead_nodes,
+            )
+        except RepairPlanningError as exc:
+            raise StorageError(
+                f"{exc} (stripe {state.stored.stripe_id})"
+            ) from exc
 
     def _payload_store_for(
         self, state: _StripeState

@@ -113,6 +113,92 @@ class TestTokenBucketAccounting:
         assert loop2.now == pytest.approx(0.5)
 
 
+class _ExplodingStream:
+    """Stream whose write raises after ``ok_writes`` successful writes."""
+
+    def __init__(self, ok_writes: int):
+        self.ok_writes = ok_writes
+        self.writes = 0
+
+    async def write(self, data):
+        self.writes += 1
+        if self.writes > self.ok_writes:
+            raise ConnectionResetError("peer dropped the connection")
+
+    async def aclose(self):
+        pass
+
+
+class TestChargeRefund:
+    """A chunk charged but never written must not stay spent.
+
+    The bucket is per-link and outlives a transfer; before the refund
+    fix, a connection dropping mid-chunk left its tokens spent and the
+    *next* transfer on that link started in debt it never incurred.
+    """
+
+    CHUNK = 16 * 1024
+
+    def _failing_send(self, bucket, ok_chunks):
+        from repro.live import send_frame
+
+        # +1: the header write is write #1 and is never charged.
+        stream = _ExplodingStream(ok_writes=ok_chunks + 1)
+        payload = b"x" * (3 * self.CHUNK)
+
+        async def _run():
+            with pytest.raises(ConnectionResetError):
+                await send_frame(
+                    stream, {"op": "s0"}, payload, bucket=bucket,
+                    chunk_size=self.CHUNK,
+                )
+
+        asyncio.run(_run())
+
+    def test_failed_chunk_write_refunds_its_charge(self):
+        loop = FakeLoop()
+        bucket = TokenBucket(
+            float(self.CHUNK), clock=loop.clock, sleep=loop.sleep
+        )
+        self._failing_send(bucket, ok_chunks=2)
+        # 2 chunks actually hit the wire (1s each at CHUNK bytes/s); the
+        # 3rd chunk's charge was rolled back when its write raised.
+        t_fail = loop.now
+        assert t_fail == pytest.approx(3.0)  # 3 pacing stalls elapsed
+        # The runtime starts every transfer with reset(): idle credit is
+        # dropped, debt is kept.  With the refund there is no debt, so
+        # the next transfer pays exactly full fare; before the fix the
+        # unwritten chunk's charge survived and it paid double.
+        bucket.reset()
+        drain(bucket, [self.CHUNK])
+        assert loop.now - t_fail == pytest.approx(1.0)
+
+    def test_refund_never_mints_extra_burst(self):
+        loop = FakeLoop()
+        bucket = TokenBucket(
+            1000.0, capacity=100.0, clock=loop.clock, sleep=loop.sleep
+        )
+        bucket.refund(10_000)  # absurd refund: capped at capacity
+        drain(bucket, [200])
+        assert loop.now == pytest.approx(100.0 / 1000.0)
+
+    def test_cancelled_pacing_sleep_rolls_back_the_charge(self):
+        """A sender task killed mid-stall leaves the bucket clean."""
+        bucket = TokenBucket(10.0)  # 100 bytes => 10s stall: never finishes
+
+        async def _run():
+            task = asyncio.ensure_future(bucket.acquire(100))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The rolled-back bucket owes nothing: a 1-byte acquire
+            # completes in well under the 10s the leaked debt would cost.
+            await asyncio.wait_for(bucket.acquire(1), timeout=2.0)
+
+        asyncio.run(_run())
+
+
 class TestWallClockRate:
     def test_long_shaped_transfer_within_ten_percent_of_rate(self):
         """The ISSUE acceptance bar: measured throughput within 10% of rate."""

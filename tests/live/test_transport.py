@@ -1,0 +1,93 @@
+"""Transport-layer tests: startup races, refused-connection backoff."""
+
+import asyncio
+
+import pytest
+
+from repro.live import TcpTransport, connect_tcp
+
+
+async def _noop_handler(node_id, stream):
+    await stream.aclose()
+
+
+class TestTcpTransportLifecycle:
+    def test_double_start_is_refused(self):
+        """Restarting over live servers must fail loudly, not rebind."""
+
+        async def _run():
+            transport = TcpTransport()
+            await transport.start([0, 1], _noop_handler)
+            try:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await transport.start([0, 1], _noop_handler)
+            finally:
+                await transport.aclose()
+            # After a clean aclose the transport is reusable.
+            await transport.start([0, 1], _noop_handler)
+            ports = {transport.port_of(0), transport.port_of(1)}
+            await transport.aclose()
+            assert len(ports) == 2
+
+        asyncio.run(_run())
+
+    def test_ports_are_kernel_assigned_and_registered(self):
+        async def _run():
+            transport = TcpTransport()
+            await transport.start([0, 1, 2], _noop_handler)
+            try:
+                ports = [transport.port_of(n) for n in (0, 1, 2)]
+            finally:
+                await transport.aclose()
+            return ports
+
+        ports = asyncio.run(_run())
+        assert len(set(ports)) == 3
+        assert all(p > 0 for p in ports)
+
+
+class TestConnectBackoff:
+    def test_refused_connection_retries_until_server_appears(self):
+        """A connect racing daemon startup succeeds once the bind lands."""
+
+        async def _run():
+            # Reserve a port the kernel considers free, then race a
+            # connect against a server that binds it shortly after.
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            async def _late_server():
+                await asyncio.sleep(0.15)
+                return await asyncio.start_server(
+                    lambda r, w: None, "127.0.0.1", port
+                )
+
+            server_task = asyncio.ensure_future(_late_server())
+            stream = await connect_tcp(
+                "127.0.0.1", port, attempts=10, initial_backoff=0.05
+            )
+            await stream.aclose()
+            server = await server_task
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(_run())
+
+    def test_gives_up_after_capped_attempts(self):
+        async def _run():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            with pytest.raises(ConnectionRefusedError):
+                await connect_tcp(
+                    "127.0.0.1", port, attempts=2, initial_backoff=0.01
+                )
+
+        asyncio.run(_run())
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            asyncio.run(connect_tcp("127.0.0.1", 1, attempts=0))

@@ -4,8 +4,43 @@ import json
 
 import pytest
 
-from repro.live import DEFAULT_LIVE_BANDWIDTH, run_live_validation
+from repro.live import DEFAULT_LIVE_BANDWIDTH, audit_store_repairs, run_live_validation
 from repro.live.validate import live_environment
+
+
+def _repair_record(measured: int, simulated: int) -> dict:
+    return {
+        "rid": "r0",
+        "sid": 0,
+        "measured": {"cross_rack_bytes": measured},
+        "simulated": {"cross_rack_bytes": simulated},
+    }
+
+
+class TestStoreRepairAudit:
+    def test_empty_records_are_trivially_ok(self):
+        audit = audit_store_repairs([])
+        assert audit.ledger_ok and audit.repairs == 0
+        assert audit.measured_cross_rack_bytes == 0
+
+    def test_matching_ledgers_pass(self):
+        audit = audit_store_repairs(
+            [_repair_record(8192, 8192), _repair_record(4096, 4096)]
+        )
+        assert audit.ledger_ok
+        assert audit.repairs == 2
+        assert audit.measured_cross_rack_bytes == 12288
+        assert audit.simulated_cross_rack_bytes == 12288
+        assert audit.mismatches == ()
+
+    def test_mismatch_is_caught_even_if_coordinator_lied(self):
+        """The audit re-derives the verdict from raw byte counts, so a
+        record stamped ledger_match=True with disagreeing numbers fails."""
+        bad = {**_repair_record(8192, 4096), "ledger_match": True}
+        audit = audit_store_repairs([_repair_record(100, 100), bad])
+        assert not audit.ledger_ok
+        assert audit.mismatches == (bad,)
+        assert audit.to_dict()["mismatches"] == [bad]
 
 
 class TestLiveEnvironment:

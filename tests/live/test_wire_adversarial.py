@@ -1,0 +1,170 @@
+"""Wire-protocol adversarial tests: truncation, malformed frames, acks.
+
+A single-process harness never kills a peer mid-frame, so these paths
+went unexercised until the multi-process store service arrived.  The
+contract pinned here: *every* malformed or truncated frame surfaces as
+:class:`WireError` (or a bounded timeout) — never a hang, never short
+bytes handed to the caller.
+"""
+
+import asyncio
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live import WireError, read_ack, read_frame, send_frame
+from repro.live.transport import MemoryStream
+from repro.live.wire import ACK, MAX_FRAME_PAYLOAD, MAX_HEADER_BYTES
+
+
+def make_frame(header: dict, payload: bytes) -> bytes:
+    """Raw frame bytes exactly as send_frame lays them out."""
+    head = dict(header)
+    head["nbytes"] = len(payload)
+    encoded = json.dumps(head, separators=(",", ":")).encode()
+    return struct.pack("!I", len(encoded)) + encoded + payload
+
+
+def feed_and_read(raw: bytes, *, close: bool = True, timeout: float | None = None):
+    """Write ``raw`` to one end, close it, read a frame from the other."""
+
+    async def _run():
+        a, b = MemoryStream.pair()
+        if raw:
+            await a.write(raw)
+        if close:
+            await a.aclose()
+        return await read_frame(b, timeout=timeout)
+
+    return asyncio.run(_run())
+
+
+class TestTruncation:
+    def test_eof_truncated_at_every_boundary(self):
+        """Cutting the stream after any byte count must raise WireError."""
+        frame = make_frame({"op": "s0", "key": "block:1"}, b"payload!")
+        for cut in range(len(frame)):
+            with pytest.raises(WireError):
+                feed_and_read(frame[:cut])
+        # Sanity: the uncut frame parses.
+        header, payload = feed_and_read(frame)
+        assert header["key"] == "block:1"
+        assert bytes(payload) == b"payload!"
+
+    def test_eof_mid_payload_does_not_return_short(self):
+        frame = make_frame({"op": "s0"}, bytes(range(200)))
+        with pytest.raises(WireError, match="mid-frame"):
+            feed_and_read(frame[:-1])
+
+    def test_silent_peer_times_out_instead_of_hanging(self):
+        """A live-but-wedged peer trips the progress timeout."""
+        frame = make_frame({"op": "s0"}, b"x" * 64)
+        with pytest.raises(WireError, match="timed out"):
+            feed_and_read(frame[: len(frame) - 10], close=False, timeout=0.05)
+
+    def test_timeout_covers_the_header_too(self):
+        with pytest.raises(WireError, match="timed out"):
+            feed_and_read(b"", close=False, timeout=0.05)
+
+
+class TestMalformedHeaders:
+    def test_oversized_header_length_is_rejected_before_allocation(self):
+        raw = struct.pack("!I", MAX_HEADER_BYTES + 1) + b"x" * 16
+        with pytest.raises(WireError, match="cap"):
+            feed_and_read(raw, close=False)
+
+    def test_non_json_header_bytes(self):
+        junk = b"\xff\xfenot json"
+        raw = struct.pack("!I", len(junk)) + junk
+        with pytest.raises(WireError, match="malformed frame"):
+            feed_and_read(raw)
+
+    def test_json_header_missing_nbytes(self):
+        body = json.dumps({"op": "s0"}).encode()
+        raw = struct.pack("!I", len(body)) + body
+        with pytest.raises(WireError, match="malformed frame"):
+            feed_and_read(raw)
+
+    def test_negative_payload_length(self):
+        body = json.dumps({"op": "s0", "nbytes": -5}).encode()
+        raw = struct.pack("!I", len(body)) + body
+        with pytest.raises(WireError, match="negative payload length"):
+            feed_and_read(raw)
+
+    def test_oversized_payload_length_is_rejected_before_allocation(self):
+        body = json.dumps({"op": "s0", "nbytes": MAX_FRAME_PAYLOAD + 1}).encode()
+        raw = struct.pack("!I", len(body)) + body
+        with pytest.raises(WireError, match="cap"):
+            feed_and_read(raw, close=False)
+
+    def test_non_integer_nbytes(self):
+        body = json.dumps({"op": "s0", "nbytes": "lots"}).encode()
+        raw = struct.pack("!I", len(body)) + body
+        with pytest.raises(WireError, match="malformed frame"):
+            feed_and_read(raw)
+
+
+class TestAck:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_missing_ack_times_out(self):
+        async def _run():
+            a, b = MemoryStream.pair()
+            with pytest.raises(WireError, match="timed out"):
+                await read_ack(b, timeout=0.05)
+
+        self.run(_run())
+
+    def test_peer_death_before_ack(self):
+        async def _run():
+            a, b = MemoryStream.pair()
+            await a.aclose()
+            with pytest.raises(WireError, match="mid-frame"):
+                await read_ack(b)
+
+        self.run(_run())
+
+    def test_wrong_ack_byte(self):
+        async def _run():
+            a, b = MemoryStream.pair()
+            await a.write(b"\x15")
+            with pytest.raises(WireError, match="bad ack"):
+                await read_ack(b)
+
+        self.run(_run())
+
+    def test_good_ack_passes(self):
+        async def _run():
+            a, b = MemoryStream.pair()
+            await a.write(ACK)
+            await read_ack(b, timeout=1.0)
+
+        self.run(_run())
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        key=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=24,
+        ),
+        payload=st.binary(max_size=32 * 1024),
+        chunk=st.integers(min_value=1, max_value=8192),
+    )
+    def test_send_then_read_round_trips(self, key, payload, chunk):
+        """Any header/payload/chunking combination survives the wire."""
+
+        async def _run():
+            a, b = MemoryStream.pair()
+            await send_frame(a, {"op": "s0", "key": key}, payload, chunk_size=chunk)
+            return await read_frame(b, chunk_size=chunk, timeout=5.0)
+
+        header, got = asyncio.run(_run())
+        assert header["key"] == key
+        assert header["nbytes"] == len(payload)
+        assert bytes(got) == payload

@@ -1,0 +1,1 @@
+"""Store service tests."""

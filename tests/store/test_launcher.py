@@ -1,0 +1,63 @@
+"""Subprocess harness smoke: real processes, real ports, real teardown.
+
+The heavyweight kill→repair path is exercised by
+``examples/store_kill_demo.py`` and the CI store-smoke job; this file
+keeps the launcher honest on the basics so those bigger runs fail for
+interesting reasons only.
+"""
+
+import os
+
+import pytest
+
+from repro.store import LauncherError, StoreLauncher
+
+CONFIG = dict(
+    racks=3, per_rack=2, n=3, k=2, block_size=4096,
+    suspect_after=2.0, heartbeat_interval=0.3, startup_timeout=45.0,
+)
+
+
+@pytest.fixture
+def launcher(tmp_path):
+    launcher = StoreLauncher(tmp_path / "cluster")
+    yield launcher
+    # Belt and braces: never leak processes past the test, even on failure.
+    try:
+        launcher.down(timeout=5.0)
+    except LauncherError:
+        pass
+
+
+class TestLauncher:
+    def test_up_put_get_down(self, launcher):
+        state = launcher.up(**CONFIG)
+        assert len(state["daemons"]) == 6
+        try:
+            client = launcher.client()
+            data = os.urandom(3 * 4096 + 17)
+            client.put("obj", data)
+            assert client.get("obj") == data
+
+            status = launcher.status()
+            assert all(status["processes"].values()), status["processes"]
+            assert status["service"]["objects"]["obj"]["size"] == len(data)
+
+            with pytest.raises(LauncherError, match="already up"):
+                launcher.up(**CONFIG)
+        finally:
+            launcher.down()
+        # State is gone and every pid is dead.
+        with pytest.raises(LauncherError, match="no cluster state"):
+            launcher.load_state()
+        for pid in state["daemons"].values():
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_down_without_up_fails_loudly(self, launcher):
+        with pytest.raises(LauncherError, match="no cluster state"):
+            launcher.down()
+
+    def test_kill_daemon_needs_a_cluster(self, launcher):
+        with pytest.raises(LauncherError, match="no cluster state"):
+            launcher.kill_daemon(0)

@@ -1,0 +1,155 @@
+"""RPC message layer: pack/split, round trips, error surfacing."""
+
+import asyncio
+
+import pytest
+
+from repro.live.transport import MemoryStream
+from repro.store.messages import (
+    PROTOCOL_VERSION,
+    StoreError,
+    StoreProtocolError,
+    _pack,
+    _split,
+    read_request,
+    response_error,
+    send_request,
+    send_response,
+    serve_connection,
+)
+
+
+class TestPackSplit:
+    def test_body_and_blob_round_trip(self):
+        blen, payload = _pack({"a": 1}, b"\x00\x01\x02")
+        body, blob = _split({"blen": blen}, bytearray(payload))
+        assert body == {"a": 1}
+        assert bytes(blob) == b"\x00\x01\x02"
+
+    def test_empty_body_and_blob(self):
+        blen, payload = _pack(None, None)
+        assert blen == 0 and payload == b""
+        body, blob = _split({"blen": 0}, bytearray())
+        assert body == {} and len(blob) == 0
+
+    def test_bad_blen_is_protocol_error(self):
+        with pytest.raises(StoreProtocolError):
+            _split({"blen": 99}, bytearray(b"short"))
+        with pytest.raises(StoreProtocolError):
+            _split({"blen": -1}, bytearray(b"x"))
+
+    def test_non_object_body_is_protocol_error(self):
+        with pytest.raises(StoreProtocolError, match="JSON object"):
+            _split({"blen": 6}, bytearray(b"[1, 2]leftover"))
+
+    def test_garbage_body_is_protocol_error(self):
+        with pytest.raises(StoreProtocolError, match="not valid JSON"):
+            _split({"blen": 4}, bytearray(b"[1ableftover"))
+
+
+class TestRequestRoundTrip:
+    def _round_trip(self, mtype, body=None, blob=None):
+        async def _run():
+            client, server = MemoryStream.pair()
+            await send_request(client, mtype, body, blob)
+            return await read_request(server, timeout=2.0)
+
+        return asyncio.run(_run())
+
+    def test_plain_request(self):
+        request = self._round_trip("ping", {"node_id": 3})
+        assert request.mtype == "ping"
+        assert request.body == {"node_id": 3}
+        assert len(request.blob) == 0
+
+    def test_request_with_blob(self):
+        request = self._round_trip("block.put", {"key": "b:0:1"}, b"\xffdata")
+        assert bytes(request.blob) == b"\xffdata"
+
+    def test_version_mismatch_rejected(self):
+        async def _run():
+            client, server = MemoryStream.pair()
+            from repro.live.wire import send_frame
+
+            await send_frame(
+                client, {"t": "ping", "v": PROTOCOL_VERSION + 1, "blen": 0}, b""
+            )
+            with pytest.raises(StoreProtocolError, match="version"):
+                await read_request(server, timeout=2.0)
+
+        asyncio.run(_run())
+
+    def test_typeless_frame_rejected(self):
+        async def _run():
+            client, server = MemoryStream.pair()
+            from repro.live.wire import send_frame
+
+            await send_frame(client, {"v": PROTOCOL_VERSION, "blen": 0}, b"")
+            with pytest.raises(StoreProtocolError, match="without a type"):
+                await read_request(server, timeout=2.0)
+
+        asyncio.run(_run())
+
+
+class TestServeConnection:
+    def _serve(self, dispatch, mtype="x", body=None, blob=None):
+        """Run one request through serve_connection; return response frame."""
+
+        async def _run():
+            client, server = MemoryStream.pair()
+            serving = asyncio.ensure_future(serve_connection(server, dispatch))
+            await send_request(client, mtype, body, blob)
+            from repro.live.wire import read_frame
+
+            header, payload = await read_frame(client, timeout=2.0)
+            await serving
+            return header, payload
+
+        return asyncio.run(_run())
+
+    def test_ok_response(self):
+        async def dispatch(request):
+            return {"echo": request.body}, None
+
+        header, _ = self._serve(dispatch, body={"v": 7})
+        assert header["ok"] is True
+
+    def test_store_error_travels_as_error_response(self):
+        async def dispatch(request):
+            raise StoreError("no such block")
+
+        header, _ = self._serve(dispatch)
+        assert header["ok"] is False
+        assert "no such block" in header["error"]
+
+    def test_unexpected_exception_does_not_kill_the_server(self):
+        async def dispatch(request):
+            raise ValueError("boom")
+
+        header, _ = self._serve(dispatch)
+        assert header["ok"] is False
+        assert "internal error" in header["error"]
+
+    def test_response_error_shorthand(self):
+        async def _run():
+            client, server = MemoryStream.pair()
+            await response_error(server, "nope")
+            from repro.live.wire import read_frame
+
+            header, _ = await read_frame(client, timeout=2.0)
+            return header
+
+        header = asyncio.run(_run())
+        assert header["ok"] is False and header["error"] == "nope"
+
+    def test_ok_false_raises_store_error_client_side(self):
+        async def _run():
+            client, server = MemoryStream.pair()
+            await send_response(server, ok=False, error="denied")
+            # client side of call(): parse the response frame directly
+            from repro.live.wire import read_frame
+
+            header, _ = await read_frame(client, timeout=2.0)
+            assert not header.get("ok")
+
+        asyncio.run(_run())

@@ -1,0 +1,221 @@
+"""End-to-end service tests: coordinator + daemons over real localhost TCP.
+
+Everything here runs the *real* components — real sockets, real frames,
+real GF arithmetic — only inside one process (separate asyncio tasks)
+so failures are debuggable and CI-cheap.  The true multi-process path
+is covered by ``test_launcher.py`` and the CI store-smoke job.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.live import audit_store_repairs
+from repro.rs import get_code
+from repro.store import Coordinator, StorageDaemon, StoreClient, StoreError
+
+BLOCK = 2048
+RACKS, PER_RACK, N, K = 3, 2, 3, 2
+
+
+class Service:
+    """One in-process cluster: coordinator + a daemon per node."""
+
+    def __init__(self, scheme="rpr", suspect_after=0.8, heartbeat=0.15):
+        self.cluster = Cluster.homogeneous(RACKS, PER_RACK)
+        self.coordinator = Coordinator(
+            self.cluster,
+            get_code(N, K),
+            scheme=scheme,
+            block_size=BLOCK,
+            suspect_after=suspect_after,
+            sweep_interval=0.1,
+        )
+        self.heartbeat = heartbeat
+        self.daemons: dict[int, StorageDaemon] = {}
+        self.client: StoreClient | None = None
+
+    async def __aenter__(self):
+        port = await self.coordinator.start()
+        for nid in self.cluster.node_ids():
+            daemon = StorageDaemon(
+                nid, ("127.0.0.1", port), heartbeat_interval=self.heartbeat
+            )
+            await daemon.start()
+            self.daemons[nid] = daemon
+        self.client = StoreClient("127.0.0.1", port)
+        deadline = asyncio.get_event_loop().time() + 10.0
+        while True:
+            status = await self.client.status()
+            if sum(1 for e in status["nodes"].values() if e["alive"]) == len(self.daemons):
+                return self
+            if asyncio.get_event_loop().time() > deadline:
+                raise AssertionError("daemons never registered")
+            await asyncio.sleep(0.05)
+
+    async def __aexit__(self, *exc):
+        for daemon in self.daemons.values():
+            await daemon.aclose()
+        await self.coordinator.aclose()
+
+    async def kill(self, node_id: int) -> None:
+        """In-process stand-in for SIGKILL: stop serving AND beating."""
+        await self.daemons.pop(node_id).aclose()
+
+
+class TestObjectPath:
+    def test_put_get_delete_round_trip(self):
+        async def _run():
+            async with Service() as svc:
+                data = os.urandom(N * BLOCK * 2 + 777)  # 3 stripes, ragged tail
+                await svc.client.put("obj", data)
+                assert await svc.client.get("obj") == data
+                listing = await svc.client.list_objects()
+                assert [o["name"] for o in listing] == ["obj"]
+                await svc.client.delete("obj")
+                with pytest.raises(StoreError, match="no object"):
+                    await svc.client.get("obj")
+                # Daemons must actually be empty again.
+                for daemon in svc.daemons.values():
+                    assert daemon.blocks == {}
+
+        asyncio.run(_run())
+
+    def test_duplicate_put_rejected(self):
+        async def _run():
+            async with Service() as svc:
+                await svc.client.put("obj", b"x" * 100)
+                with pytest.raises(StoreError, match="already exists"):
+                    await svc.client.put("obj", b"y" * 100)
+
+        asyncio.run(_run())
+
+    def test_commit_with_wrong_bytes_rejected(self):
+        """The coordinator verifies daemons against claimed CRCs."""
+
+        async def _run():
+            async with Service() as svc:
+                client = svc.client
+                grant = await client._coordinator(
+                    "put.begin", {"name": "obj", "size": 10, "nstripes": 1}
+                )
+                # Claim CRCs for blocks nobody ever wrote.
+                claims = [{
+                    "sid": grant["stripes"][0]["sid"],
+                    "crcs": {str(b): 1 for b in range(N + K)},
+                }]
+                with pytest.raises(StoreError, match="holds no block"):
+                    await client._coordinator(
+                        "put.commit", {"name": "obj", "stripes": claims}
+                    )
+
+        asyncio.run(_run())
+
+
+class TestKillAndRepair:
+    @pytest.mark.parametrize("scheme", ["traditional", "car", "rpr"])
+    def test_daemon_death_triggers_byte_exact_repair(self, scheme):
+        async def _run():
+            async with Service(scheme=scheme) as svc:
+                data = os.urandom(N * BLOCK + 99)  # 2 stripes
+                await svc.client.put("obj", data)
+                # Kill the daemon holding stripe 0's block 0.
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                status = await svc.client.wait_healthy(
+                    timeout=20.0, min_repairs=1
+                )
+                # Every repair record must be byte-ledger-exact vs the
+                # simulator (CRC exactness is enforced inside the
+                # coordinator: a mismatch fails the repair entirely).
+                assert status["repairs"], "no repair ran"
+                for record in status["repairs"]:
+                    assert record["scheme"] == scheme
+                    assert record["ledger_match"], record
+                    assert (
+                        record["measured"]["cross_rack_bytes"]
+                        == record["simulated"]["cross_rack_bytes"]
+                    )
+                # The validate-layer audit must agree with the records.
+                audit = audit_store_repairs(status["repairs"])
+                assert audit.ledger_ok and audit.repairs == len(status["repairs"])
+                assert (
+                    audit.measured_cross_rack_bytes
+                    == audit.simulated_cross_rack_bytes
+                )
+                # Placement no longer references the dead node...
+                for meta in svc.coordinator.stripes.values():
+                    assert victim not in meta.placement.block_to_node.values()
+                # ...and the object reads back byte-identical.
+                assert await svc.client.get("obj") == data
+
+        asyncio.run(_run())
+
+    def test_repair_lands_blocks_on_live_spares_only(self):
+        async def _run():
+            async with Service() as svc:
+                data = os.urandom(N * BLOCK)
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                await svc.client.wait_healthy(timeout=20.0, min_repairs=1)
+                alive = svc.coordinator.detector.alive_ids()
+                for meta in svc.coordinator.stripes.values():
+                    assert set(meta.placement.block_to_node.values()) <= alive
+                    assert not meta.missing
+                # The rebuilt block physically exists on its new node.
+                for record in svc.coordinator.repairs:
+                    for bid_s, node in record["targets"].items():
+                        key = f"b:{record['sid']}:{bid_s}"
+                        assert key in svc.daemons[node].blocks
+
+        asyncio.run(_run())
+
+    def test_telemetry_spans_cover_all_three_components(self):
+        async def _run():
+            async with Service() as svc:
+                data = os.urandom(N * BLOCK)
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                await svc.client.wait_healthy(timeout=20.0, min_repairs=1)
+                await svc.client.get("obj")
+
+                coord_trace = svc.coordinator.rec.trace()
+                assert any(
+                    s.category == "repair" for s in coord_trace.spans
+                ), "coordinator recorded no repair span"
+                daemon_spans = [
+                    span
+                    for daemon in svc.daemons.values()
+                    for span in daemon.rec.trace().spans
+                ]
+                assert any(s.category == "op" for s in daemon_spans), (
+                    "no daemon recorded repair op spans"
+                )
+                client_trace = svc.client.rec.trace()
+                assert {s.attrs.get("op") for s in client_trace.spans if s.category == "client"} >= {"put", "get"}
+
+        asyncio.run(_run())
+
+    def test_degraded_get_names_the_problem(self):
+        """A GET during the degraded window fails loudly, never hangs."""
+
+        async def _run():
+            async with Service(suspect_after=30.0) as svc:
+                # suspect_after is huge: the coordinator will NOT notice
+                # the death, freezing the degraded window open.
+                data = os.urandom(N * BLOCK)
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                svc.coordinator.on_nodes_dead([])  # no-op: nothing detected
+                # Mark missing manually (what detection would have done)
+                # without triggering repair, to pin the degraded read path.
+                svc.coordinator.stripes[0].missing.add(0)
+                with pytest.raises(StoreError, match="degraded"):
+                    await svc.client.get("obj")
+
+        asyncio.run(_run())
