@@ -34,12 +34,14 @@ from repro.perfharness import (  # noqa: E402
     compare_reports,
     engine_suite,
     live_suite,
+    qos_suite,
 )
 
 SUITES = {
     "BENCH_engine.json": engine_suite,
     "BENCH_coding.json": coding_suite,
     "BENCH_live.json": live_suite,
+    "BENCH_qos.json": qos_suite,
 }
 
 

@@ -892,6 +892,8 @@ def _cmd_store(args) -> int:
                 block_size=args.block_size,
                 suspect_after=args.suspect_after,
                 heartbeat_interval=args.heartbeat_interval,
+                link_rate=args.link_rate,
+                repair_share=args.repair_share,
             )
             addr = state["coordinator"]
             print(
@@ -946,11 +948,20 @@ def _cmd_store(args) -> int:
             print(f"put {args.name}: {len(data)} bytes")
             return 0
         if args.store_command == "get":
-            data = client.get(args.name)
+            data, report = client.get_with_report(
+                args.name, degraded=args.degraded
+            )
             if args.out:
                 with open(args.out, "wb") as fh:
                     fh.write(data)
-                print(f"got {args.name}: {len(data)} bytes -> {args.out}")
+            if args.json:
+                payload = {**report, "nbytes": len(data)}
+                if args.out:
+                    payload["out"] = args.out
+                print(json.dumps(payload, indent=2))
+            elif args.out:
+                tag = " (degraded read)" if report["degraded"] else ""
+                print(f"got {args.name}: {len(data)} bytes -> {args.out}{tag}")
             else:
                 sys.stdout.buffer.write(data)
             return 0
@@ -966,6 +977,103 @@ def _cmd_store(args) -> int:
     except (LauncherError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_qos(args) -> int:
+    """Replay a Zipfian user workload against an in-process store cluster.
+
+    Brings up a :class:`repro.qos.LocalService`, preloads the working
+    set, replays the seeded trace (optionally killing a daemon mid-run
+    with ``--kill-at``), and prints per-phase latency percentiles — the
+    single-point version of ``benchmarks/bench_qos_tradeoff.py``.
+    """
+    import asyncio
+    import json
+
+    from .qos import LocalService, preload_working_set, replay_trace
+    from .workloads import zipf_object_trace
+
+    n, k = _parse_code(args.code)
+
+    async def run():
+        async with LocalService(
+            racks=args.racks,
+            per_rack=args.per_rack,
+            n=n,
+            k=k,
+            scheme=args.scheme,
+            block_size=args.block_size,
+            link_rate=args.link_rate,
+            repair_share=args.repair_share,
+        ) as svc:
+            expected = await preload_working_set(
+                svc.client, args.objects, args.object_bytes, seed=args.seed
+            )
+            events = zipf_object_trace(
+                args.objects,
+                args.requests,
+                rate=args.rate,
+                zipf_s=args.zipf_s,
+                get_fraction=args.get_fraction,
+                seed=args.seed,
+            )
+            kills = []
+            if args.kill_at is not None:
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                kills = [(args.kill_at, victim)]
+            report = await replay_trace(
+                svc.client,
+                events,
+                mode=args.mode,
+                concurrency=args.concurrency,
+                time_scale=args.time_scale,
+                expected=expected,
+                kills=kills,
+                kill_fn=svc.kill,
+                object_bytes=args.object_bytes,
+                seed=args.seed,
+            )
+            status = await svc.client.status()
+            return report, status
+
+    report, status = asyncio.run(run())
+    result = report.to_dict()
+    result["repairs"] = len(status["repairs"])
+    result["scheme"] = args.scheme
+    result["link_rate"] = args.link_rate
+    result["repair_share"] = args.repair_share
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 1 if result["errors"] else 0
+
+    def ms(v):
+        return "-" if v is None else f"{v * 1e3:8.2f}ms"
+
+    shaped = (
+        f"link {args.link_rate:.0f} B/s, repair share {args.repair_share}"
+        if args.link_rate
+        else "unshaped"
+    )
+    print(
+        f"qos replay: {result['requests']} requests ({args.mode}-loop), "
+        f"scheme {args.scheme}, {shaped}"
+    )
+    print(
+        f"  errors {result['errors']}, rejected {result['rejected']}, "
+        f"degraded gets {result['degraded_gets']}, repairs "
+        f"{result['repairs']}, repair window {result['repair_window']}"
+    )
+    for label, key in (
+        ("GET (all)", "get"),
+        ("GET (repair phase)", "get_repair_phase"),
+        ("PUT (all)", "put"),
+    ):
+        s = result[key]
+        print(
+            f"  {label:<20} n={s['count']:<5} p50 {ms(s['p50'])}  "
+            f"p99 {ms(s['p99'])}  p999 {ms(s['p999'])}"
+        )
+    return 1 if result["errors"] else 0
 
 
 def _cmd_perf(args) -> int:
@@ -1242,6 +1350,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of heartbeat silence before a node is declared dead",
     )
     st_up.add_argument("--heartbeat-interval", type=float, default=0.5)
+    st_up.add_argument(
+        "--link-rate", type=float, default=None, metavar="BYTES_PER_S",
+        help="shape every daemon NIC to this rate with a QoS "
+        "foreground/repair split (default: unshaped)",
+    )
+    st_up.add_argument(
+        "--repair-share", type=float, default=0.5,
+        help="fraction of --link-rate guaranteed to repair traffic",
+    )
     stsub.add_parser("down", help="stop every process and clear the state dir")
     st_status = stsub.add_parser(
         "status", help="process liveness + service-side cluster status"
@@ -1257,10 +1374,58 @@ def build_parser() -> argparse.ArgumentParser:
     st_get = stsub.add_parser("get", help="fetch an object back")
     st_get.add_argument("name")
     st_get.add_argument("--out", default=None, help="write here instead of stdout")
+    st_get.add_argument(
+        "--degraded",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reconstruct blocks on dead nodes client-side instead of "
+        "failing (--no-degraded restores the strict behaviour)",
+    )
+    st_get.add_argument(
+        "--json", action="store_true",
+        help="print the read report (degraded flag + reconstructed "
+        "blocks) instead of raw bytes; combine with --out for the data",
+    )
     st_rm = stsub.add_parser("rm", help="delete an object")
     st_rm.add_argument("name")
     stsub.add_parser("ls", help="list stored objects")
     st.set_defaults(func=_cmd_store)
+
+    qs = sub.add_parser(
+        "qos",
+        help="replay a Zipfian user workload against an in-process store "
+        "cluster, optionally killing a daemon mid-run",
+    )
+    qs.add_argument("--racks", type=int, default=3)
+    qs.add_argument("--per-rack", type=int, default=2)
+    qs.add_argument("--code", default="3,2", help="RS code as 'n,k'")
+    qs.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
+    qs.add_argument("--block-size", type=int, default=16 * 1024)
+    qs.add_argument("--objects", type=int, default=8, help="working-set size")
+    qs.add_argument("--requests", type=int, default=100)
+    qs.add_argument("--object-bytes", type=int, default=3 * 16 * 1024)
+    qs.add_argument("--rate", type=float, default=200.0,
+                    help="open-loop arrival rate (req/s) in the trace")
+    qs.add_argument("--zipf-s", type=float, default=1.0)
+    qs.add_argument("--get-fraction", type=float, default=0.9)
+    qs.add_argument("--mode", choices=("closed", "open"), default="closed")
+    qs.add_argument("--concurrency", type=int, default=4,
+                    help="closed-loop client count")
+    qs.add_argument("--time-scale", type=float, default=1.0,
+                    help="open-loop trace-time multiplier")
+    qs.add_argument(
+        "--link-rate", type=float, default=None, metavar="BYTES_PER_S",
+        help="shape daemon NICs with the QoS split (default: unshaped)",
+    )
+    qs.add_argument("--repair-share", type=float, default=0.5)
+    qs.add_argument(
+        "--kill-at", type=float, default=None, metavar="SECONDS",
+        help="kill the daemon holding stripe 0 block 0 this long into "
+        "the replay",
+    )
+    qs.add_argument("--seed", type=int, default=0)
+    qs.add_argument("--json", action="store_true", help="machine-readable output")
+    qs.set_defaults(func=_cmd_qos)
 
     pf = sub.add_parser(
         "perf", help="time the engine and coding hot paths, write BENCH_*.json"

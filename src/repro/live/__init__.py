@@ -39,8 +39,20 @@ from .runtime import (
     run_plan_live,
     run_plan_live_sync,
 )
-from .shaper import LinkShaper, TokenBucket
-from .transport import MemoryTransport, TcpTransport, connect_tcp, open_transport
+from .shaper import (
+    ClassedBucket,
+    LinkShaper,
+    QoSLinkShaper,
+    TokenBucket,
+    WeightedTokenBucket,
+)
+from .transport import (
+    MemoryTransport,
+    TcpTransport,
+    cancel_and_wait,
+    connect_tcp,
+    open_transport,
+)
 from .wire import WireError, read_ack, read_frame, send_frame
 from .validate import (
     DEFAULT_LIVE_BANDWIDTH,
@@ -53,8 +65,11 @@ from .validate import (
 )
 
 __all__ = [
+    "ClassedBucket",
     "DEFAULT_LIVE_BANDWIDTH",
     "LinkShaper",
+    "QoSLinkShaper",
+    "WeightedTokenBucket",
     "LiveError",
     "LiveOpTiming",
     "LiveResult",
@@ -67,6 +82,7 @@ __all__ = [
     "TokenBucket",
     "WireError",
     "audit_store_repairs",
+    "cancel_and_wait",
     "connect_tcp",
     "live_environment",
     "open_transport",

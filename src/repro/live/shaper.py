@@ -23,7 +23,13 @@ from typing import Callable
 
 from ..cluster import BandwidthModel, Cluster
 
-__all__ = ["TokenBucket", "LinkShaper"]
+__all__ = [
+    "TokenBucket",
+    "WeightedTokenBucket",
+    "ClassedBucket",
+    "LinkShaper",
+    "QoSLinkShaper",
+]
 
 #: Default burst window in seconds: the bucket holds at most this much
 #: rate-worth of credit, so a transfer can never run ahead of the shaped
@@ -150,6 +156,180 @@ class TokenBucket:
         self._tokens = min(self._tokens + nbytes, self.capacity)
 
 
+class WeightedTokenBucket:
+    """One link's rate split across priority classes, work-conserving.
+
+    The QoS half of the shaper (docs/QOS.md): every class named in
+    ``weights`` owns a guaranteed share ``rate * weight / sum(weights)``
+    of the link, refilled continuously like :class:`TokenBucket`.  The
+    split is *work-conserving* through borrowing: credit accrued to a
+    class with no outstanding debt (nobody of that class is waiting) is
+    donated to classes in debt, so a lone sender always sees the full
+    link rate while competing classes converge to their weight ratio.
+
+    Unlike :class:`TokenBucket`, pacing waits serialise only *within* a
+    class (one lock per class): a foreground send never queues behind a
+    background-repair send's pacing sleep — that head-of-line blocking
+    is exactly what the priority split exists to remove.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        weights: dict[str, float],
+        *,
+        capacity: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep=asyncio.sleep,
+        recorder=None,
+        label: str = "",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if not weights:
+            raise ValueError("need at least one traffic class")
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError(f"weights must be positive, got {weights}")
+        self.rate = float(rate)
+        total = float(sum(weights.values()))
+        self.shares: dict[str, float] = {
+            cls: w / total for cls, w in weights.items()
+        }
+        self.capacity = (
+            float(capacity)
+            if capacity is not None
+            else max(self.rate * DEFAULT_BURST_S, 16 * 1024.0)
+        )
+        self._clock = clock
+        self._sleep = sleep
+        self._recorder = recorder if recorder else None
+        self.label = label
+        self._tokens: dict[str, float] = {cls: 0.0 for cls in weights}
+        self._last = clock()
+        self._locks: dict[str, asyncio.Lock] = {
+            cls: asyncio.Lock() for cls in weights
+        }
+
+    def _cap(self, cls: str) -> float:
+        return max(self.capacity * self.shares[cls], 1.0)
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            for cls, share in self.shares.items():
+                self._tokens[cls] = min(
+                    self._cap(cls), self._tokens[cls] + elapsed * self.rate * share
+                )
+        self._last = now
+
+    def _borrow(self, cls: str) -> None:
+        """Pull idle classes' credit into ``cls``'s debt (work conservation).
+
+        A class is *idle* when its balance is non-negative — no sender of
+        that class is paying off debt — so its accrued tokens would
+        otherwise sit unused while ``cls`` sleeps.
+        """
+        debt = -self._tokens[cls]
+        if debt <= 0:
+            return
+        for donor in self.shares:
+            if donor == cls:
+                continue
+            spare = self._tokens[donor]
+            if spare <= 0:
+                continue
+            take = min(spare, debt)
+            self._tokens[donor] -= take
+            self._tokens[cls] += take
+            debt -= take
+            if debt <= 0:
+                return
+
+    def _idle_share(self, cls: str) -> float:
+        """``cls``'s effective rate fraction: its share plus idle classes'."""
+        share = self.shares[cls]
+        for donor, donor_share in self.shares.items():
+            if donor != cls and self._tokens[donor] >= 0:
+                share += donor_share
+        return share
+
+    async def acquire(self, nbytes: int, cls: str) -> None:
+        """Charge ``nbytes`` to class ``cls``, sleeping off any deficit.
+
+        Debt-based like :meth:`TokenBucket.acquire`, but the pacing wait
+        is recomputed each round at the class's *current* effective rate
+        (guaranteed share plus whatever idle classes donate), so a class
+        that becomes the lone sender speeds up mid-wait instead of
+        honouring a stale worst-case estimate.
+        """
+        if nbytes <= 0:
+            return
+        if cls not in self.shares:
+            raise KeyError(f"unknown traffic class {cls!r}; have {sorted(self.shares)}")
+        async with self._locks[cls]:
+            self._refill()
+            self._tokens[cls] -= nbytes
+            try:
+                while True:
+                    self._borrow(cls)
+                    debt = -self._tokens[cls]
+                    # Sub-byte residue is paid: a femtosecond wait would
+                    # vanish into float absorption on a large clock value
+                    # and spin this loop forever.
+                    if debt <= 1e-6:
+                        return
+                    wait = debt / (self.rate * self._idle_share(cls))
+                    rec = self._recorder
+                    if rec is not None:
+                        rec.count(f"pacing.stalls:{cls}")
+                        rec.observe(f"pacing.stall_s:{cls}", wait)
+                        rec.gauge(f"bucket.debt_bytes:{cls}:{self.label}", debt)
+                    await self._sleep(wait)
+                    self._refill()
+            except BaseException:
+                # Cancelled mid-wait: those bytes never went out; a leaked
+                # charge would tax the class's next transfer.
+                self._tokens[cls] = min(self._tokens[cls] + nbytes, self._cap(cls))
+                raise
+
+    def refund(self, nbytes: int, cls: str) -> None:
+        """Return ``nbytes`` of ``cls`` charge that never reached the wire."""
+        if nbytes <= 0:
+            return
+        self._tokens[cls] = min(self._tokens[cls] + nbytes, self._cap(cls))
+
+
+class ClassedBucket:
+    """A single-class view of a :class:`WeightedTokenBucket`.
+
+    Exposes the :class:`TokenBucket` ``acquire``/``refund`` surface so
+    code written against plain buckets (the wire layer, repair sessions)
+    can be pointed at one QoS class without knowing about the split.
+    """
+
+    __slots__ = ("bucket", "cls")
+
+    def __init__(self, bucket: WeightedTokenBucket, cls: str) -> None:
+        if cls not in bucket.shares:
+            raise KeyError(f"unknown traffic class {cls!r}")
+        self.bucket = bucket
+        self.cls = cls
+
+    @property
+    def rate(self) -> float:
+        return self.bucket.rate * self.bucket.shares[self.cls]
+
+    async def acquire(self, nbytes: int) -> None:
+        await self.bucket.acquire(nbytes, self.cls)
+
+    def refund(self, nbytes: int) -> None:
+        self.bucket.refund(nbytes, self.cls)
+
+    def reset(self) -> None:
+        """No-op: QoS buckets are shared across transfers and classes."""
+
+
 class LinkShaper:
     """Per-link pacing for a cluster under a bandwidth model.
 
@@ -211,3 +391,71 @@ class LinkShaper:
         if self.bandwidth is None:
             return 0.0
         return self.bandwidth.latency(self.cluster, src, dst)
+
+
+class QoSLinkShaper(LinkShaper):
+    """A :class:`LinkShaper` whose links are split across traffic classes.
+
+    Each directed link gets one :class:`WeightedTokenBucket` instead of a
+    plain :class:`TokenBucket`; :meth:`bucket` takes the traffic class
+    and hands back a :class:`ClassedBucket` view, so existing bucket
+    consumers keep their interface while every class on a link shares
+    one rate budget with weighted guarantees and work-conserving
+    borrowing.  Class names are caller-defined; the canonical
+    foreground/deadline-repair/background-repair split lives in
+    :mod:`repro.qos.classes`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        bandwidth: BandwidthModel | None,
+        weights: dict[str, float],
+        *,
+        burst_s: float = DEFAULT_BURST_S,
+        clock: Callable[[], float] = time.monotonic,
+        sleep=asyncio.sleep,
+        recorder=None,
+    ) -> None:
+        super().__init__(
+            cluster, bandwidth, burst_s=burst_s, clock=clock, sleep=sleep,
+            recorder=recorder,
+        )
+        if not weights:
+            raise ValueError("need at least one traffic class")
+        self.weights = dict(weights)
+        self._links: dict[tuple[int, int], WeightedTokenBucket] = {}
+
+    def link(self, src: int, dst: int) -> WeightedTokenBucket | None:
+        """The shared weighted bucket for ``src -> dst`` (lazily built)."""
+        if self.bandwidth is None:
+            return None
+        key = (src, dst)
+        found = self._links.get(key)
+        if found is None:
+            rate = self.bandwidth.rate(self.cluster, src, dst)
+            found = self._links[key] = WeightedTokenBucket(
+                rate,
+                self.weights,
+                capacity=max(rate * self.burst_s, 1.0),
+                clock=self._clock,
+                sleep=self._sleep,
+                recorder=self._recorder,
+                label=f"n{src}->n{dst}",
+            )
+        return found
+
+    def bucket(self, src: int, dst: int, cls: str | None = None):
+        """The pacing bucket for one class on ``src -> dst``.
+
+        With ``cls=None`` this degrades to the base class's unclassed
+        bucket (so a :class:`QoSLinkShaper` can stand in anywhere a
+        :class:`LinkShaper` is expected); with a class name it returns
+        the weighted link's :class:`ClassedBucket` view.
+        """
+        if cls is None:
+            return super().bucket(src, dst)
+        link = self.link(src, dst)
+        if link is None:
+            return None
+        return ClassedBucket(link, cls)

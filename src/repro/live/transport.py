@@ -27,9 +27,31 @@ __all__ = [
     "TcpStream",
     "MemoryTransport",
     "TcpTransport",
+    "cancel_and_wait",
     "connect_tcp",
     "open_transport",
 ]
+
+
+async def cancel_and_wait(task: asyncio.Task, *, poke_interval: float = 0.25) -> None:
+    """Cancel ``task`` and wait until it has actually finished.
+
+    A bare ``task.cancel(); await task`` can hang forever on a task that
+    does network I/O: the one injected ``CancelledError`` can be absorbed
+    mid-RPC — a ``finally`` await raising its own error over it, or the
+    ``wait_for`` race where the inner future completes just as the cancel
+    arrives — after which the task goes back to its idle loop with nobody
+    left to cancel it again.  Re-issuing the cancel every
+    ``poke_interval`` seconds until ``task.done()`` makes teardown
+    converge no matter where the first cancel landed.
+    """
+    while not task.done():
+        task.cancel()
+        await asyncio.wait({task}, timeout=poke_interval)
+    try:
+        task.result()
+    except asyncio.CancelledError:
+        pass
 
 #: Handler invoked server-side per incoming connection: (node_id, stream).
 ConnectionHandler = Callable[[int, "Stream"], Awaitable[None]]

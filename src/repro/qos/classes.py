@@ -1,0 +1,90 @@
+"""Service classes: who gets the link when everyone wants it.
+
+Three classes, strictly ordered by how much a stall costs:
+
+* ``foreground`` — user reads and writes; every stalled byte is tail
+  latency a person can feel.
+* ``deadline-repair`` — repairs racing a durability clock (a stripe one
+  more failure from data loss, or an operator-set deadline).
+* ``background-repair`` — ordinary re-replication; it only has to win
+  eventually.
+
+The model is *weighted fair sharing with work conservation*, not strict
+priority: each class owns a guaranteed fraction of the link
+(:class:`repro.live.WeightedTokenBucket` enforces it) and idle classes
+donate their fraction to whoever is backlogged.  Strict priority would
+starve repair forever under saturating foreground load — and a stripe
+that never repairs eventually loses data, which is a worse user
+experience than any p99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BACKGROUND_REPAIR",
+    "DEADLINE_REPAIR",
+    "DEFAULT_POLICY",
+    "FOREGROUND",
+    "PRIORITY_CLASSES",
+    "QoSPolicy",
+]
+
+FOREGROUND = "foreground"
+DEADLINE_REPAIR = "deadline-repair"
+BACKGROUND_REPAIR = "background-repair"
+
+#: All classes, highest priority first.
+PRIORITY_CLASSES = (FOREGROUND, DEADLINE_REPAIR, BACKGROUND_REPAIR)
+
+
+@dataclass(frozen=True)
+class QoSPolicy:
+    """One link's bandwidth split across the three service classes.
+
+    Weights are relative (they need not sum to 1); each must be
+    positive so no class can be configured into starvation.
+    """
+
+    foreground: float = 0.6
+    deadline_repair: float = 0.3
+    background_repair: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name, share in self.weights().items():
+            if share <= 0:
+                raise ValueError(
+                    f"class {name!r} must have a positive weight, got {share} "
+                    f"(zero-weight classes starve under load)"
+                )
+
+    def weights(self) -> dict[str, float]:
+        """The three-class weight map for a :class:`WeightedTokenBucket`."""
+        return {
+            FOREGROUND: self.foreground,
+            DEADLINE_REPAIR: self.deadline_repair,
+            BACKGROUND_REPAIR: self.background_repair,
+        }
+
+    def store_weights(self) -> dict[str, float]:
+        """The two-class collapse the store daemons run.
+
+        Daemons distinguish only user I/O from repair traffic (the
+        coordinator already serialises repairs most-at-risk-first, so
+        the deadline/background split happens in *ordering*, not
+        bandwidth); both repair classes pool their guarantee.
+        """
+        return {
+            "foreground": self.foreground,
+            "repair": self.deadline_repair + self.background_repair,
+        }
+
+    @property
+    def repair_share(self) -> float:
+        """Fraction of the link guaranteed to repair, normalised."""
+        total = self.foreground + self.deadline_repair + self.background_repair
+        return (self.deadline_repair + self.background_repair) / total
+
+
+DEFAULT_POLICY = QoSPolicy()

@@ -1,0 +1,408 @@
+"""Replay a user workload against a live store while nodes die.
+
+The harness the trade-off curve comes from: preload a working set,
+replay a seeded Zipfian GET/PUT trace (closed- or open-loop) through
+:class:`repro.store.StoreClient`, SIGKILL-equivalent daemons mid-run,
+and record one latency sample per request plus the repair window the
+status poller observed.  Everything is wall-clock honest — the store is
+real sockets and real GF arithmetic — but runs in one process
+(:class:`LocalService`) so a full curve fits in a CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from ..cluster import Cluster
+from ..rs import get_code
+from ..store import Coordinator, StorageDaemon, StoreClient, StoreError
+from ..telemetry import CLOCK_WALL, TelemetryRecorder
+from ..workloads import RequestEvent
+
+__all__ = [
+    "LocalService",
+    "ReplayReport",
+    "RequestSample",
+    "object_payload",
+    "percentiles",
+    "preload_working_set",
+    "replay_trace",
+]
+
+
+def percentiles(values) -> dict:
+    """Nearest-rank latency summary: count/mean/p50/p90/p99/p999/max.
+
+    Empty input yields ``count: 0`` with ``None`` stats, so callers can
+    always serialise the result without special-casing.
+    """
+    data = sorted(values)
+    if not data:
+        return {
+            "count": 0, "mean": None, "p50": None, "p90": None,
+            "p99": None, "p999": None, "max": None,
+        }
+
+    def rank(q: float) -> float:
+        return data[min(len(data) - 1, max(0, int(q * len(data) + 0.5) - 1))]
+
+    return {
+        "count": len(data),
+        "mean": sum(data) / len(data),
+        "p50": rank(0.50),
+        "p90": rank(0.90),
+        "p99": rank(0.99),
+        "p999": rank(0.999),
+        "max": data[-1],
+    }
+
+
+@dataclass(frozen=True)
+class RequestSample:
+    """One replayed request's outcome."""
+
+    op: str
+    obj: str
+    start: float  #: seconds since replay start
+    end: float
+    latency: float
+    ok: bool
+    degraded: bool  #: a GET that reconstructed at least one block
+    error: str = ""
+    #: The service *refused* the op (e.g. a PUT whose placement would
+    #: land on a dead node during the degraded window) — unavailability,
+    #: not a data-path failure; reported separately from errors.
+    rejected: bool = False
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay run measured."""
+
+    samples: list[RequestSample] = field(default_factory=list)
+    duration: float = 0.0
+    #: (first moment the service reported degraded/repairing, moment it
+    #: reported healthy again) — seconds since replay start; ``None``
+    #: when no repair was ever observed / it never finished in-run.
+    repair_window: tuple[float, float | None] | None = None
+
+    def phase_of(self, sample: RequestSample) -> str:
+        """``pre`` / ``repair`` / ``post`` by the sample's start time."""
+        if self.repair_window is None or sample.start < self.repair_window[0]:
+            return "pre"
+        end = self.repair_window[1]
+        if end is not None and sample.start >= end:
+            return "post"
+        return "repair"
+
+    def latencies(self, op: str | None = None, phase: str | None = None):
+        return [
+            s.latency
+            for s in self.samples
+            if s.ok
+            and (op is None or s.op == op)
+            and (phase is None or self.phase_of(s) == phase)
+        ]
+
+    @property
+    def errors(self) -> list[RequestSample]:
+        return [s for s in self.samples if not s.ok and not s.rejected]
+
+    @property
+    def rejections(self) -> list[RequestSample]:
+        return [s for s in self.samples if s.rejected]
+
+    @property
+    def degraded_gets(self) -> int:
+        return sum(1 for s in self.samples if s.ok and s.degraded)
+
+    def summary(self, op: str | None = None, phase: str | None = None) -> dict:
+        return percentiles(self.latencies(op, phase))
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "requests": len(self.samples),
+            "errors": len(self.errors),
+            "rejected": len(self.rejections),
+            "degraded_gets": self.degraded_gets,
+            "repair_window": (
+                list(self.repair_window) if self.repair_window else None
+            ),
+            "all": self.summary(),
+            "get": self.summary(op="get"),
+            "put": self.summary(op="put"),
+            "get_repair_phase": self.summary(op="get", phase="repair"),
+            "get_pre_phase": self.summary(op="get", phase="pre"),
+        }
+
+
+def object_payload(name: str, nbytes: int, seed: int = 0) -> bytes:
+    """Deterministic per-object payload, so any GET can be verified."""
+    return random.Random(f"{seed}:{name}").randbytes(nbytes)
+
+
+async def preload_working_set(
+    client: StoreClient,
+    num_objects: int,
+    object_bytes: int,
+    *,
+    seed: int = 0,
+    name_prefix: str = "obj",
+) -> dict[str, bytes]:
+    """PUT the trace's GET targets; returns name → bytes for verification."""
+    expected: dict[str, bytes] = {}
+    for rank in range(num_objects):
+        name = f"{name_prefix}-{rank}"
+        payload = object_payload(name, object_bytes, seed)
+        await client.put(name, payload)
+        expected[name] = payload
+    return expected
+
+
+async def _phase_tracker(client, t0, poll, window, stop):
+    """Record when the service enters and leaves its repair window."""
+    loop = asyncio.get_event_loop()
+    while not stop.is_set():
+        try:
+            status = await client.status()
+        except (StoreError, ConnectionError, OSError):
+            status = None
+        if status is not None:
+            busy = bool(status["degraded"] or status["repairing"])
+            now = loop.time() - t0
+            if busy:
+                if window[0] is None:
+                    window[0] = now
+                window[1] = None  # still (or again) repairing
+            elif window[0] is not None and window[1] is None:
+                window[1] = now
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=poll)
+        except asyncio.TimeoutError:
+            pass
+
+
+async def replay_trace(
+    client: StoreClient,
+    events: list[RequestEvent],
+    *,
+    mode: str = "closed",
+    concurrency: int = 4,
+    time_scale: float = 1.0,
+    degraded: bool = True,
+    object_bytes: int = 8192,
+    seed: int = 0,
+    expected: dict[str, bytes] | None = None,
+    kills: list[tuple[float, int]] | None = None,
+    kill_fn=None,
+    status_poll: float = 0.05,
+) -> ReplayReport:
+    """Replay ``events`` against a live store; returns per-request samples.
+
+    Parameters
+    ----------
+    mode:
+        ``"closed"`` — ``concurrency`` workers drain the trace in order,
+        each issuing its next request the moment the last returns (the
+        load adapts to service speed, like a fixed client fleet).
+        ``"open"`` — every request fires at its trace time scaled by
+        ``time_scale``, regardless of how slow the store is (the honest
+        way to measure tail latency under a fixed offered load).
+    degraded:
+        GETs use the degraded-read path, so a request landing in the
+        repair window reconstructs instead of failing.
+    expected:
+        Name → bytes (from :func:`preload_working_set`); GETs of known
+        objects are verified and a mismatch counts as an error.
+    kills / kill_fn:
+        ``[(seconds_since_start, node_id), ...]`` — at each time,
+        ``await kill_fn(node_id)`` (e.g. ``LocalService.kill``) murders
+        a daemon mid-replay.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"unknown replay mode {mode!r}")
+    if kills and kill_fn is None:
+        raise ValueError("kills given without a kill_fn")
+    loop = asyncio.get_event_loop()
+    t0 = loop.time()
+    samples: list[RequestSample] = []
+    stop = asyncio.Event()
+    window: list[float | None] = [None, None]
+    tracker = asyncio.ensure_future(
+        _phase_tracker(client, t0, status_poll, window, stop)
+    )
+
+    async def killer(at: float, node_id: int) -> None:
+        await asyncio.sleep(max(0.0, at - (loop.time() - t0)))
+        await kill_fn(node_id)
+
+    killers = [
+        asyncio.ensure_future(killer(at, node_id))
+        for at, node_id in (kills or [])
+    ]
+
+    async def run_one(ev: RequestEvent) -> None:
+        start = loop.time() - t0
+        ok, was_degraded, error, rejected = True, False, "", False
+        try:
+            if ev.op == "get":
+                if degraded:
+                    data, report = await client.get_with_report(
+                        ev.obj, degraded=True
+                    )
+                    was_degraded = report["degraded"]
+                else:
+                    data = await client.get(ev.obj)
+                if expected is not None and ev.obj in expected:
+                    if data != expected[ev.obj]:
+                        ok, error = False, "bytes differ from written payload"
+            elif ev.op == "put":
+                await client.put(
+                    ev.obj, object_payload(ev.obj, object_bytes, seed)
+                )
+            else:
+                raise ValueError(f"unknown trace op {ev.op!r}")
+        except (StoreError, ConnectionError, OSError) as exc:
+            ok, error = False, f"{type(exc).__name__}: {exc}"
+            # PUTs have no degraded path: a grant can race the failure
+            # detector and route a block at a daemon that just died, and
+            # the store never re-grants placements.  That whole family
+            # is write unavailability, not a data-path failure.  GETs
+            # are held to the hard standard — they must always succeed.
+            rejected = "would land on dead nodes" in str(exc) or (
+                ev.op == "put"
+                and (
+                    isinstance(exc, (ConnectionError, OSError))
+                    or "Connection" in str(exc)
+                    or "died during put" in str(exc)
+                )
+            )
+        end = loop.time() - t0
+        samples.append(
+            RequestSample(
+                op=ev.op, obj=ev.obj, start=start, end=end,
+                latency=end - start, ok=ok, degraded=was_degraded,
+                error=error, rejected=rejected,
+            )
+        )
+
+    try:
+        if mode == "closed":
+            queue: asyncio.Queue = asyncio.Queue()
+            for ev in events:
+                queue.put_nowait(ev)
+
+            async def worker() -> None:
+                while True:
+                    try:
+                        ev = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    await run_one(ev)
+
+            await asyncio.gather(*(worker() for _ in range(concurrency)))
+        else:
+
+            async def fire(ev: RequestEvent) -> None:
+                await asyncio.sleep(
+                    max(0.0, ev.time * time_scale - (loop.time() - t0))
+                )
+                await run_one(ev)
+
+            await asyncio.gather(*(fire(ev) for ev in events))
+        if killers:
+            await asyncio.gather(*killers)
+    finally:
+        stop.set()
+        for task in killers:
+            task.cancel()
+        await asyncio.gather(tracker, *killers, return_exceptions=True)
+
+    samples.sort(key=lambda s: s.start)
+    report = ReplayReport(samples=samples, duration=loop.time() - t0)
+    if window[0] is not None:
+        report.repair_window = (window[0], window[1])
+    return report
+
+
+class LocalService:
+    """One in-process store cluster: coordinator + a daemon per node.
+
+    The replay harness's stand-in for ``rpr store up`` — identical
+    components over real localhost TCP, but as tasks in one loop so a
+    bench or test can bring a cluster up, kill nodes, and tear it down
+    in milliseconds.  ``link_rate``/``repair_share`` switch on the
+    daemons' QoS NIC split.
+    """
+
+    def __init__(
+        self,
+        *,
+        racks: int = 3,
+        per_rack: int = 2,
+        n: int = 3,
+        k: int = 2,
+        scheme: str = "rpr",
+        block_size: int = 16 * 1024,
+        suspect_after: float = 0.8,
+        sweep_interval: float = 0.1,
+        heartbeat: float = 0.15,
+        link_rate: float | None = None,
+        repair_share: float = 0.5,
+    ) -> None:
+        self.cluster = Cluster.homogeneous(racks, per_rack)
+        self.code = get_code(n, k)
+        self.scheme = scheme
+        self.block_size = block_size
+        self.heartbeat = heartbeat
+        self.link_rate = link_rate
+        self.repair_share = repair_share
+        self.coordinator = Coordinator(
+            self.cluster,
+            self.code,
+            scheme=scheme,
+            block_size=block_size,
+            suspect_after=suspect_after,
+            sweep_interval=sweep_interval,
+        )
+        self.daemons: dict[int, StorageDaemon] = {}
+        self.client: StoreClient | None = None
+
+    async def __aenter__(self) -> "LocalService":
+        port = await self.coordinator.start()
+        for nid in self.cluster.node_ids():
+            daemon = StorageDaemon(
+                nid,
+                ("127.0.0.1", port),
+                heartbeat_interval=self.heartbeat,
+                link_rate=self.link_rate,
+                repair_share=self.repair_share,
+            )
+            await daemon.start()
+            self.daemons[nid] = daemon
+        self.client = StoreClient(
+            "127.0.0.1",
+            port,
+            recorder=TelemetryRecorder(CLOCK_WALL, meta={"component": "qos"}),
+        )
+        deadline = asyncio.get_event_loop().time() + 10.0
+        while True:
+            status = await self.client.status()
+            alive = sum(1 for e in status["nodes"].values() if e["alive"])
+            if alive == len(self.daemons):
+                return self
+            if asyncio.get_event_loop().time() > deadline:
+                raise RuntimeError("daemons never registered")
+            await asyncio.sleep(0.05)
+
+    async def __aexit__(self, *exc) -> None:
+        for daemon in self.daemons.values():
+            await daemon.aclose()
+        await self.coordinator.aclose()
+
+    async def kill(self, node_id: int) -> None:
+        """In-process SIGKILL: the daemon stops serving AND beating."""
+        await self.daemons.pop(node_id).aclose()

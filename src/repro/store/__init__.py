@@ -42,6 +42,9 @@ from .repair import (
     RepairSession,
     ledger_from_reports,
     partition_plan,
+    plan_from_dict,
+    plan_seed_blocks,
+    plan_to_dict,
     stored_block_key,
 )
 
@@ -66,6 +69,9 @@ __all__ = [
     "call",
     "ledger_from_reports",
     "partition_plan",
+    "plan_from_dict",
+    "plan_seed_blocks",
+    "plan_to_dict",
     "read_request",
     "send_response",
     "stored_block_key",

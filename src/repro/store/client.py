@@ -19,13 +19,33 @@ import zlib
 
 import numpy as np
 
+from ..cluster import Cluster, Node, Rack
+from ..repair import ExecutionError, execute_plan
+from ..repair.plan import block_key
 from ..rs import get_code
 from ..system.objects import ObjectInfo, reassemble, split_into_stripes
 from ..telemetry import CLOCK_WALL, TelemetryRecorder
 from .messages import StoreError, call
-from .repair import stored_block_key
+from .repair import plan_from_dict, stored_block_key
 
 __all__ = ["StoreClient", "SyncStoreClient"]
+
+
+def _cluster_from_dict(data: dict) -> Cluster:
+    """Rebuild the coordinator's topology from a lookup reply.
+
+    Only structure travels (node → rack); names are cosmetic and a
+    client-side plan execution never looks at them.
+    """
+    by_rack: dict[int, list[Node]] = {}
+    for nid, rack in data["nodes"].items():
+        by_rack.setdefault(int(rack), []).append(
+            Node(node_id=int(nid), rack_id=int(rack))
+        )
+    return Cluster(
+        Rack(rack_id=rid, nodes=sorted(nodes, key=lambda nd: nd.node_id))
+        for rid, nodes in sorted(by_rack.items())
+    )
 
 
 def _as_bytes_array(data) -> np.ndarray:
@@ -95,29 +115,65 @@ class StoreClient:
         self.rec.count("client.put_bytes", int(payload.size))
         return reply
 
-    async def get(self, name: str) -> bytes:
-        """Fetch and reassemble one object's bytes (data blocks only)."""
+    async def get(self, name: str, *, degraded: bool = False) -> bytes:
+        """Fetch and reassemble one object's bytes (data blocks only).
+
+        With ``degraded=True`` the read survives dead daemons: lost data
+        blocks are reconstructed client-side — preferably by executing
+        the scheme's coordinator-planned degraded-read plan on fetched
+        helper blocks, else by a full decode over any ``n`` survivors —
+        and every reconstructed block is verified against its write-time
+        CRC before the bytes are returned.
+        """
+        data, _ = await self.get_with_report(name, degraded=degraded)
+        return data
+
+    async def get_with_report(
+        self, name: str, *, degraded: bool = False
+    ) -> tuple[bytes, dict]:
+        """Like :meth:`get`, plus a report of what reconstruction ran.
+
+        The report carries ``degraded`` (any block was reconstructed)
+        and ``reconstructed``: one ``{"sid", "block", "mode"}`` entry
+        per rebuilt block, ``mode`` being ``"plan"`` (scheme plan
+        executed locally) or ``"decode"`` (full RS decode fallback).
+        """
+        try:
+            return await self._get_once(name, degraded=degraded)
+        except StoreError as exc:
+            if not degraded or "unrecoverable" not in str(exc):
+                raise
+            # "Unrecoverable" mid-outage is usually a transient mass
+            # false-death: the detector marked busy-but-alive nodes dead
+            # between heartbeats, so the degraded lookup routed nothing.
+            # The next beat revives them — one retry turns a spurious
+            # hard failure into a slow read; genuinely lost stripes fail
+            # again.
+            await asyncio.sleep(0.2)
+            return await self._get_once(name, degraded=degraded)
+
+    async def _get_once(
+        self, name: str, *, degraded: bool = False
+    ) -> tuple[bytes, dict]:
         start = self.rec.now()
-        info = await self._coordinator("object.lookup", {"name": name})
+        info = await self._coordinator(
+            "object.lookup", {"name": name, "degraded": degraded}
+        )
         n = info["n"]
-        routing = info["routing"]
+        cluster = (
+            _cluster_from_dict(info["cluster"]) if "cluster" in info else None
+        )
+        code = get_code(n, int(info["k"])) if degraded else None
         stripe_blocks = []
+        reconstructed: list[dict] = []
         for spec in info["stripes"]:
-            sid = int(spec["sid"])
-            missing = set(spec["missing"])
-            placement = {int(bid): node for bid, node in spec["placement"].items()}
-            blocks = []
-            for bid in range(n):
-                if bid in missing:
-                    raise StoreError(
-                        f"object {name!r} is degraded (stripe {sid} block {bid} "
-                        f"missing); wait for repair to finish"
-                    )
-                host, port = routing[str(placement[bid])]
-                _, blob = await call(
-                    host, port, "block.get", {"key": stored_block_key(sid, bid)}
+            if degraded:
+                blocks, events = await self._degraded_stripe(
+                    name, info, spec, cluster, code
                 )
-                blocks.append(np.frombuffer(bytes(blob), dtype=np.uint8))
+                reconstructed.extend(events)
+            else:
+                blocks = await self._healthy_stripe(name, info, spec, n)
             stripe_blocks.append(blocks)
         shape = ObjectInfo(
             name=name,
@@ -129,10 +185,160 @@ class StoreClient:
         out = reassemble(shape, stripe_blocks)
         self.rec.span(
             f"get:{name}", start, self.rec.now(), category="client",
-            op="get", nbytes=int(out.size),
+            op="get", nbytes=int(out.size), degraded=bool(reconstructed),
         )
         self.rec.count("client.get_bytes", int(out.size))
-        return out.tobytes()
+        if reconstructed:
+            self.rec.count("client.degraded_gets")
+        report = {
+            "name": name,
+            "degraded": bool(reconstructed),
+            "reconstructed": reconstructed,
+        }
+        return out.tobytes(), report
+
+    async def _healthy_stripe(
+        self, name: str, info: dict, spec: dict, n: int
+    ) -> list[np.ndarray]:
+        """One stripe's data blocks, fetched concurrently; strict on loss."""
+        sid = int(spec["sid"])
+        missing = set(spec["missing"])
+        placement = {int(bid): node for bid, node in spec["placement"].items()}
+        for bid in range(n):
+            if bid in missing:
+                raise StoreError(
+                    f"object {name!r} is degraded (stripe {sid} block {bid} "
+                    f"missing); retry with degraded=True to reconstruct, or "
+                    f"wait for repair to finish"
+                )
+
+        async def fetch(bid: int) -> np.ndarray:
+            host, port = info["routing"][str(placement[bid])]
+            _, blob = await call(
+                host, port, "block.get", {"key": stored_block_key(sid, bid)}
+            )
+            return np.frombuffer(bytes(blob), dtype=np.uint8)
+
+        # gather preserves argument order, so blocks land data-order
+        # even though the fetches race.
+        return list(await asyncio.gather(*(fetch(bid) for bid in range(n))))
+
+    async def _degraded_stripe(
+        self, name: str, info: dict, spec: dict, cluster: Cluster, code
+    ) -> tuple[list[np.ndarray], list[dict]]:
+        """One stripe's data blocks, reconstructing whatever is lost."""
+        sid = int(spec["sid"])
+        n = code.n
+        routing = info["routing"]
+        placement = {int(bid): node for bid, node in spec["placement"].items()}
+        checksums = {
+            int(bid): crc for bid, crc in spec.get("checksums", {}).items()
+        }
+        missing = set(spec["missing"])
+
+        async def fetch(bid: int) -> np.ndarray | None:
+            route = routing.get(str(placement[bid]))
+            if bid in missing or route is None:
+                return None
+            try:
+                _, blob = await call(
+                    route[0], route[1], "block.get",
+                    {"key": stored_block_key(sid, bid)}, attempts=2,
+                )
+            except (StoreError, ConnectionError, OSError):
+                # An undetected death looks like a refused connection;
+                # treat the block as lost and reconstruct around it.
+                return None
+            return np.frombuffer(bytes(blob), dtype=np.uint8)
+
+        data_blocks = list(
+            await asyncio.gather(*(fetch(bid) for bid in range(n)))
+        )
+        lost = [bid for bid in range(n) if data_blocks[bid] is None]
+        if not lost:
+            return data_blocks, []
+
+        recovered: dict[int, np.ndarray] = {}
+        mode = "plan"
+        plan_info = spec.get("degraded_plan")
+        if plan_info is not None and lost == [int(plan_info["block"])]:
+            recovered = await self._run_degraded_plan(
+                sid, plan_info, routing, cluster
+            )
+        if not recovered:
+            # Fallback: grab parity too and decode from any n survivors.
+            mode = "decode"
+            parity = list(
+                await asyncio.gather(*(fetch(bid) for bid in range(n, code.width)))
+            )
+            available = {
+                bid: block
+                for bid, block in enumerate(data_blocks + parity)
+                if block is not None
+            }
+            if len(available) < n:
+                raise StoreError(
+                    f"object {name!r} stripe {sid} is unrecoverable: only "
+                    f"{len(available)} of {code.width} blocks reachable, "
+                    f"need {n}"
+                )
+            recovered = code.decode_many(available, lost)
+        for bid in lost:
+            block = np.ascontiguousarray(recovered[bid], dtype=np.uint8)
+            want = checksums.get(bid)
+            got = zlib.crc32(block.tobytes()) & 0xFFFFFFFF
+            if want is not None and got != want:
+                raise StoreError(
+                    f"object {name!r} stripe {sid} block {bid}: degraded "
+                    f"reconstruction produced wrong bytes "
+                    f"(crc {got:#x} != {want:#x})"
+                )
+            data_blocks[bid] = block
+        events = [{"sid": sid, "block": bid, "mode": mode} for bid in lost]
+        return data_blocks, events
+
+    async def _run_degraded_plan(
+        self, sid: int, plan_info: dict, routing: dict, cluster: Cluster
+    ) -> dict[int, np.ndarray]:
+        """Fetch a plan's helper blocks and execute it locally.
+
+        Returns ``{block_id: payload}`` on success, ``{}`` when any
+        helper is unreachable or execution fails — the caller then falls
+        back to the full-decode path.
+        """
+        target = int(plan_info["block"])
+        plan = plan_from_dict(plan_info["plan"])
+        seeds = {int(bid): int(node) for bid, node in plan_info["seeds"].items()}
+
+        async def fetch_seed(bid: int, node: int):
+            route = routing.get(str(node))
+            if route is None:
+                return bid, node, None
+            try:
+                _, blob = await call(
+                    route[0], route[1], "block.get",
+                    {"key": stored_block_key(sid, bid)}, attempts=2,
+                )
+            except (StoreError, ConnectionError, OSError):
+                return bid, node, None
+            return bid, node, np.frombuffer(bytes(blob), dtype=np.uint8)
+
+        fetched = await asyncio.gather(
+            *(fetch_seed(bid, node) for bid, node in seeds.items())
+        )
+        store: dict[int, dict[str, np.ndarray]] = {}
+        nbytes = 0
+        for bid, node, payload in fetched:
+            if payload is None:
+                return {}
+            nbytes += int(payload.nbytes)
+            store.setdefault(node, {})[block_key(bid)] = payload
+        try:
+            result = execute_plan(plan, cluster, store)
+        except ExecutionError:
+            return {}
+        self.rec.count("client.degraded_helper_bytes", nbytes)
+        return {target: np.asarray(result.recovered[target], dtype=np.uint8)}
 
     async def delete(self, name: str) -> dict:
         return await self._coordinator("object.delete", {"name": name})
@@ -153,11 +359,25 @@ class StoreClient:
         Returns the final status; raises :class:`StoreError` when
         ``timeout`` elapses first — a repair that should have happened
         and didn't is a test failure, not something to wait out forever.
+        Fails *fast* (no timeout wait) when the coordinator reports a
+        fatal repair error — too many losses or no live spares are
+        planning-level verdicts that more polling cannot change.
         """
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
         while True:
             status = await self.status()
+            fatal = [
+                e for e in status.get("repair_errors", []) if e.get("fatal")
+            ]
+            if fatal:
+                details = "; ".join(
+                    f"stripe {e['sid']}: {e['error']}" for e in fatal
+                )
+                raise StoreError(
+                    f"service cannot self-heal ({details}); waiting will not "
+                    f"fix it — restore nodes or accept data loss"
+                )
             healthy = (
                 not status["degraded"]
                 and not status["repairing"]
@@ -194,8 +414,15 @@ class SyncStoreClient:
     def put(self, name: str, data) -> dict:
         return asyncio.run(self._client.put(name, data))
 
-    def get(self, name: str) -> bytes:
-        return asyncio.run(self._client.get(name))
+    def get(self, name: str, *, degraded: bool = False) -> bytes:
+        return asyncio.run(self._client.get(name, degraded=degraded))
+
+    def get_with_report(
+        self, name: str, *, degraded: bool = False
+    ) -> tuple[bytes, dict]:
+        return asyncio.run(
+            self._client.get_with_report(name, degraded=degraded)
+        )
 
     def delete(self, name: str) -> dict:
         return asyncio.run(self._client.delete(name))

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..cluster import Cluster, Placement, RPRPlacement, SIMICS_BANDWIDTH
-from ..live.transport import TcpStream
+from ..live.transport import TcpStream, cancel_and_wait
 from ..multistripe.store import rotate_placement
 from ..repair import (
     CARRepair,
@@ -46,13 +46,20 @@ from ..repair import (
     RPRScheme,
     TraditionalRepair,
     pick_live_spares,
+    plan_degraded_read,
     simulate_repair,
 )
 from ..rs import get_code
 from ..telemetry import CLOCK_WALL, TelemetryRecorder, to_jsonl
 from .heartbeat import FailureDetector
 from .messages import Request, StoreError, call, serve_connection
-from .repair import ledger_from_reports, partition_plan, stored_block_key
+from .repair import (
+    ledger_from_reports,
+    partition_plan,
+    plan_seed_blocks,
+    plan_to_dict,
+    stored_block_key,
+)
 
 __all__ = ["Coordinator", "SCHEMES", "main"]
 
@@ -82,6 +89,7 @@ class StripeMeta:
                 str(bid): node for bid, node in self.placement.block_to_node.items()
             },
             "missing": sorted(self.missing),
+            "checksums": {str(bid): crc for bid, crc in self.checksums.items()},
         }
 
 
@@ -121,11 +129,16 @@ class Coordinator:
         self.stripes: dict[int, StripeMeta] = {}
         self.objects: dict[str, dict] = {}
         self.repairs: list[dict] = []
+        #: Repair failures per stripe, for client fail-fast: ``fatal``
+        #: marks planning-level outcomes (too many losses, no spares)
+        #: that waiting cannot fix.  Cleared per stripe on success.
+        self.repair_errors: list[dict] = []
         self._pending_puts: dict[str, dict] = {}
         self._sid_counter = itertools.count()
         self._rid_counter = itertools.count()
         self._base_placement = RPRPlacement().place(cluster, code.n, code.k)
         self._server: asyncio.base_events.Server | None = None
+        self._conns: set[asyncio.Task] = set()
         self._sweep_task: asyncio.Task | None = None
         self._repair_lock = asyncio.Lock()
         self._repair_tasks: set[asyncio.Task] = set()
@@ -146,20 +159,33 @@ class Coordinator:
 
     async def aclose(self) -> None:
         if self._sweep_task is not None:
-            self._sweep_task.cancel()
-            try:
-                await self._sweep_task
-            except asyncio.CancelledError:
-                pass
+            # cancel_and_wait, not cancel+await: repair RPCs can absorb a
+            # single cancel and leave teardown parked forever.
+            await cancel_and_wait(self._sweep_task)
             self._sweep_task = None
-        for task in list(self._repair_tasks):
-            task.cancel()
-        if self._repair_tasks:
-            await asyncio.gather(*self._repair_tasks, return_exceptions=True)
+        pending = {t for t in self._repair_tasks if not t.done()}
+        while pending:
+            for task in pending:
+                task.cancel()
+            await asyncio.wait(pending, timeout=0.25)
+            pending = {t for t in pending if not t.done()}
+        self._repair_tasks.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        conns = {t for t in self._conns if not t.done()}
+        if conns:
+            # One beat for in-flight answers (the shutdown ack included)
+            # to flush before stragglers are cancelled.
+            await asyncio.wait(conns, timeout=0.25)
+            conns = {t for t in conns if not t.done()}
+        while conns:
+            for task in conns:
+                task.cancel()
+            await asyncio.wait(conns, timeout=0.25)
+            conns = {t for t in conns if not t.done()}
+        self._conns.clear()
 
     # -- liveness & repair orchestration ------------------------------------
 
@@ -192,15 +218,28 @@ class Coordinator:
     async def _repair_degraded(self) -> None:
         # One repair wave at a time; each stripe sequentially within it
         # (matching the paper's serial per-stripe repair accounting).
+        # Most-at-risk first: a stripe one failure from data loss jumps
+        # every singly-degraded stripe in the queue.
         async with self._repair_lock:
-            for sid in sorted(self.stripes):
-                if self.stripes[sid].missing:
+            order = sorted(
+                (sid for sid, meta in self.stripes.items() if meta.missing),
+                key=lambda sid: (-len(self.stripes[sid].missing), sid),
+            )
+            for sid in order:
+                if sid in self.stripes and self.stripes[sid].missing:
                     try:
                         await self._repair_stripe(sid)
                     except (StoreError, RepairPlanningError, ConnectionError, OSError) as exc:
+                        fatal = isinstance(exc, RepairPlanningError)
                         self.rec.event(
-                            "repair.failed", category="fault", sid=sid, error=str(exc)
+                            "repair.failed", category="fault", sid=sid,
+                            error=str(exc), fatal=fatal,
                         )
+                        self.repair_errors.append({
+                            "sid": sid,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "fatal": fatal,
+                        })
 
     async def _repair_stripe(self, sid: int) -> dict:
         meta = self.stripes[sid]
@@ -305,12 +344,22 @@ class Coordinator:
             n=self.code.n, k=self.code.k, block_to_node=mapping
         )
         meta.missing.clear()
+        self.repair_errors = [e for e in self.repair_errors if e["sid"] != sid]
         return record
 
     # -- RPC dispatch -------------------------------------------------------
 
     async def _on_connect(self, reader, writer) -> None:
-        await serve_connection(TcpStream(reader, writer), self._dispatch)
+        task = asyncio.current_task()
+        self._conns.add(task)
+        try:
+            await serve_connection(TcpStream(reader, writer), self._dispatch)
+        except asyncio.CancelledError:
+            # Shut down mid-request: the peer already sees the dropped
+            # connection; ending quietly keeps teardown log-clean.
+            pass
+        finally:
+            self._conns.discard(task)
 
     async def _dispatch(self, request: Request):
         handler = getattr(self, "_rpc_" + request.mtype.replace(".", "_"), None)
@@ -345,6 +394,7 @@ class Coordinator:
             ),
             "repairing": bool(self._repair_tasks),
             "repairs": self.repairs,
+            "repair_errors": self.repair_errors,
         }, None
 
     def _routing(self, node_ids) -> dict:
@@ -447,8 +497,50 @@ class Coordinator:
         self.rec.count("coordinator.objects_put")
         return {"name": name, "stripes": len(claimed)}, None
 
+    def _degraded_plan(self, meta: StripeMeta, alive: set[int]) -> dict | None:
+        """A client-executable degraded-read plan for one stripe, or None.
+
+        Plannable when exactly one *data* block is unreachable: the
+        scheme plans its reconstruction targeted at the dead holder's
+        slot (always in the topology, holds nothing), and the client
+        substitutes itself for that node when executing.  Multi-data
+        loss or unplannable layouts return None — the client falls back
+        to a full ``decode_many`` over any ``n`` survivors.
+        """
+        dead_blocks = {
+            bid for bid, node in meta.placement.block_to_node.items()
+            if bid in meta.missing or node not in alive
+        }
+        lost_data = sorted(bid for bid in dead_blocks if bid < self.code.n)
+        if len(lost_data) != 1:
+            return None
+        target = lost_data[0]
+        try:
+            ctx = RepairContext(
+                code=self.code,
+                cluster=self.cluster,
+                placement=meta.placement,
+                failed_blocks=(target,),
+                block_size=self.block_size,
+                unavailable_blocks=tuple(sorted(dead_blocks - {target})),
+            )
+            plan = plan_degraded_read(
+                self.scheme, ctx, meta.placement.node_of(target)
+            )
+            seeds = plan_seed_blocks(plan)
+        except (RepairPlanningError, StoreError):
+            return None
+        if any(node not in alive for node in seeds.values()):
+            return None
+        return {
+            "block": target,
+            "plan": plan_to_dict(plan),
+            "seeds": {str(bid): node for bid, node in seeds.items()},
+        }
+
     async def _rpc_object_lookup(self, request: Request):
         name = request.body["name"]
+        degraded = bool(request.body.get("degraded"))
         info = self.objects.get(name)
         if info is None:
             raise StoreError(f"no object {name!r}")
@@ -458,14 +550,34 @@ class Coordinator:
             for sid in info["stripe_ids"]
             for node in self.stripes[sid].placement.block_to_node.values()
         }
-        return {
+        if degraded:
+            # Route only what answers; the client treats unrouted nodes
+            # as dead and reconstructs around them.
+            alive = self.detector.alive_ids()
+            routing = self._routing(involved & alive)
+            for entry in stripes:
+                entry["degraded_plan"] = self._degraded_plan(
+                    self.stripes[entry["sid"]], alive
+                )
+        else:
+            routing = self._routing(involved)
+        reply = {
             "name": name,
             "size": info["size"],
             "n": self.code.n,
+            "k": self.code.k,
             "block_size": self.block_size,
             "stripes": stripes,
-            "routing": self._routing(involved),
-        }, None
+            "routing": routing,
+        }
+        if degraded:
+            reply["cluster"] = {
+                "nodes": {
+                    str(nid): self.cluster.rack_of(nid)
+                    for nid in self.cluster.node_ids()
+                }
+            }
+        return reply, None
 
     async def _rpc_object_delete(self, request: Request):
         name = request.body["name"]

@@ -23,7 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..live.transport import TcpStream
+from ..live.shaper import ClassedBucket, WeightedTokenBucket
+from ..live.transport import TcpStream, cancel_and_wait
 from ..telemetry import CLOCK_WALL, TelemetryRecorder, to_jsonl
 from .heartbeat import DEFAULT_INTERVAL, HeartbeatSender
 from .messages import Request, StoreError, serve_connection
@@ -53,6 +54,8 @@ class StorageDaemon:
         host: str = "127.0.0.1",
         heartbeat_interval: float = DEFAULT_INTERVAL,
         recorder: TelemetryRecorder | None = None,
+        link_rate: float | None = None,
+        repair_share: float = 0.5,
     ) -> None:
         self.node_id = node_id
         self.coordinator = coordinator
@@ -63,7 +66,24 @@ class StorageDaemon:
         self.rec = recorder or TelemetryRecorder(
             CLOCK_WALL, meta={"component": "daemon", "node": node_id}
         )
+        #: QoS split of this node's NIC (docs/QOS.md): foreground block
+        #: I/O and repair traffic draw from separate guaranteed shares of
+        #: one work-conserving bucket.  ``link_rate=None`` leaves the
+        #: daemon unshaped (the pre-QoS behaviour).
+        self.link: WeightedTokenBucket | None = None
+        if link_rate is not None:
+            if not 0.0 < repair_share < 1.0:
+                raise ValueError(
+                    f"repair_share must be in (0, 1), got {repair_share}"
+                )
+            self.link = WeightedTokenBucket(
+                link_rate,
+                {"foreground": 1.0 - repair_share, "repair": repair_share},
+                recorder=self.rec,
+                label=f"nic:{node_id}",
+            )
         self._server: asyncio.base_events.Server | None = None
+        self._conns: set[asyncio.Task] = set()
         self._hb: HeartbeatSender | None = None
         self._hb_task: asyncio.Task | None = None
         self._sessions: dict[str, RepairSession] = {}
@@ -99,21 +119,43 @@ class StorageDaemon:
 
     async def aclose(self) -> None:
         if self._hb_task is not None:
-            self._hb_task.cancel()
-            try:
-                await self._hb_task
-            except asyncio.CancelledError:
-                pass
+            # cancel_and_wait, not cancel+await: a cancel absorbed inside
+            # the beat RPC would leave the task looping and this await
+            # parked forever.
+            await cancel_and_wait(self._hb_task)
             self._hb_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # In-flight answers get one beat to flush (the shutdown RPC's own
+        # ack rides on such a connection), then die with the daemon —
+        # their peers see the connection drop, like a killed process.
+        pending = {t for t in self._conns if not t.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=0.25)
+            pending = {t for t in pending if not t.done()}
+        while pending:
+            for task in pending:
+                task.cancel()
+            await asyncio.wait(pending, timeout=0.25)
+            pending = {t for t in pending if not t.done()}
+        self._conns.clear()
 
     # -- RPC dispatch -------------------------------------------------------
 
     async def _on_connect(self, reader, writer) -> None:
-        await serve_connection(TcpStream(reader, writer), self._dispatch)
+        task = asyncio.current_task()
+        self._conns.add(task)
+        try:
+            await serve_connection(TcpStream(reader, writer), self._dispatch)
+        except asyncio.CancelledError:
+            # Killed mid-request (daemon aclose or loop teardown): end
+            # quietly — the caller already sees the dropped connection,
+            # and a cancelled server task would be logged as an error.
+            pass
+        finally:
+            self._conns.discard(task)
 
     async def _dispatch(self, request: Request):
         handler = getattr(self, "_rpc_" + request.mtype.replace(".", "_"), None)
@@ -127,6 +169,8 @@ class StorageDaemon:
     async def _rpc_block_put(self, request: Request):
         key = request.body["key"]
         payload = _as_block(request.blob)
+        if self.link is not None:
+            await self.link.acquire(int(payload.nbytes), "foreground")
         self.blocks[key] = payload
         self.rec.count("daemon.block_put_bytes", payload.nbytes)
         return {"key": key, "nbytes": int(payload.nbytes),
@@ -137,6 +181,8 @@ class StorageDaemon:
         payload = self.blocks.get(key)
         if payload is None:
             raise StoreError(f"daemon {self.node_id}: no block {key!r}")
+        if self.link is not None:
+            await self.link.acquire(int(payload.nbytes), "foreground")
         self.rec.count("daemon.block_get_bytes", payload.nbytes)
         return {"key": key, "nbytes": int(payload.nbytes)}, payload.data
 
@@ -180,6 +226,8 @@ class StorageDaemon:
              for nid, (host, port) in body["routing"].items()},
             block_size=int(body["block_size"]),
             recorder=self.rec,
+            throttle=(ClassedBucket(self.link, "repair")
+                      if self.link is not None else None),
         )
         self._sessions[rid] = session
         for key, payload in self._early.pop(rid, []):
@@ -209,6 +257,8 @@ async def _amain(args: argparse.Namespace) -> None:
         args.node_id,
         (host, int(port)),
         heartbeat_interval=args.heartbeat_interval,
+        link_rate=args.link_rate,
+        repair_share=args.repair_share,
     )
     await daemon.start()
     try:
@@ -230,6 +280,16 @@ def main(argv=None) -> int:
         help="coordinator RPC address to register with (via heartbeats)",
     )
     parser.add_argument("--heartbeat-interval", type=float, default=DEFAULT_INTERVAL)
+    parser.add_argument(
+        "--link-rate", type=float, default=None, metavar="BYTES_PER_S",
+        help="shape this node's NIC to BYTES_PER_S with a QoS split "
+             "(default: unshaped)",
+    )
+    parser.add_argument(
+        "--repair-share", type=float, default=0.5,
+        help="fraction of --link-rate guaranteed to repair traffic; the "
+             "rest is the foreground floor (work-conserving both ways)",
+    )
     parser.add_argument(
         "--telemetry", default=None,
         help="write this daemon's telemetry JSONL here on graceful shutdown",

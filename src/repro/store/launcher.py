@@ -121,6 +121,8 @@ class StoreLauncher:
         sweep_interval: float = 0.25,
         heartbeat_interval: float = 0.5,
         startup_timeout: float = 30.0,
+        link_rate: float | None = None,
+        repair_share: float = 0.5,
     ) -> dict:
         """Start coordinator + one daemon per node; returns the state dict.
 
@@ -156,6 +158,12 @@ class StoreLauncher:
         procs: dict[str, subprocess.Popen] = {"coordinator": coordinator}
         try:
             addr = self._await_coordinator(coordinator, startup_timeout)
+            qos_args = []
+            if link_rate is not None:
+                qos_args = [
+                    "--link-rate", str(link_rate),
+                    "--repair-share", str(repair_share),
+                ]
             for node_id in range(num_nodes):
                 procs[f"node-{node_id}"] = self._spawn(
                     [
@@ -163,6 +171,7 @@ class StoreLauncher:
                         "--node-id", str(node_id),
                         "--coordinator", f"{addr['host']}:{addr['port']}",
                         "--heartbeat-interval", str(heartbeat_interval),
+                        *qos_args,
                         "--telemetry",
                         str(self.state_dir / f"telemetry-node-{node_id}.jsonl"),
                     ],
@@ -186,6 +195,7 @@ class StoreLauncher:
                 "scheme": scheme, "block_size": block_size,
                 "suspect_after": suspect_after,
                 "heartbeat_interval": heartbeat_interval,
+                "link_rate": link_rate, "repair_share": repair_share,
             },
         }
         self.state_file.write_text(json.dumps(state, indent=2))

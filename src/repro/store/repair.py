@@ -38,6 +38,9 @@ __all__ = [
     "stored_block_key",
     "NodeAssignment",
     "partition_plan",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_seed_blocks",
     "RepairSession",
     "ledger_from_reports",
 ]
@@ -98,6 +101,60 @@ def _deserialize_op(data: dict) -> SendOp | CombineOp:
             deps=tuple(data["deps"]),
         )
     raise StoreProtocolError(f"unknown op kind {data.get('kind')!r}")
+
+
+def plan_to_dict(plan: RepairPlan) -> dict:
+    """Serialize a whole plan for the wire (degraded-read delivery).
+
+    The coordinator plans a degraded read server-side (it owns topology
+    and scheme) and ships the plan to the client, which executes it
+    locally on fetched helper blocks — see :mod:`repro.qos.degraded`.
+    """
+    return {
+        "block_size": plan.block_size,
+        "ops": [_serialize_op(op) for op in plan.ops.values()],
+        "outputs": {
+            str(bid): [node, key] for bid, (node, key) in plan.outputs.items()
+        },
+    }
+
+
+def plan_from_dict(data: dict) -> RepairPlan:
+    """Rebuild a :class:`RepairPlan` serialized by :func:`plan_to_dict`."""
+    plan = RepairPlan(block_size=int(data["block_size"]))
+    for op_data in data["ops"]:
+        plan.add(_deserialize_op(op_data))
+    for bid, (node, key) in data["outputs"].items():
+        plan.mark_output(int(bid), int(node), key)
+    return plan
+
+
+def plan_seed_blocks(plan: RepairPlan) -> dict[int, int]:
+    """The stripe blocks a plan reads but never produces: block id → node.
+
+    These are the helper blocks a degraded-read client must fetch and
+    place (at the named node, under :func:`repro.repair.plan.block_key`)
+    before executing the plan locally.
+    """
+    produced: set[tuple[int, str]] = set()
+    required: set[tuple[int, str]] = set()
+    for op in plan.ops.values():
+        if isinstance(op, SendOp):
+            produced.add((op.dst, op.key))
+            required.add((op.src, op.key))
+        else:
+            produced.add((op.node, op.out_key))
+            required.update((op.node, key) for key, _ in op.terms)
+    seeds: dict[int, int] = {}
+    for node, key in required - produced:
+        prefix, _, bid = key.partition(":")
+        if prefix != "block" or not bid.isdigit():
+            raise StoreError(
+                f"plan reads {key!r} on node {node}, which no op produces "
+                f"and which is not a stripe block"
+            )
+        seeds[int(bid)] = node
+    return seeds
 
 
 @dataclass
@@ -241,6 +298,7 @@ class RepairSession:
         tables: GFTables | None = None,
         rpc=call,
         recorder=None,
+        throttle=None,
     ) -> None:
         self.rid = rid
         self.assignment = assignment
@@ -249,6 +307,10 @@ class RepairSession:
         self.tables = tables or get_tables()
         self.rpc = rpc
         self.rec = recorder if recorder else None
+        #: Optional pacing bucket (``await acquire(nbytes)``) charged
+        #: before every outbound repair byte — the repair class of the
+        #: daemon's QoS link split (docs/QOS.md).  ``None`` = unshaped.
+        self.throttle = throttle
         self.payloads: dict[str, np.ndarray] = {}
         self._key_events: dict[str, asyncio.Event] = {}
         self._op_done: dict[str, asyncio.Event] = {
@@ -298,6 +360,8 @@ class RepairSession:
                 f"{op.dst} with no route (dead or uninvolved daemon?)"
             ) from None
         payload = np.ascontiguousarray(self.payloads[op.key])
+        if self.throttle is not None:
+            await self.throttle.acquire(int(payload.nbytes))
         start = time.monotonic()
         await self.rpc(
             host,

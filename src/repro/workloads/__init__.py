@@ -1,7 +1,15 @@
 """Failure scenarios and synthetic data generation."""
 
 from .datagen import encoded_stripe, encoded_stripes, patterned_blocks, random_blocks
-from .traces import DAY, YEAR, FailureEvent, poisson_node_failures
+from .traces import (
+    DAY,
+    YEAR,
+    FailureEvent,
+    RequestEvent,
+    poisson_node_failures,
+    zipf_object_trace,
+    zipf_weights,
+)
 from .failures import (
     FailureScenario,
     multi_failure_scenarios,
@@ -27,5 +35,8 @@ __all__ = [
     "validate_scenario",
     "poisson_node_failures",
     "worst_case_scenarios",
+    "RequestEvent",
+    "zipf_object_trace",
+    "zipf_weights",
     "YEAR",
 ]

@@ -8,7 +8,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import Cluster, HierarchicalBandwidth
-from repro.live import LinkShaper, TokenBucket
+from repro.live import (
+    ClassedBucket,
+    LinkShaper,
+    QoSLinkShaper,
+    TokenBucket,
+    WeightedTokenBucket,
+)
 
 
 class FakeLoop:
@@ -219,6 +225,224 @@ class TestWallClockRate:
         elapsed = asyncio.run(_run())
         achieved = nbytes / elapsed
         assert achieved == pytest.approx(rate, rel=0.10)
+
+
+def drain_classed(bucket, cls, sizes):
+    async def _run():
+        for n in sizes:
+            await bucket.acquire(n, cls)
+
+    asyncio.run(_run())
+
+
+class TestWeightedTokenBucket:
+    WEIGHTS = {"foreground": 3.0, "repair": 1.0}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WeightedTokenBucket(0.0, self.WEIGHTS)
+        with pytest.raises(ValueError):
+            WeightedTokenBucket(1000.0, {})
+        with pytest.raises(ValueError):
+            WeightedTokenBucket(1000.0, {"foreground": 1.0, "repair": 0.0})
+        with pytest.raises(ValueError):
+            WeightedTokenBucket(1000.0, {"foreground": -1.0})
+
+    def test_unknown_class_is_refused(self):
+        bucket = WeightedTokenBucket(1000.0, self.WEIGHTS)
+        with pytest.raises(KeyError, match="unknown traffic class"):
+            asyncio.run(bucket.acquire(10, "bulk"))
+
+    def test_weights_normalise_to_shares(self):
+        bucket = WeightedTokenBucket(1000.0, self.WEIGHTS)
+        assert bucket.shares["foreground"] == pytest.approx(0.75)
+        assert bucket.shares["repair"] == pytest.approx(0.25)
+
+    def test_lone_sender_sees_full_link_rate(self):
+        """Work conservation: idle classes donate, so N bytes take N/rate."""
+        loop = FakeLoop()
+        bucket = WeightedTokenBucket(
+            1000.0, self.WEIGHTS, clock=loop.clock, sleep=loop.sleep
+        )
+        drain_classed(bucket, "foreground", [1000])
+        assert loop.now == pytest.approx(1.0, rel=1e-6)
+
+    def test_backlogged_competitor_confines_to_guaranteed_share(self):
+        """With the other class in debt there is nothing to borrow."""
+        loop = FakeLoop()
+        bucket = WeightedTokenBucket(
+            1000.0,
+            {"foreground": 1.0, "repair": 1.0},
+            clock=loop.clock,
+            sleep=loop.sleep,
+        )
+        # A repair sender is mid-stall: its balance is negative for the
+        # whole window, so foreground gets exactly its 50% guarantee.
+        bucket._tokens["repair"] = -1e9
+        drain_classed(bucket, "foreground", [500])
+        assert loop.now == pytest.approx(500 / (1000.0 * 0.5), rel=1e-6)
+
+    def test_refund_is_capped_at_the_class_capacity(self):
+        loop = FakeLoop()
+        bucket = WeightedTokenBucket(
+            1000.0,
+            {"a": 1.0, "b": 1.0},
+            capacity=100.0,
+            clock=loop.clock,
+            sleep=loop.sleep,
+        )
+        bucket.refund(10_000, "a")  # absurd refund: capped at 50 (share of 100)
+        drain_classed(bucket, "a", [100])
+        # 50 bytes ride on the refunded credit; the rest pays at the full
+        # link rate because b never enters debt.
+        assert loop.now == pytest.approx(50 / 1000.0, rel=1e-6)
+
+    def test_foreground_never_queues_behind_repair_pacing(self):
+        """Per-class locks: the priority split's whole point."""
+        bucket = WeightedTokenBucket(10.0, self.WEIGHTS)  # 10 B/s: glacial
+
+        async def _run():
+            # Repair owes 100s of pacing; foreground must not care.
+            hog = asyncio.ensure_future(bucket.acquire(1000, "repair"))
+            await asyncio.sleep(0.01)
+            assert not hog.done()
+            await asyncio.wait_for(bucket.acquire(1, "foreground"), timeout=2.0)
+            assert not hog.done()
+            hog.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await hog
+
+        asyncio.run(_run())
+
+    def test_cancelled_acquire_rolls_back_the_class_charge(self):
+        bucket = WeightedTokenBucket(10.0, self.WEIGHTS)
+
+        async def _run():
+            task = asyncio.ensure_future(bucket.acquire(1000, "repair"))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The rolled-back class owes nothing: a tiny acquire completes
+            # in well under the ~100s the leaked debt would cost.
+            await asyncio.wait_for(bucket.acquire(1, "repair"), timeout=2.0)
+
+        asyncio.run(_run())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rate=st.floats(min_value=10.0, max_value=1e6),
+        sizes=st.lists(st.integers(min_value=1, max_value=1 << 16), min_size=1, max_size=20),
+        fg_weight=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_lone_sender_rate_is_weight_independent(self, rate, sizes, fg_weight):
+        """Whatever the split, an uncontended class gets the whole link.
+
+        Never ahead of the rate; behind by at most one burst window per
+        stall (a donor's accrual is capped at its burst share, so credit
+        earned during a long stall can clip — bounded conservatism, the
+        price of bounded bursts).
+        """
+        loop = FakeLoop()
+        bucket = WeightedTokenBucket(
+            rate,
+            {"foreground": fg_weight, "repair": 1.0},
+            clock=loop.clock,
+            sleep=loop.sleep,
+        )
+        drain_classed(bucket, "foreground", sizes)
+        ideal = sum(sizes) / rate
+        slack = len(sizes) * bucket.capacity / rate
+        assert ideal - 1e-9 <= loop.now <= ideal + slack + 1e-9
+
+
+class TestClassedBucket:
+    def test_unknown_class_is_refused(self):
+        bucket = WeightedTokenBucket(1000.0, {"foreground": 1.0})
+        with pytest.raises(KeyError, match="unknown traffic class"):
+            ClassedBucket(bucket, "repair")
+
+    def test_rate_is_the_guaranteed_share(self):
+        bucket = WeightedTokenBucket(1000.0, {"foreground": 3.0, "repair": 1.0})
+        assert ClassedBucket(bucket, "foreground").rate == pytest.approx(750.0)
+        assert ClassedBucket(bucket, "repair").rate == pytest.approx(250.0)
+
+    def test_acquire_and_refund_delegate_to_the_shared_bucket(self):
+        loop = FakeLoop()
+        shared = WeightedTokenBucket(
+            1000.0,
+            {"a": 1.0, "b": 1.0},
+            capacity=100.0,
+            clock=loop.clock,
+            sleep=loop.sleep,
+        )
+        view = ClassedBucket(shared, "a")
+        view.refund(10_000)
+        drain(view, [100])
+        # Identical to charging the weighted bucket directly (see
+        # TestWeightedTokenBucket.test_refund_is_capped_at_the_class_capacity).
+        assert loop.now == pytest.approx(50 / 1000.0, rel=1e-6)
+
+    def test_reset_is_a_noop_on_the_shared_bucket(self):
+        """QoS buckets outlive transfers; a per-transfer reset must not
+        confiscate the other classes' (or its own) accrued credit."""
+        loop = FakeLoop()
+        shared = WeightedTokenBucket(
+            1000.0,
+            {"a": 1.0, "b": 1.0},
+            capacity=100.0,
+            clock=loop.clock,
+            sleep=loop.sleep,
+        )
+        shared.refund(50, "a")
+        shared.refund(50, "b")
+        ClassedBucket(shared, "a").reset()
+        assert shared._tokens == {"a": 50.0, "b": 50.0}
+
+
+class TestQoSLinkShaper:
+    WEIGHTS = {"foreground": 0.6, "repair": 0.4}
+
+    def test_rejects_empty_weights(self):
+        cluster = Cluster.homogeneous(2, 2)
+        with pytest.raises(ValueError):
+            QoSLinkShaper(cluster, HierarchicalBandwidth(1e6, 1e5), {})
+
+    def test_unshaped_mode(self):
+        cluster = Cluster.homogeneous(2, 2)
+        shaper = QoSLinkShaper(cluster, None, self.WEIGHTS)
+        assert not shaper.shaped
+        assert shaper.link(0, 1) is None
+        assert shaper.bucket(0, 1) is None
+        assert shaper.bucket(0, 1, "foreground") is None
+
+    def test_classes_share_one_weighted_link(self):
+        cluster = Cluster.homogeneous(2, 2)
+        shaper = QoSLinkShaper(
+            cluster, HierarchicalBandwidth(intra=1e6, cross=1e5), self.WEIGHTS
+        )
+        fg = shaper.bucket(0, 1, "foreground")
+        rp = shaper.bucket(0, 1, "repair")
+        assert isinstance(fg, ClassedBucket) and isinstance(rp, ClassedBucket)
+        # Same underlying budget: that is what makes the split a split.
+        assert fg.bucket is rp.bucket
+        assert fg.bucket is shaper.link(0, 1)
+        assert fg.rate + rp.rate == pytest.approx(1e6)
+        # Links are per directed pair and follow the bandwidth model.
+        assert shaper.link(0, 2).rate == pytest.approx(1e5)
+        assert shaper.link(1, 0) is not shaper.link(0, 1)
+
+    def test_classless_bucket_degrades_to_the_base_shaper(self):
+        """cls=None keeps the plain LinkShaper contract for old callers."""
+        cluster = Cluster.homogeneous(2, 2)
+        shaper = QoSLinkShaper(
+            cluster, HierarchicalBandwidth(intra=1e6, cross=1e5), self.WEIGHTS
+        )
+        plain = shaper.bucket(0, 1)
+        assert isinstance(plain, TokenBucket)
+        assert plain.rate == pytest.approx(1e6)
+        # The unclassed bucket is independent of the weighted link.
+        assert shaper.bucket(0, 1) is plain
 
 
 class TestLinkShaper:

@@ -91,3 +91,71 @@ class TestConnectBackoff:
     def test_rejects_zero_attempts(self):
         with pytest.raises(ValueError):
             asyncio.run(connect_tcp("127.0.0.1", 1, attempts=0))
+
+
+class TestCancelAndWait:
+    """The teardown primitive every aclose leans on: must always converge."""
+
+    def test_cancels_a_sleeping_task(self):
+        from repro.live import cancel_and_wait
+
+        async def _run():
+            task = asyncio.ensure_future(asyncio.sleep(3600))
+            await asyncio.wait_for(cancel_and_wait(task), timeout=5.0)
+            assert task.done() and task.cancelled()
+
+        asyncio.run(_run())
+
+    def test_re_pokes_a_task_that_absorbed_the_first_cancel(self):
+        """The lost-cancellation bug: one CancelledError gets swallowed
+        mid-RPC and the task returns to its idle loop with nobody left to
+        cancel it — a bare cancel+await would park forever."""
+        from repro.live import cancel_and_wait
+
+        absorbed = asyncio.Event()
+
+        async def stubborn():
+            try:
+                await asyncio.sleep(3600)
+            except asyncio.CancelledError:
+                pass  # swallow cancel #1 (e.g. a finally-block await won)
+            absorbed.set()
+            await asyncio.sleep(3600)  # cancel #2 must land here
+
+        async def _run():
+            task = asyncio.ensure_future(stubborn())
+            await asyncio.sleep(0.01)
+            await asyncio.wait_for(
+                cancel_and_wait(task, poke_interval=0.05), timeout=5.0
+            )
+            assert task.done()
+            assert absorbed.is_set(), "the first cancel was never absorbed"
+
+        asyncio.run(_run())
+
+    def test_finished_task_is_a_noop(self):
+        from repro.live import cancel_and_wait
+
+        async def _run():
+            task = asyncio.ensure_future(asyncio.sleep(0))
+            await task
+            await cancel_and_wait(task)
+            assert task.result() is None
+
+        asyncio.run(_run())
+
+    def test_surfaces_the_tasks_own_failure(self):
+        """Only cancellation is expected noise; a real crash must not be
+        silently eaten by teardown."""
+        from repro.live import cancel_and_wait
+
+        async def broken():
+            raise ValueError("daemon exploded")
+
+        async def _run():
+            task = asyncio.ensure_future(broken())
+            await asyncio.sleep(0.01)
+            with pytest.raises(ValueError, match="daemon exploded"):
+                await cancel_and_wait(task)
+
+        asyncio.run(_run())

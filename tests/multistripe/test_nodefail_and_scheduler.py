@@ -5,9 +5,11 @@ import pytest
 
 from repro.cluster import Cluster, FlatPlacement, SIMICS_BANDWIDTH
 from repro.multistripe import (
+    PRIORITY_POLICIES,
     StripeStore,
     merge_plans,
     node_failure_contexts,
+    order_repair_contexts,
     pick_replacement_node,
     repair_node_failure,
 )
@@ -289,3 +291,52 @@ class TestRackFailure:
 
         with pytest.raises(ValueError):
             repair_rack_failure(store, 0, RPRScheme(), SIMICS_BANDWIDTH, mode="warp")
+
+
+class _Ctx:
+    """Minimal stand-in: ordering only ever reads ``failed_blocks``."""
+
+    def __init__(self, tag, nfailed):
+        self.tag = tag
+        self.failed_blocks = tuple(range(nfailed))
+
+    def __repr__(self):
+        return f"_Ctx({self.tag}, {len(self.failed_blocks)})"
+
+
+class TestOrderRepairContexts:
+    """The scheduler-priority half of the QoS plane: which stripe's
+    repair runs first (the store coordinator uses most-at-risk)."""
+
+    def test_arrival_keeps_the_given_order(self):
+        contexts = [_Ctx("a", 1), _Ctx("b", 2), _Ctx("c", 1)]
+        assert order_repair_contexts(contexts, "arrival") == contexts
+
+    def test_most_at_risk_puts_the_closest_to_loss_first(self):
+        a, b, c, d = _Ctx("a", 1), _Ctx("b", 3), _Ctx("c", 2), _Ctx("d", 1)
+        ordered = order_repair_contexts([a, b, c, d], "most-at-risk")
+        assert ordered == [b, c, a, d]
+
+    def test_most_at_risk_is_stable_within_a_risk_level(self):
+        contexts = [_Ctx(i, 2) for i in range(5)]
+        assert order_repair_contexts(contexts, "most-at-risk") == contexts
+
+    def test_deadline_sorts_earliest_first_missing_last(self):
+        a, b, c = _Ctx("a", 1), _Ctx("b", 1), _Ctx("c", 1)
+        ordered = order_repair_contexts(
+            [a, b, c], "deadline", deadlines={0: 30.0, 2: 5.0}
+        )
+        assert ordered == [c, a, b]  # b has no deadline: it waits
+
+    def test_unknown_policy_is_refused_and_all_known_ones_work(self):
+        contexts = [_Ctx("a", 1)]
+        with pytest.raises(ValueError, match="unknown priority policy"):
+            order_repair_contexts(contexts, "loudest-operator")
+        for policy in PRIORITY_POLICIES:
+            assert order_repair_contexts(contexts, policy) == contexts
+
+    def test_input_is_not_mutated(self):
+        contexts = [_Ctx("a", 1), _Ctx("b", 3)]
+        snapshot = list(contexts)
+        order_repair_contexts(contexts, "most-at-risk")
+        assert contexts == snapshot

@@ -1,0 +1,53 @@
+"""Tests for the QoS priority model (repro.qos.classes)."""
+
+import pytest
+
+from repro.qos import (
+    BACKGROUND_REPAIR,
+    DEADLINE_REPAIR,
+    DEFAULT_POLICY,
+    FOREGROUND,
+    PRIORITY_CLASSES,
+    QoSPolicy,
+)
+
+
+class TestPriorityClasses:
+    def test_strictly_ordered_foreground_first(self):
+        assert PRIORITY_CLASSES == (FOREGROUND, DEADLINE_REPAIR, BACKGROUND_REPAIR)
+
+    def test_default_policy_favours_foreground(self):
+        weights = DEFAULT_POLICY.weights()
+        assert set(weights) == set(PRIORITY_CLASSES)
+        assert weights[FOREGROUND] > weights[DEADLINE_REPAIR] > weights[BACKGROUND_REPAIR]
+
+
+class TestQoSPolicy:
+    def test_zero_weight_classes_are_rejected(self):
+        """A zero-weight class starves under load; the constructor says so."""
+        with pytest.raises(ValueError, match="starve"):
+            QoSPolicy(background_repair=0.0)
+        with pytest.raises(ValueError, match="positive weight"):
+            QoSPolicy(foreground=-1.0)
+
+    def test_weights_need_not_sum_to_one(self):
+        policy = QoSPolicy(foreground=6.0, deadline_repair=3.0, background_repair=1.0)
+        assert policy.repair_share == pytest.approx(0.4)
+
+    def test_store_weights_collapse_the_repair_classes(self):
+        """Daemons split foreground vs repair only: the deadline vs
+        background distinction is an *ordering* concern (the coordinator
+        repairs most-at-risk first), not a bandwidth one."""
+        policy = QoSPolicy(foreground=0.5, deadline_repair=0.3, background_repair=0.2)
+        assert policy.store_weights() == {
+            "foreground": 0.5,
+            "repair": pytest.approx(0.5),
+        }
+
+    def test_repair_share_is_normalised(self):
+        assert DEFAULT_POLICY.repair_share == pytest.approx(0.4)
+        assert QoSPolicy(1.0, 1.0, 1.0).repair_share == pytest.approx(2 / 3)
+
+    def test_policy_is_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_POLICY.foreground = 0.9

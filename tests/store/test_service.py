@@ -23,11 +23,21 @@ RACKS, PER_RACK, N, K = 3, 2, 3, 2
 class Service:
     """One in-process cluster: coordinator + a daemon per node."""
 
-    def __init__(self, scheme="rpr", suspect_after=0.8, heartbeat=0.15):
-        self.cluster = Cluster.homogeneous(RACKS, PER_RACK)
+    def __init__(
+        self,
+        scheme="rpr",
+        suspect_after=0.8,
+        heartbeat=0.15,
+        racks=RACKS,
+        per_rack=PER_RACK,
+        n=N,
+        k=K,
+    ):
+        self.cluster = Cluster.homogeneous(racks, per_rack)
+        self.n, self.k = n, k
         self.coordinator = Coordinator(
             self.cluster,
-            get_code(N, K),
+            get_code(n, k),
             scheme=scheme,
             block_size=BLOCK,
             suspect_after=suspect_after,
@@ -200,6 +210,30 @@ class TestKillAndRepair:
 
         asyncio.run(_run())
 
+    def test_wait_healthy_fails_fast_when_the_service_cannot_self_heal(self):
+        """Losing more blocks than k is a verdict, not something to poll.
+
+        The pinned message matters: operators read it at 3am — it must
+        say that waiting will not fix anything.
+        """
+
+        async def _run():
+            async with Service(suspect_after=30.0) as svc:
+                data = os.urandom(N * BLOCK - 17)  # one stripe
+                await svc.client.put("obj", data)
+                placement = svc.coordinator.stripes[0].placement
+                doomed = [placement.node_of(bid) for bid in range(K + 1)]
+                svc.coordinator.on_nodes_dead(doomed)
+                loop = asyncio.get_event_loop()
+                start = loop.time()
+                with pytest.raises(StoreError, match="cannot self-heal"):
+                    await svc.client.wait_healthy(timeout=30.0)
+                # Fail-fast, not a timeout wait: the planning-level
+                # verdict must surface in a poll or two.
+                assert loop.time() - start < 10.0
+
+        asyncio.run(_run())
+
     def test_degraded_get_names_the_problem(self):
         """A GET during the degraded window fails loudly, never hangs."""
 
@@ -217,5 +251,136 @@ class TestKillAndRepair:
                 svc.coordinator.stripes[0].missing.add(0)
                 with pytest.raises(StoreError, match="degraded"):
                     await svc.client.get("obj")
+
+        asyncio.run(_run())
+
+
+class TestDegradedReads:
+    """User GETs keep working while blocks are gone — the QoS plane's
+    first pillar (docs/QOS.md).  The ISSUE acceptance matrix: every
+    scheme on RS(6,3) and RS(8,3) (plus the default RS(3,2)) must serve
+    byte-identical reads with a daemon dead."""
+
+    #: (n, k, racks, per_rack): enough rack slots for the placement and
+    #: at least one live spare per rack for the repair that follows.
+    SHAPES = [(3, 2, 3, 2), (6, 3, 3, 4), (8, 3, 4, 4)]
+
+    @pytest.mark.parametrize("scheme", ["traditional", "car", "rpr"])
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_degraded_get_is_byte_identical_with_a_daemon_dead(self, scheme, shape):
+        n, k, racks, per_rack = shape
+
+        async def _run():
+            # suspect_after is huge so detection/repair never races the
+            # read: the window is frozen open, the GET must reconstruct.
+            async with Service(
+                scheme=scheme, suspect_after=30.0,
+                racks=racks, per_rack=per_rack, n=n, k=k,
+            ) as svc:
+                data = os.urandom(n * BLOCK + 123)  # 2 stripes, ragged tail
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                got, report = await svc.client.get_with_report(
+                    "obj", degraded=True
+                )
+                assert got == data
+                assert report["degraded"]
+                assert report["reconstructed"]
+                assert {e["mode"] for e in report["reconstructed"]} <= {
+                    "plan", "decode",
+                }
+
+        asyncio.run(_run())
+
+    @pytest.mark.parametrize("scheme", ["traditional", "car", "rpr"])
+    def test_degraded_gets_stay_byte_identical_through_a_live_repair(self, scheme):
+        """PUT → kill → read continuously until the repair finishes.
+
+        Every read during the window must return the written bytes; at
+        least the first must actually have reconstructed (the kill lands
+        before detection, so block 0 is unreachable immediately).
+        """
+
+        async def _run():
+            async with Service(scheme=scheme) as svc:
+                data = os.urandom(N * BLOCK + 99)
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                degraded_seen = 0
+                deadline = asyncio.get_event_loop().time() + 20.0
+                while True:
+                    got, report = await svc.client.get_with_report(
+                        "obj", degraded=True
+                    )
+                    assert got == data
+                    degraded_seen += report["degraded"]
+                    status = await svc.client.status()
+                    healthy = (
+                        not status["degraded"]
+                        and not status["repairing"]
+                        and status["repairs"]
+                    )
+                    if healthy:
+                        break
+                    assert asyncio.get_event_loop().time() < deadline, (
+                        "repair never finished"
+                    )
+                    await asyncio.sleep(0.05)
+                assert degraded_seen >= 1
+                # Healthy again: the plain path serves the same bytes.
+                assert await svc.client.get("obj") == data
+
+        asyncio.run(_run())
+
+    def test_rpr_degraded_get_prefers_the_scheme_plan(self):
+        """Once the coordinator has marked the block missing, the lookup
+        ships a degraded-read plan and the client executes it instead of
+        falling back to a full decode."""
+
+        async def _run():
+            async with Service(suspect_after=30.0) as svc:
+                data = os.urandom(N * BLOCK - 5)  # one stripe
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                await svc.kill(victim)
+                # What detection would have done, minus the repair kick:
+                # the coordinator knows block 0 is gone and can plan.
+                svc.coordinator.stripes[0].missing.add(0)
+                got, report = await svc.client.get_with_report(
+                    "obj", degraded=True
+                )
+                assert got == data
+                assert [e["mode"] for e in report["reconstructed"]] == ["plan"]
+
+        asyncio.run(_run())
+
+    def test_healthy_get_fetches_stripe_blocks_concurrently(self, monkeypatch):
+        """All n data blocks of a stripe are fetched in parallel: each
+        block.get blocks until every sibling is in flight, so a
+        sequential client would deadlock here (and fail the timeout)."""
+        from repro.store import client as client_mod
+
+        real_call = client_mod.call
+        gate = asyncio.Event()
+        inflight = 0
+
+        async def gated_call(host, port, mtype, body=None, blob=None, **kw):
+            nonlocal inflight
+            if mtype == "block.get":
+                inflight += 1
+                if inflight == N:
+                    gate.set()
+                await asyncio.wait_for(gate.wait(), timeout=5.0)
+            return await real_call(host, port, mtype, body, blob, **kw)
+
+        async def _run():
+            async with Service() as svc:
+                data = os.urandom(N * BLOCK - 1)  # one stripe
+                await svc.client.put("obj", data)
+                monkeypatch.setattr(client_mod, "call", gated_call)
+                assert await svc.client.get("obj") == data
+                assert inflight == N
 
         asyncio.run(_run())

@@ -1,9 +1,19 @@
-"""Tests for the Poisson failure-trace generator."""
+"""Tests for the seeded trace generators (failures and user requests)."""
+
+import collections
 
 import pytest
 
 from repro.cluster import Cluster
-from repro.workloads import DAY, YEAR, FailureEvent, poisson_node_failures
+from repro.workloads import (
+    DAY,
+    YEAR,
+    FailureEvent,
+    RequestEvent,
+    poisson_node_failures,
+    zipf_object_trace,
+    zipf_weights,
+)
 
 
 @pytest.fixture
@@ -61,3 +71,100 @@ class TestPoissonTrace:
         event = FailureEvent(time=1.0, node_id=2)
         with pytest.raises(AttributeError):
             event.time = 5.0
+
+    def test_no_repeat_mode_exhausts_every_node_then_stops(self, cluster):
+        """MTBF ≪ horizon: each node fails exactly once, generator ends."""
+        events = list(
+            poisson_node_failures(
+                cluster, DAY, 1000 * YEAR, seed=8, allow_repeat=False
+            )
+        )
+        assert sorted(e.node_id for e in events) == cluster.node_ids()
+
+    def test_horizon_boundary_is_exclusive(self, cluster):
+        """A failure drawn past the horizon is dropped, not clamped onto it."""
+        for seed in range(20):
+            events = list(
+                poisson_node_failures(cluster, YEAR, 30 * DAY, seed=seed)
+            )
+            assert all(e.time <= 30 * DAY for e in events)
+        # The aggregate stream keeps flowing right up to the boundary:
+        # over many seeds the last arrival lands in the final tenth.
+        lasts = [
+            events[-1].time
+            for s in range(20)
+            if (events := list(poisson_node_failures(cluster, YEAR, 30 * DAY, seed=s)))
+        ]
+        assert max(lasts) > 0.9 * 30 * DAY
+
+
+class TestZipfWeights:
+    def test_normalised_and_monotone(self):
+        weights = zipf_weights(50, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_s_zero_is_uniform(self):
+        assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
+
+
+class TestZipfObjectTrace:
+    def test_deterministic_per_seed(self):
+        a = zipf_object_trace(20, 500, seed=3)
+        b = zipf_object_trace(20, 500, seed=3)
+        c = zipf_object_trace(20, 500, seed=4)
+        assert a == b
+        assert a != c
+        assert len(a) == 500
+
+    def test_arrivals_are_time_ordered_at_roughly_the_rate(self):
+        events = zipf_object_trace(10, 2000, rate=100.0, seed=5)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        # 2000 arrivals at 100/s span ~20s (±30%).
+        assert 14.0 < times[-1] < 26.0
+
+    def test_get_fraction_bounds(self):
+        all_gets = zipf_object_trace(5, 200, get_fraction=1.0, seed=6)
+        assert all(e.op == "get" for e in all_gets)
+        all_puts = zipf_object_trace(5, 200, get_fraction=0.0, seed=6)
+        assert all(e.op == "put" for e in all_puts)
+
+    def test_gets_target_the_preloaded_set_and_puts_are_fresh(self):
+        events = zipf_object_trace(8, 400, get_fraction=0.5, seed=7)
+        preloaded = {f"obj-{rank}" for rank in range(8)}
+        gets = [e for e in events if e.op == "get"]
+        puts = [e for e in events if e.op == "put"]
+        assert {e.obj for e in gets} <= preloaded
+        # PUT names are versioned and never collide (no-overwrite store).
+        assert len({e.obj for e in puts}) == len(puts)
+        assert all(e.obj.startswith("obj-put-") for e in puts)
+
+    def test_popularity_is_head_heavy(self):
+        """Rank 0 is the hottest object by a wide margin at s=1."""
+        events = zipf_object_trace(20, 5000, get_fraction=1.0, zipf_s=1.0, seed=8)
+        counts = collections.Counter(e.obj for e in events)
+        ranked = counts.most_common()
+        assert ranked[0][0] == "obj-0"
+        # Zipf(1) over 20 ranks gives the head ~28% of the traffic.
+        assert ranked[0][1] > 3 * counts["obj-10"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_object_trace(5, -1)
+        with pytest.raises(ValueError):
+            zipf_object_trace(5, 10, rate=0.0)
+        with pytest.raises(ValueError):
+            zipf_object_trace(5, 10, get_fraction=1.5)
+
+    def test_event_is_frozen(self):
+        event = RequestEvent(time=0.5, op="get", obj="obj-0")
+        with pytest.raises(AttributeError):
+            event.op = "put"
