@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Schema-check a Prometheus exposition scraped from the store service.
+
+CI's store-smoke job runs ``rpr store stats --prom`` against a live
+cluster mid-run and pipes the text through this gate:
+
+    rpr store stats --dir ci-store --prom > stats.prom
+    python benchmarks/check_prom_exposition.py stats.prom
+
+Beyond the generic exposition checks
+(:func:`repro.telemetry.validate_prometheus_text` — TYPE headers,
+label syntax, histogram ``+Inf``/monotonicity/``_count`` coherence),
+this asserts the scrape actually came from a serving cluster: the
+coordinator's uptime gauge must be present, and at least one
+``rpr_latency_seconds`` histogram must carry a QoS ``class`` label —
+the per-class latency breakdown is the whole point of the metrics
+plane (docs/OBSERVABILITY.md §8).
+
+Exits 0 on a clean scrape, 1 with every problem listed otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry import validate_prometheus_text  # noqa: E402
+
+#: Families a scrape of a live cluster must include.
+REQUIRED_FAMILIES = ("rpr_uptime_seconds", "rpr_events_total")
+
+
+def check(text: str) -> list[str]:
+    problems = validate_prometheus_text(text)
+    for family in REQUIRED_FAMILIES:
+        if f"\n{family}" not in "\n" + text:
+            problems.append(f"missing required family {family}")
+    if 'node="coordinator"' not in text:
+        problems.append("no coordinator samples in scrape")
+    if "rpr_latency_seconds_bucket" not in text:
+        problems.append("no latency histograms in scrape")
+    elif 'class="' not in text:
+        problems.append("latency histograms carry no QoS class label")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path", nargs="?", help="exposition file (default: stdin)"
+    )
+    args = parser.parse_args(argv)
+    text = Path(args.path).read_text() if args.path else sys.stdin.read()
+    problems = check(text)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    lines = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"OK: {lines} samples, schema valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

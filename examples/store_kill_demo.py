@@ -16,7 +16,12 @@ coordinator plus six storage daemons as separate OS processes
 4. GETs the object back and asserts the bytes are identical,
 5. prints each repair's measured cross-rack traffic next to the
    simulator's prediction — the two must match exactly
-   (``ledger_match``).
+   (``ledger_match``),
+6. assembles the per-process telemetry streams (client + coordinator +
+   every daemon, *including the SIGKILLed one's pre-kill spans* — each
+   process appends JSONL span-by-span, so nothing needed a graceful
+   exit) into one cross-process trace and prints the repair's
+   end-to-end critical path.
 
 Run:  python examples/store_kill_demo.py [--smoke]
 
@@ -27,10 +32,21 @@ import argparse
 import asyncio
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.live import audit_store_repairs
 from repro.store import StoreLauncher, call
+from repro.telemetry import (
+    CLOCK_WALL,
+    PROC_ATTR,
+    StreamingRecorder,
+    assemble_files,
+    build_tree,
+    critical_path,
+    render_critical_path,
+    trace_ids,
+)
 
 BLOCK_SIZE = 4096
 CONFIG = dict(
@@ -47,6 +63,40 @@ def pick_victim(addr: dict, name: str) -> int:
     return info["stripes"][0]["placement"]["0"]
 
 
+def show_assembled_trace(state_dir: Path, victim: int) -> None:
+    """Stitch every process's telemetry into one trace; print the repair
+    tree's critical path — where the kill→rebuild time actually went."""
+    paths = sorted(state_dir.glob("telemetry-*.jsonl"))
+    trace = assemble_files(paths)
+    victim_spans = [
+        s for s in trace.spans if s.attrs.get(PROC_ATTR) == f"node-{victim}"
+    ]
+    print(
+        f"\nassembled one cross-process trace from {len(paths)} telemetry "
+        f"streams: {len(trace.spans)} spans over {trace.extent:.2f}s"
+    )
+    assert victim_spans, "the SIGKILLed daemon's pre-kill spans must survive"
+    print(
+        f"  node {victim} was SIGKILLed, yet {len(victim_spans)} of its "
+        f"spans survived (streamed before the kill)"
+    )
+    repair_roots = [
+        root
+        for tid in trace_ids(trace)
+        for root in build_tree(trace, tid)
+        if root.span.name.startswith("repair:")
+    ]
+    assert repair_roots, "expected at least one heartbeat-triggered repair trace"
+    root = max(repair_roots, key=lambda nd: nd.span.end)
+    procs = {nd.proc for nd in critical_path(root)}
+    print(
+        f"  {len(repair_roots)} repair trace(s); critical path of the "
+        f"last-finishing one (spans {', '.join(sorted(procs))}):"
+    )
+    for line in render_critical_path(critical_path(root)).splitlines():
+        print(f"    {line}")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -56,15 +106,22 @@ def main(argv=None) -> None:
     nbytes = (2 * BLOCK_SIZE if args.smoke else 3 * 2 * BLOCK_SIZE) + 123
 
     with tempfile.TemporaryDirectory(prefix="rpr-store-") as tmp:
-        launcher = StoreLauncher(Path(tmp) / "cluster")
+        state_dir = Path(tmp) / "cluster"
+        launcher = StoreLauncher(state_dir)
         state = launcher.up(**CONFIG)
+        client_rec = StreamingRecorder(
+            state_dir / "telemetry-client.jsonl",
+            CLOCK_WALL,
+            meta={"component": "client", "node": "client"},
+        )
+        client_rec.set_origin(time.monotonic())
         try:
             print(
                 f"cluster up: coordinator + {len(state['daemons'])} daemons "
                 f"({CONFIG['racks']} racks x {CONFIG['per_rack']} nodes, "
                 f"RS({CONFIG['n']},{CONFIG['k']}), scheme {CONFIG['scheme']})"
             )
-            client = launcher.client()
+            client = launcher.client(recorder=client_rec)
             data = os.urandom(nbytes)
             reply = client.put("demo.bin", data)
             print(f"put demo.bin: {nbytes} bytes over {reply['stripes']} stripes")
@@ -106,6 +163,9 @@ def main(argv=None) -> None:
                 "every rebuilt block lives on a live spare; node "
                 f"{victim} is out of every placement"
             )
+
+            client_rec.close()
+            show_assembled_trace(state_dir, victim)
         finally:
             launcher.down()
         print("cluster down — all processes reaped")

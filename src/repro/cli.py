@@ -15,6 +15,9 @@ Usage (installed as ``rpr`` or via ``python -m repro.cli``):
     rpr telemetry report --code 6,3 --fail 1        # span/counter/histogram summary
     rpr telemetry diff --code 6,3 --fail 1          # per-op sim vs live ratios
     rpr telemetry export --source both --out t.json # Chrome trace for Perfetto
+    rpr telemetry assemble --dir .rpr-store         # stitch per-process store traces
+    rpr store stats --prom                          # scrape the live metrics plane
+    rpr top                                         # refreshing cluster dashboard
     rpr rebuild --code 6,2 --stripes 30 --node 0    # full-node rebuild
     rpr durability --code 12,4                      # MTTDL per scheme
     rpr extension lrc                               # extension experiments
@@ -745,6 +748,9 @@ def _cmd_telemetry(args) -> int:
 
     from .telemetry import render_diff, to_chrome_trace, to_jsonl
 
+    if args.mode == "assemble":
+        return _telemetry_assemble(args)
+
     n, k = _parse_code(args.code)
     failed = sorted(int(x) for x in args.fail.split(","))
 
@@ -865,6 +871,233 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _telemetry_assemble(args) -> int:
+    """Stitch per-process store telemetry files into one trace.
+
+    Sources come from explicit paths and/or ``--dir`` (a store state
+    directory, globbed for ``telemetry-*.jsonl``).  Default output is
+    the propagated span tree per trace id plus the critical path of the
+    last-finishing root; ``--out`` exports the assembled trace through
+    the existing Chrome/JSONL writers instead.
+    """
+    import json
+    from pathlib import Path
+
+    from .telemetry import (
+        assemble_files,
+        build_tree,
+        critical_path,
+        render_critical_path,
+        render_tree,
+        to_chrome_trace,
+        to_jsonl,
+        trace_ids,
+    )
+
+    paths = list(args.paths)
+    if args.dir:
+        paths.extend(
+            str(p) for p in sorted(Path(args.dir).glob("telemetry-*.jsonl"))
+        )
+    paths = [p for p in paths if Path(p).exists()]
+    if not paths:
+        print(
+            "telemetry assemble: no telemetry files (pass paths or --dir "
+            "with telemetry-*.jsonl)",
+            file=sys.stderr,
+        )
+        return 2
+    trace = assemble_files(paths)
+
+    if args.out:
+        if args.format == "jsonl":
+            text = to_jsonl(trace)
+        else:
+            text = json.dumps(to_chrome_trace([("assembled", trace)]), indent=2) + "\n"
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} trace ({len(text)} bytes) to {args.out}")
+        return 0
+    if args.json:
+        print(json.dumps(trace.to_dict(), indent=2))
+        return 0
+
+    print(
+        f"assembled {len(paths)} streams: {len(trace.spans)} spans, "
+        f"{len(trace.events)} events, {trace.extent:.3f} s extent"
+    )
+    ids = trace_ids(trace)
+    if not ids:
+        print("no propagated trace ids found (spans lack trace_id attrs)")
+        return 0
+    last_root = None
+    for tid in ids:
+        roots = build_tree(trace, tid)
+        if not roots:
+            continue
+        print(f"\ntrace {tid}:")
+        print(render_tree(roots))
+        root = max(roots, key=lambda nd: (nd.span.end, nd.span.start))
+        if last_root is None or root.span.end >= last_root.span.end:
+            last_root = root
+    if last_root is not None:
+        print("\ncritical path (last-finishing trace):")
+        print(render_critical_path(critical_path(last_root)))
+    return 0
+
+
+def _stats_snapshots(scrape: dict) -> list[dict]:
+    """Coordinator + reachable daemon snapshots from a cluster scrape."""
+    return [scrape["coordinator"]] + [
+        body for _, body in sorted(scrape["nodes"].items(), key=lambda kv: int(kv[0]))
+        if "error" not in body
+    ]
+
+
+def _latency_lines(snap: dict, indent: str = "  ") -> list[str]:
+    """Per-op latency histogram summary rows for one stats snapshot."""
+    from .telemetry import LATENCY_PREFIX, LogHistogram
+
+    lines = []
+    for name in sorted(snap.get("histograms", {})):
+        if not name.startswith(LATENCY_PREFIX):
+            continue
+        hist = LogHistogram.from_dict(snap["histograms"][name])
+        if not hist.count:
+            continue
+        op = name[len(LATENCY_PREFIX):]
+        lines.append(
+            f"{indent}{op:<24} n={hist.count:<6} "
+            f"mean={hist.mean * 1e3:8.2f}ms "
+            f"p50={hist.quantile(0.5) * 1e3:8.2f}ms "
+            f"p99={hist.quantile(0.99) * 1e3:8.2f}ms"
+        )
+    return lines
+
+
+def _render_stats(scrape: dict) -> str:
+    """Human-readable cluster metrics: one block per process."""
+    out = []
+    coord = scrape["coordinator"]
+    g = coord.get("gauges", {})
+    out.append(
+        f"coordinator: up {coord.get('uptime_s', 0.0):.1f}s, "
+        f"{int(g.get('nodes_alive', 0))} nodes alive, "
+        f"{int(g.get('objects', 0))} objects, "
+        f"{int(g.get('degraded_stripes', 0))} degraded stripes, "
+        f"{int(g.get('repairs_active', 0))} repairs active, "
+        f"{coord.get('repairs_done', 0)} repairs done"
+    )
+    out.extend(_latency_lines(coord))
+    for nid, body in sorted(scrape["nodes"].items(), key=lambda kv: int(kv[0])):
+        if "error" in body:
+            out.append(f"node-{nid}: UNREACHABLE ({body['error']})")
+            continue
+        ng = body.get("gauges", {})
+        nic = ""
+        if "nic_util" in ng:
+            nic = f", NIC {100 * ng['nic_util']:.1f}% of {ng.get('nic_rate_Bps', 0):.0f} B/s"
+        out.append(
+            f"node-{nid}: up {body.get('uptime_s', 0.0):.1f}s, "
+            f"{int(ng.get('blocks', 0))} blocks, "
+            f"{int(ng.get('repairs_inflight', 0))} repairs in flight{nic}"
+        )
+        out.extend(_latency_lines(body))
+    return "\n".join(out)
+
+
+def _cmd_top(args) -> int:
+    """Refreshing terminal dashboard over the store's metrics plane.
+
+    Scrapes the same ``stats`` RPCs as ``rpr store stats`` every
+    ``--interval`` seconds and redraws a compact per-node table; exits
+    on Ctrl-C (or after ``--iterations`` frames, for scripts/tests).
+    """
+    import time
+
+    from .store import LauncherError, StoreError, StoreLauncher
+    from .telemetry import LATENCY_PREFIX, LogHistogram
+
+    launcher = StoreLauncher(args.dir)
+
+    def quantile_ms(snap: dict, op: str, q: float) -> str:
+        data = snap.get("histograms", {}).get(f"{LATENCY_PREFIX}{op}")
+        if not data:
+            return "-"
+        hist = LogHistogram.from_dict(data)
+        if not hist.count:
+            return "-"
+        return f"{hist.quantile(q) * 1e3:.1f}"
+
+    def frame() -> str:
+        status = launcher.status()
+        scrape = launcher.client().stats()
+        coord = scrape["coordinator"]
+        g = coord.get("gauges", {})
+        lines = [
+            f"rpr top — {args.dir}  (interval {args.interval:g}s, Ctrl-C to quit)",
+            f"coordinator: up {coord.get('uptime_s', 0.0):.1f}s  "
+            f"nodes {int(g.get('nodes_alive', 0))}/{len(scrape['nodes'])}  "
+            f"objects {int(g.get('objects', 0))}  "
+            f"degraded {int(g.get('degraded_stripes', 0))}  "
+            f"repairs active {int(g.get('repairs_active', 0))} "
+            f"done {coord.get('repairs_done', 0)}",
+            "",
+            f"{'node':<8} {'proc':<8} {'beat':>7} {'blocks':>7} {'rif':>4} "
+            f"{'nic%':>6} {'fg p99 ms':>10} {'rep p99 ms':>11} {'rpcs':>7}",
+        ]
+        nodes = status["service"].get("nodes", {})
+        for nid, body in sorted(scrape["nodes"].items(), key=lambda kv: int(kv[0])):
+            info = nodes.get(nid, {})
+            proc = "run" if status["processes"].get(f"node-{nid}") else "DEAD"
+            beat = f"{info['beat_age_s']:.1f}s" if "beat_age_s" in info else "-"
+            if "error" in body:
+                lines.append(
+                    f"node-{nid:<4} {proc:<8} {beat:>7} {'-':>7} {'-':>4} "
+                    f"{'-':>6} {'-':>10} {'-':>11} {'-':>7}"
+                )
+                continue
+            ng = body.get("gauges", {})
+            nc = body.get("counters", {})
+            rpcs = sum(int(v) for k, v in nc.items() if k.startswith("rpc:"))
+            nic = f"{100 * ng['nic_util']:.1f}" if "nic_util" in ng else "-"
+            fg = quantile_ms(body, "block.get:foreground", 0.99)
+            if fg == "-":
+                fg = quantile_ms(body, "block.put:foreground", 0.99)
+            rep = quantile_ms(body, "repair.block:repair", 0.99)
+            if rep == "-":
+                rep = quantile_ms(body, "repair.exec:repair", 0.99)
+            lines.append(
+                f"node-{nid:<4} {proc:<8} {beat:>7} "
+                f"{int(ng.get('blocks', 0)):>7} "
+                f"{int(ng.get('repairs_inflight', 0)):>4} "
+                f"{nic:>6} {fg:>10} {rep:>11} {rpcs:>7}"
+            )
+        coord_lat = _latency_lines(coord, indent="")
+        if coord_lat:
+            lines.append("")
+            lines.append("coordinator latency:")
+            lines.extend("  " + line for line in coord_lat)
+        return "\n".join(lines)
+
+    shown = 0
+    try:
+        while True:
+            try:
+                text = frame()
+            except (LauncherError, StoreError, ConnectionError, OSError) as exc:
+                text = f"rpr top: cluster unreachable ({exc})"
+            if args.iterations != 1 and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(text, flush=True)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_store(args) -> int:
     """Drive the multi-process object store service (see docs/LIVE.md).
 
@@ -928,6 +1161,24 @@ def _cmd_store(args) -> int:
                 f"{len(service['degraded'])} degraded stripes, "
                 f"{len(service['repairs'])} repairs done"
             )
+            for nid, info in sorted(
+                service["nodes"].items(), key=lambda kv: int(kv[0])
+            ):
+                meta = info.get("meta", {})
+                extra = (
+                    f"{int(meta['repairs_inflight'])} repairs in flight"
+                    if "repairs_inflight" in meta
+                    else ""
+                )
+                blocks = (
+                    f"{int(meta['blocks'])} blocks" if "blocks" in meta else ""
+                )
+                detail = ", ".join(x for x in (blocks, extra) if x)
+                print(
+                    f"  node-{nid:<4} {'alive' if info['alive'] else 'DEAD':<6} "
+                    f"last beat {info['beat_age_s']:6.2f}s ago"
+                    + (f"  ({detail})" if detail else "")
+                )
             return 0
         if args.store_command == "kill":
             pid = launcher.kill_daemon(args.node)
@@ -938,6 +1189,17 @@ def _cmd_store(args) -> int:
             return 0
 
         client = launcher.client()
+        if args.store_command == "stats":
+            from .telemetry import snapshots_to_prometheus
+
+            scrape = client.stats()
+            if args.prom:
+                print(snapshots_to_prometheus(_stats_snapshots(scrape)), end="")
+            elif args.json:
+                print(json.dumps(scrape, indent=2))
+            else:
+                print(_render_stats(scrape))
+            return 0
         if args.store_command == "put":
             data = (
                 sys.stdin.buffer.read()
@@ -1235,7 +1497,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="span telemetry: report one repair, diff sim vs live, or export "
         "Chrome/JSONL traces",
     )
-    te.add_argument("mode", choices=["report", "diff", "export"])
+    te.add_argument("mode", choices=["report", "diff", "export", "assemble"])
+    te.add_argument(
+        "paths", nargs="*",
+        help="assemble: telemetry JSONL files to stitch (see also --dir)",
+    )
+    te.add_argument(
+        "--dir", default="",
+        help="assemble: store state directory to glob telemetry-*.jsonl from",
+    )
     te.add_argument("--code", default="6,3", help="RS code as 'n,k'")
     te.add_argument("--fail", default="1", help="failed block ids, comma-separated")
     te.add_argument("--scheme", choices=sorted(_SCHEMES), default="rpr")
@@ -1361,9 +1631,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stsub.add_parser("down", help="stop every process and clear the state dir")
     st_status = stsub.add_parser(
-        "status", help="process liveness + service-side cluster status"
+        "status", help="process liveness + per-daemon heartbeat age / "
+        "repairs in flight + service-side cluster status"
     )
     st_status.add_argument("--json", action="store_true", help="machine-readable output")
+    st_stats = stsub.add_parser(
+        "stats", help="scrape the live metrics plane (coordinator + every daemon)"
+    )
+    st_stats.add_argument(
+        "--json", action="store_true", help="raw snapshots as one JSON object"
+    )
+    st_stats.add_argument(
+        "--prom", action="store_true",
+        help="Prometheus text exposition (counters, gauges, latency histograms)",
+    )
     st_kill = stsub.add_parser(
         "kill", help="SIGKILL one daemon so the coordinator must repair"
     )
@@ -1390,6 +1671,22 @@ def build_parser() -> argparse.ArgumentParser:
     st_rm.add_argument("name")
     stsub.add_parser("ls", help="list stored objects")
     st.set_defaults(func=_cmd_store)
+
+    tp = sub.add_parser(
+        "top", help="refreshing terminal dashboard over a running store cluster"
+    )
+    tp.add_argument(
+        "--dir", default=".rpr-store",
+        help="state directory of the cluster (default: .rpr-store)",
+    )
+    tp.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between frames"
+    )
+    tp.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many frames (0 = run until Ctrl-C)",
+    )
+    tp.set_defaults(func=_cmd_top)
 
     qs = sub.add_parser(
         "qos",

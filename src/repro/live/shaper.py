@@ -209,6 +209,10 @@ class WeightedTokenBucket:
         self._locks: dict[str, asyncio.Lock] = {
             cls: asyncio.Lock() for cls in weights
         }
+        #: Cumulative bytes successfully charged per class — the NIC
+        #: utilization ledger the store's ``stats`` RPC reports from.
+        #: Refunds (bytes that never reached the wire) are subtracted.
+        self.sent: dict[str, float] = {cls: 0.0 for cls in weights}
 
     def _cap(self, cls: str) -> float:
         return max(self.capacity * self.shares[cls], 1.0)
@@ -217,10 +221,29 @@ class WeightedTokenBucket:
         now = self._clock()
         elapsed = now - self._last
         if elapsed > 0:
+            overflow = 0.0
             for cls, share in self.shares.items():
-                self._tokens[cls] = min(
-                    self._cap(cls), self._tokens[cls] + elapsed * self.rate * share
-                )
+                cap = self._cap(cls)
+                new = self._tokens[cls] + elapsed * self.rate * share
+                if new > cap:
+                    overflow += new - cap
+                    new = cap
+                self._tokens[cls] = new
+            if overflow > 0:
+                # Work conservation at refill time: credit an idle class
+                # cannot hold (its accrual clipped at the burst cap) pays
+                # down other classes' debt instead of evaporating.  Debt
+                # only rises toward zero, never past it, so this mints no
+                # burst — it just stops a lone sender's effective rate
+                # from sagging below ``rate`` across long pacing stalls.
+                for cls in self.shares:
+                    bal = self._tokens[cls]
+                    if bal < 0:
+                        pay = min(overflow, -bal)
+                        self._tokens[cls] = bal + pay
+                        overflow -= pay
+                        if overflow <= 0:
+                            break
         self._last = now
 
     def _borrow(self, cls: str) -> None:
@@ -278,6 +301,7 @@ class WeightedTokenBucket:
                     # vanish into float absorption on a large clock value
                     # and spin this loop forever.
                     if debt <= 1e-6:
+                        self.sent[cls] += nbytes
                         return
                     wait = debt / (self.rate * self._idle_share(cls))
                     rec = self._recorder
@@ -298,6 +322,7 @@ class WeightedTokenBucket:
         if nbytes <= 0:
             return
         self._tokens[cls] = min(self._tokens[cls] + nbytes, self._cap(cls))
+        self.sent[cls] = max(0.0, self.sent[cls] - nbytes)
 
 
 class ClassedBucket:

@@ -357,10 +357,74 @@ def live_suite(quick: bool = False) -> dict:
     instrumented.update(ops=len(predicted.plan.ops))
     results["plan_execute_rs6_3_telemetry"] = instrumented
 
+    # Store service path: block.put + block.get round trips against one
+    # in-process daemon over real localhost TCP, recorder off (explicit
+    # NULL_RECORDER) vs the deployed config (streaming recorder flushing
+    # every span to disk).  Gates the observability plane's hot-path
+    # cost: derived.store_telemetry_overhead beyond the perf-regression
+    # threshold means stats/span recording leaked into the data path.
+    import asyncio
+    import os
+    import tempfile
+
+    from .store import StorageDaemon
+    from .store.messages import call as store_call
+    from .telemetry import NULL_RECORDER, StreamingRecorder
+
+    rounds = 12 if quick else 24
+    payload = os.urandom(block)
+
+    def store_roundtrips(recorder):
+        async def run():
+            daemon = StorageDaemon(0, None, recorder=recorder)
+            port = await daemon.start()
+            try:
+                for i in range(rounds):
+                    key = f"bench-{i % 4}"
+                    await store_call(
+                        "127.0.0.1", port, "block.put", {"key": key},
+                        blob=payload,
+                    )
+                    await store_call(
+                        "127.0.0.1", port, "block.get", {"key": key}
+                    )
+            finally:
+                await daemon.aclose()
+
+        asyncio.run(run())
+
+    bare = _measure(
+        lambda: store_roundtrips(NULL_RECORDER),
+        reps,
+        nbytes=2 * rounds * block,
+    )
+    bare.update(round_trips=2 * rounds)
+    results["store_block_roundtrip"] = bare
+
+    with tempfile.TemporaryDirectory(prefix="rpr-bench-") as tmp:
+
+        def recorded():
+            rec = StreamingRecorder(
+                Path(tmp) / "telemetry-bench.jsonl",
+                CLOCK_WALL,
+                meta={"component": "daemon", "node": "bench"},
+            )
+            try:
+                store_roundtrips(rec)
+            finally:
+                rec.close()
+
+        streamed = _measure(recorded, reps)
+    streamed.update(round_trips=2 * rounds)
+    results["store_block_roundtrip_telemetry"] = streamed
+
     report["derived"] = {
         "block_bytes": block,
         "telemetry_overhead_ratio": round(
             instrumented["best_s"] / plain["best_s"], 3
+        ),
+        "store_telemetry_overhead": round(
+            streamed["best_s"] / bare["best_s"], 3
         ),
         # Zero-copy headline: payload bytes crossing the wire (SendOps x
         # block size) over the plain run's wall clock.  The memoryview

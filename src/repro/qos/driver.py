@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from ..cluster import Cluster
 from ..rs import get_code
 from ..store import Coordinator, StorageDaemon, StoreClient, StoreError
-from ..telemetry import CLOCK_WALL, TelemetryRecorder
+from ..telemetry import CLOCK_WALL, LogHistogram, TelemetryRecorder
 from ..workloads import RequestEvent
 
 __all__ = [
@@ -121,6 +121,17 @@ class ReplayReport:
     def summary(self, op: str | None = None, phase: str | None = None) -> dict:
         return percentiles(self.latencies(op, phase))
 
+    def latency_histogram(
+        self, op: str | None = None, phase: str | None = None
+    ) -> LogHistogram:
+        """Ok-latencies as a log-bucketed histogram — the same geometric
+        bucket scheme the store's ``stats`` RPC serves, so a replay's
+        per-phase distributions merge/compare directly with live scrapes."""
+        hist = LogHistogram()
+        for value in self.latencies(op, phase):
+            hist.observe(value)
+        return hist
+
     def to_dict(self) -> dict:
         return {
             "duration": self.duration,
@@ -136,6 +147,12 @@ class ReplayReport:
             "put": self.summary(op="put"),
             "get_repair_phase": self.summary(op="get", phase="repair"),
             "get_pre_phase": self.summary(op="get", phase="pre"),
+            "latency_histograms": {
+                f"{op}:{phase}": hist.to_dict()
+                for op in ("get", "put")
+                for phase in ("pre", "repair", "post")
+                if (hist := self.latency_histogram(op, phase)).count
+            },
         }
 
 

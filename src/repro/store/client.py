@@ -15,6 +15,7 @@ it call-per-``asyncio.run`` for scripts, demos and the CLI.
 from __future__ import annotations
 
 import asyncio
+import time
 import zlib
 
 import numpy as np
@@ -24,7 +25,7 @@ from ..repair import ExecutionError, execute_plan
 from ..repair.plan import block_key
 from ..rs import get_code
 from ..system.objects import ObjectInfo, reassemble, split_into_stripes
-from ..telemetry import CLOCK_WALL, TelemetryRecorder
+from ..telemetry import CLOCK_WALL, TelemetryRecorder, TraceContext
 from .messages import StoreError, call
 from .repair import plan_from_dict, stored_block_key
 
@@ -66,12 +67,18 @@ class StoreClient:
     ) -> None:
         self.host = host
         self.port = port
-        self.rec = recorder or TelemetryRecorder(
-            CLOCK_WALL, meta={"component": "client"}
+        self.rec = recorder if recorder is not None else TelemetryRecorder(
+            CLOCK_WALL, meta={"component": "client", "node": "client"}
         )
+        if recorder is None:
+            # Own recorder: anchor t=0 so assembled traces can align
+            # this client's spans with the service processes'.
+            self.rec.set_origin(time.monotonic())
 
-    async def _coordinator(self, mtype: str, body: dict | None = None) -> dict:
-        reply, _ = await call(self.host, self.port, mtype, body)
+    async def _coordinator(
+        self, mtype: str, body: dict | None = None, *, ctx: TraceContext | None = None
+    ) -> dict:
+        reply, _ = await call(self.host, self.port, mtype, body, ctx=ctx)
         return reply
 
     # -- object operations --------------------------------------------------
@@ -79,13 +86,16 @@ class StoreClient:
     async def put(self, name: str, data) -> dict:
         """Encode, place and commit one object; returns the commit reply."""
         payload = _as_bytes_array(data)
-        start = self.rec.now()
-        status = await self._coordinator("status")
+        ctx = TraceContext.root()
+        start = self.rec.raw_now()
+        status = await self._coordinator("status", ctx=ctx.child())
         n, k = status["code"]["n"], status["code"]["k"]
         code = get_code(n, k)
         stripes = split_into_stripes(payload, n, status["block_size"])
         grant = await self._coordinator(
-            "put.begin", {"name": name, "size": int(payload.size), "nstripes": len(stripes)}
+            "put.begin",
+            {"name": name, "size": int(payload.size), "nstripes": len(stripes)},
+            ctx=ctx.child(),
         )
         routing = grant["routing"]
         claims = []
@@ -103,14 +113,17 @@ class StoreClient:
                         host, port, "block.put",
                         {"key": stored_block_key(sid, bid)},
                         blob=block.data,
+                        ctx=ctx.child(),
                     )
                 )
             await asyncio.gather(*writes)
             claims.append({"sid": sid, "crcs": {str(b): c for b, c in crcs.items()}})
-        reply = await self._coordinator("put.commit", {"name": name, "stripes": claims})
+        reply = await self._coordinator(
+            "put.commit", {"name": name, "stripes": claims}, ctx=ctx.child()
+        )
         self.rec.span(
-            f"put:{name}", start, self.rec.now(), category="client",
-            op="put", nbytes=int(payload.size),
+            f"put:{name}", start, self.rec.raw_now(), category="client",
+            op="put", nbytes=int(payload.size), **ctx.attrs(),
         )
         self.rec.count("client.put_bytes", int(payload.size))
         return reply
@@ -155,9 +168,10 @@ class StoreClient:
     async def _get_once(
         self, name: str, *, degraded: bool = False
     ) -> tuple[bytes, dict]:
-        start = self.rec.now()
+        ctx = TraceContext.root()
+        start = self.rec.raw_now()
         info = await self._coordinator(
-            "object.lookup", {"name": name, "degraded": degraded}
+            "object.lookup", {"name": name, "degraded": degraded}, ctx=ctx.child()
         )
         n = info["n"]
         cluster = (
@@ -169,11 +183,11 @@ class StoreClient:
         for spec in info["stripes"]:
             if degraded:
                 blocks, events = await self._degraded_stripe(
-                    name, info, spec, cluster, code
+                    name, info, spec, cluster, code, ctx=ctx
                 )
                 reconstructed.extend(events)
             else:
-                blocks = await self._healthy_stripe(name, info, spec, n)
+                blocks = await self._healthy_stripe(name, info, spec, n, ctx=ctx)
             stripe_blocks.append(blocks)
         shape = ObjectInfo(
             name=name,
@@ -184,8 +198,9 @@ class StoreClient:
         )
         out = reassemble(shape, stripe_blocks)
         self.rec.span(
-            f"get:{name}", start, self.rec.now(), category="client",
+            f"get:{name}", start, self.rec.raw_now(), category="client",
             op="get", nbytes=int(out.size), degraded=bool(reconstructed),
+            **ctx.attrs(),
         )
         self.rec.count("client.get_bytes", int(out.size))
         if reconstructed:
@@ -198,7 +213,8 @@ class StoreClient:
         return out.tobytes(), report
 
     async def _healthy_stripe(
-        self, name: str, info: dict, spec: dict, n: int
+        self, name: str, info: dict, spec: dict, n: int,
+        *, ctx: TraceContext | None = None,
     ) -> list[np.ndarray]:
         """One stripe's data blocks, fetched concurrently; strict on loss."""
         sid = int(spec["sid"])
@@ -215,7 +231,8 @@ class StoreClient:
         async def fetch(bid: int) -> np.ndarray:
             host, port = info["routing"][str(placement[bid])]
             _, blob = await call(
-                host, port, "block.get", {"key": stored_block_key(sid, bid)}
+                host, port, "block.get", {"key": stored_block_key(sid, bid)},
+                ctx=ctx.child() if ctx is not None else None,
             )
             return np.frombuffer(bytes(blob), dtype=np.uint8)
 
@@ -224,7 +241,8 @@ class StoreClient:
         return list(await asyncio.gather(*(fetch(bid) for bid in range(n))))
 
     async def _degraded_stripe(
-        self, name: str, info: dict, spec: dict, cluster: Cluster, code
+        self, name: str, info: dict, spec: dict, cluster: Cluster, code,
+        *, ctx: TraceContext | None = None,
     ) -> tuple[list[np.ndarray], list[dict]]:
         """One stripe's data blocks, reconstructing whatever is lost."""
         sid = int(spec["sid"])
@@ -244,6 +262,7 @@ class StoreClient:
                 _, blob = await call(
                     route[0], route[1], "block.get",
                     {"key": stored_block_key(sid, bid)}, attempts=2,
+                    ctx=ctx.child() if ctx is not None else None,
                 )
             except (StoreError, ConnectionError, OSError):
                 # An undetected death looks like a refused connection;
@@ -263,7 +282,7 @@ class StoreClient:
         plan_info = spec.get("degraded_plan")
         if plan_info is not None and lost == [int(plan_info["block"])]:
             recovered = await self._run_degraded_plan(
-                sid, plan_info, routing, cluster
+                sid, plan_info, routing, cluster, ctx=ctx
             )
         if not recovered:
             # Fallback: grab parity too and decode from any n survivors.
@@ -298,7 +317,8 @@ class StoreClient:
         return data_blocks, events
 
     async def _run_degraded_plan(
-        self, sid: int, plan_info: dict, routing: dict, cluster: Cluster
+        self, sid: int, plan_info: dict, routing: dict, cluster: Cluster,
+        *, ctx: TraceContext | None = None,
     ) -> dict[int, np.ndarray]:
         """Fetch a plan's helper blocks and execute it locally.
 
@@ -318,6 +338,7 @@ class StoreClient:
                 _, blob = await call(
                     route[0], route[1], "block.get",
                     {"key": stored_block_key(sid, bid)}, attempts=2,
+                    ctx=ctx.child() if ctx is not None else None,
                 )
             except (StoreError, ConnectionError, OSError):
                 return bid, node, None
@@ -348,6 +369,34 @@ class StoreClient:
 
     async def status(self) -> dict:
         return await self._coordinator("status")
+
+    async def stats(self) -> dict:
+        """Scrape the whole cluster's metrics plane in one call.
+
+        Hits the coordinator's ``stats`` RPC, then every daemon the
+        coordinator believes is alive, in parallel.  A daemon that died
+        between the status reply and our scrape shows up as
+        ``{"error": ...}`` instead of a snapshot — the scrape itself
+        must never fail because one node did.
+        """
+        status = await self.status()
+        coord = await self._coordinator("stats")
+
+        async def scrape(nid: str, info: dict) -> tuple[str, dict]:
+            if not info["alive"]:
+                return nid, {"error": "node is down", "alive": False}
+            try:
+                body, _ = await call(
+                    info["host"], info["port"], "stats", attempts=1
+                )
+                return nid, body
+            except (StoreError, ConnectionError, OSError) as exc:
+                return nid, {"error": str(exc), "alive": True}
+
+        pairs = await asyncio.gather(
+            *(scrape(nid, info) for nid, info in status["nodes"].items())
+        )
+        return {"coordinator": coord, "nodes": dict(sorted(pairs))}
 
     # -- service-level helpers ----------------------------------------------
 
@@ -408,8 +457,8 @@ class StoreClient:
 class SyncStoreClient:
     """Blocking facade over :class:`StoreClient` for scripts and the CLI."""
 
-    def __init__(self, host: str, port: int) -> None:
-        self._client = StoreClient(host, port)
+    def __init__(self, host: str, port: int, *, recorder=None) -> None:
+        self._client = StoreClient(host, port, recorder=recorder)
 
     def put(self, name: str, data) -> dict:
         return asyncio.run(self._client.put(name, data))
@@ -432,6 +481,9 @@ class SyncStoreClient:
 
     def status(self) -> dict:
         return asyncio.run(self._client.status())
+
+    def stats(self) -> dict:
+        return asyncio.run(self._client.stats())
 
     def wait_healthy(self, **kwargs) -> dict:
         return asyncio.run(self._client.wait_healthy(**kwargs))

@@ -32,6 +32,7 @@ import argparse
 import asyncio
 import itertools
 import json
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,7 +51,13 @@ from ..repair import (
     simulate_repair,
 )
 from ..rs import get_code
-from ..telemetry import CLOCK_WALL, TelemetryRecorder, to_jsonl
+from ..telemetry import (
+    CLOCK_WALL,
+    StatsRegistry,
+    StreamingRecorder,
+    TelemetryRecorder,
+    TraceContext,
+)
 from .heartbeat import FailureDetector
 from .messages import Request, StoreError, call, serve_connection
 from .repair import (
@@ -122,9 +129,15 @@ class Coordinator:
         self.repair_timeout = repair_timeout
         self.bandwidth = bandwidth
         self.port: int | None = None
-        self.rec = recorder or TelemetryRecorder(
+        self.rec = recorder if recorder is not None else TelemetryRecorder(
             CLOCK_WALL, meta={"component": "coordinator", "scheme": scheme}
         )
+        if recorder is None:
+            # Own recorder: anchor t=0 so assembly can align this
+            # process's spans against the daemons' (meta["origin_unix"]).
+            self.rec.set_origin(time.monotonic())
+        #: Live metrics for the ``stats`` RPC — always on.
+        self.stats = StatsRegistry("coordinator")
         self.detector = FailureDetector(suspect_after=suspect_after)
         self.stripes: dict[int, StripeMeta] = {}
         self.objects: dict[str, dict] = {}
@@ -269,7 +282,12 @@ class Coordinator:
                 )
             routing[node_id] = [entry.host, entry.port]
         rid = f"r{next(self._rid_counter)}"
-        start = self.rec.now()
+        # Every heartbeat-triggered repair is a trace entry point: the
+        # coordinator roots a fresh trace here and each daemon's
+        # repair.exec hop rides the RPC header, so the assembled tree
+        # hangs every daemon's repair work under this repair root.
+        ctx = TraceContext.root()
+        start = self.rec.raw_now()
         results = await asyncio.gather(
             *(
                 call(
@@ -283,6 +301,7 @@ class Coordinator:
                         "timeout": self.repair_timeout,
                     },
                     timeout=self.repair_timeout + 10.0,
+                    ctx=ctx.child(),
                 )
                 for node_id, part in parts.items()
             )
@@ -327,15 +346,19 @@ class Coordinator:
             },
             "ledger_match": measured["cross_rack_bytes"]
             == int(outcome.cross_rack_bytes),
-            "wall_seconds": self.rec.now() - start,
+            "wall_seconds": self.rec.raw_now() - start,
         }
         self.repairs.append(record)
         self.rec.span(
-            f"repair:{rid}", start, self.rec.now(), category="repair",
+            f"repair:{rid}", start, self.rec.raw_now(), category="repair",
             rid=rid, sid=sid, scheme=self.scheme_name,
             cross_rack_bytes=measured["cross_rack_bytes"],
             ledger_match=record["ledger_match"],
+            **ctx.attrs(),
         )
+        self.stats.count("repairs_done")
+        self.stats.count("repair_bytes_cross_rack", measured["cross_rack_bytes"])
+        self.stats.latency("repair.stripe", record["wall_seconds"])
 
         mapping = dict(meta.placement.block_to_node)
         for bid, target in override:
@@ -365,7 +388,23 @@ class Coordinator:
         handler = getattr(self, "_rpc_" + request.mtype.replace(".", "_"), None)
         if handler is None:
             raise StoreError(f"coordinator: unknown rpc {request.mtype!r}")
-        return await handler(request)
+        if request.ctx is not None:
+            # Adopt the caller's hop context: our span carries its id, so
+            # the assembled tree links caller span -> this rpc span.
+            request.server_ctx = request.ctx
+        start = time.monotonic()
+        try:
+            return await handler(request)
+        finally:
+            elapsed = time.monotonic() - start
+            if request.mtype != "heartbeat":  # beats would swamp the stats
+                self.stats.count(f"rpc:{request.mtype}")
+                self.stats.latency(request.mtype, elapsed)
+            if self.rec and request.server_ctx is not None:
+                self.rec.span(
+                    f"rpc:{request.mtype}", start, start + elapsed,
+                    category="rpc", **request.server_ctx.attrs(),
+                )
 
     async def _rpc_heartbeat(self, request: Request):
         body = request.body
@@ -610,6 +649,27 @@ class Coordinator:
             ]
         }, None
 
+    async def _rpc_stats(self, request: Request):
+        """Coordinator-side metrics: repair plane + per-node liveness."""
+        snap = self.stats.snapshot()
+        snap["role"] = "coordinator"
+        snap["gauges"]["objects"] = float(len(self.objects))
+        snap["gauges"]["stripes"] = float(len(self.stripes))
+        snap["gauges"]["degraded_stripes"] = float(
+            sum(1 for meta in self.stripes.values() if meta.missing)
+        )
+        snap["gauges"]["repairs_active"] = float(len(self._repair_tasks))
+        snap["gauges"]["nodes_alive"] = float(len(self.detector.alive_ids()))
+        for nid, info in self.detector.to_dict().items():
+            age = info.get("beat_age_s")
+            if age is not None:
+                snap["gauges"][f"beat_age_s:node-{nid}"] = float(age)
+        snap["repairs_done"] = len(self.repairs)
+        snap["degraded"] = sorted(
+            sid for sid, meta in self.stripes.items() if meta.missing
+        )
+        return snap, None
+
     async def _rpc_shutdown(self, request: Request):
         self._stopping.set()
         return {}, None
@@ -617,6 +677,16 @@ class Coordinator:
 
 async def _amain(args: argparse.Namespace) -> None:
     cluster = Cluster.homogeneous(args.racks, args.per_rack)
+    recorder = None
+    if args.telemetry:
+        # Streaming append keeps the trace through a crash or kill.
+        recorder = StreamingRecorder(
+            args.telemetry,
+            CLOCK_WALL,
+            meta={"component": "coordinator", "node": "coordinator",
+                  "scheme": args.scheme},
+        )
+        recorder.set_origin(time.monotonic())
     coordinator = Coordinator(
         cluster,
         get_code(args.n, args.k),
@@ -624,6 +694,7 @@ async def _amain(args: argparse.Namespace) -> None:
         block_size=args.block_size,
         suspect_after=args.suspect_after,
         sweep_interval=args.sweep_interval,
+        recorder=recorder,
     )
     port = await coordinator.start()
     if args.state_file:
@@ -638,8 +709,8 @@ async def _amain(args: argparse.Namespace) -> None:
         await coordinator.run_until_shutdown()
     finally:
         await coordinator.aclose()
-        if args.telemetry:
-            Path(args.telemetry).write_text(to_jsonl(coordinator.rec.trace()))
+        if recorder is not None:
+            recorder.close()
 
 
 def main(argv=None) -> int:
@@ -661,7 +732,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--telemetry", default=None,
-        help="write coordinator telemetry JSONL here on graceful shutdown",
+        help="stream coordinator telemetry JSONL here (appended and "
+             "flushed per span, crash-durable)",
     )
     args = parser.parse_args(argv)
     asyncio.run(_amain(args))

@@ -17,15 +17,14 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
+import time
 import zlib
-from pathlib import Path
 
 import numpy as np
 
 from ..live.shaper import ClassedBucket, WeightedTokenBucket
 from ..live.transport import TcpStream, cancel_and_wait
-from ..telemetry import CLOCK_WALL, TelemetryRecorder, to_jsonl
+from ..telemetry import CLOCK_WALL, StatsRegistry, StreamingRecorder, TelemetryRecorder
 from .heartbeat import DEFAULT_INTERVAL, HeartbeatSender
 from .messages import Request, StoreError, serve_connection
 from .repair import NodeAssignment, RepairSession
@@ -35,6 +34,15 @@ __all__ = ["StorageDaemon", "main"]
 #: Generous ceiling for one repair session (the coordinator passes the
 #: real deadline per repair; this guards a coordinator that forgot).
 DEFAULT_REPAIR_TIMEOUT = 60.0
+
+#: QoS class each RPC's latency is attributed to in the live stats
+#: (mirrors the NIC split: block I/O is foreground, repair is repair).
+RPC_CLASS = {
+    "block.put": "foreground",
+    "block.get": "foreground",
+    "repair.block": "repair",
+    "repair.exec": "repair",
+}
 
 
 def _as_block(blob) -> np.ndarray:
@@ -63,9 +71,18 @@ class StorageDaemon:
         self.heartbeat_interval = heartbeat_interval
         self.port: int | None = None
         self.blocks: dict[str, np.ndarray] = {}
-        self.rec = recorder or TelemetryRecorder(
+        # `is not None`, not `or`: an explicit (falsy) NULL_RECORDER
+        # means "telemetry off", not "pick a default".
+        self.rec = recorder if recorder is not None else TelemetryRecorder(
             CLOCK_WALL, meta={"component": "daemon", "node": node_id}
         )
+        if recorder is None:
+            # Own recorder: anchor t=0 now so cross-process assembly can
+            # align this daemon's spans (meta["origin_unix"]).
+            self.rec.set_origin(time.monotonic())
+        #: Live metrics for the ``stats`` RPC — always on, bounded
+        #: memory, independent of whether span telemetry is enabled.
+        self.stats = StatsRegistry(f"node-{node_id}")
         #: QoS split of this node's NIC (docs/QOS.md): foreground block
         #: I/O and repair traffic draw from separate guaranteed shares of
         #: one work-conserving bucket.  ``link_rate=None`` leaves the
@@ -110,7 +127,12 @@ class StorageDaemon:
                 interval=self.heartbeat_interval,
             )
             self._hb_task = asyncio.ensure_future(
-                self._hb.run(lambda: {"blocks": len(self.blocks)})
+                self._hb.run(
+                    lambda: {
+                        "blocks": len(self.blocks),
+                        "repairs_inflight": len(self._sessions),
+                    }
+                )
             )
         return self.port
 
@@ -161,7 +183,25 @@ class StorageDaemon:
         handler = getattr(self, "_rpc_" + request.mtype.replace(".", "_"), None)
         if handler is None:
             raise StoreError(f"daemon {self.node_id}: unknown rpc {request.mtype!r}")
-        return await handler(request)
+        if request.ctx is not None:
+            # The caller minted this context *for this hop*; recording our
+            # span under its id is what links the cross-process tree.
+            request.server_ctx = request.ctx
+        start = time.monotonic()
+        try:
+            return await handler(request)
+        finally:
+            elapsed = time.monotonic() - start
+            self.stats.count(f"rpc:{request.mtype}")
+            self.stats.latency(
+                request.mtype, elapsed, cls=RPC_CLASS.get(request.mtype, "")
+            )
+            if self.rec and request.server_ctx is not None:
+                self.rec.span(
+                    f"rpc:{request.mtype}", start, start + elapsed,
+                    category="rpc", node=self.node_id,
+                    **request.server_ctx.attrs(),
+                )
 
     async def _rpc_ping(self, request: Request):
         return {"node_id": self.node_id, "blocks": len(self.blocks)}, None
@@ -173,6 +213,7 @@ class StorageDaemon:
             await self.link.acquire(int(payload.nbytes), "foreground")
         self.blocks[key] = payload
         self.rec.count("daemon.block_put_bytes", payload.nbytes)
+        self.stats.count("block_put_bytes", int(payload.nbytes))
         return {"key": key, "nbytes": int(payload.nbytes),
                 "crc": zlib.crc32(payload.tobytes()) & 0xFFFFFFFF}, None
 
@@ -184,6 +225,7 @@ class StorageDaemon:
         if self.link is not None:
             await self.link.acquire(int(payload.nbytes), "foreground")
         self.rec.count("daemon.block_get_bytes", payload.nbytes)
+        self.stats.count("block_get_bytes", int(payload.nbytes))
         return {"key": key, "nbytes": int(payload.nbytes)}, payload.data
 
     async def _rpc_block_delete(self, request: Request):
@@ -219,6 +261,9 @@ class StorageDaemon:
         rid = body["rid"]
         if rid in self._sessions:
             raise StoreError(f"daemon {self.node_id}: repair {rid!r} already running")
+        repair_ctx = (
+            request.server_ctx.child() if request.server_ctx is not None else None
+        )
         session = RepairSession(
             rid,
             NodeAssignment.from_dict(body["assignment"]),
@@ -228,23 +273,48 @@ class StorageDaemon:
             recorder=self.rec,
             throttle=(ClassedBucket(self.link, "repair")
                       if self.link is not None else None),
+            ctx=repair_ctx,
         )
         self._sessions[rid] = session
         for key, payload in self._early.pop(rid, []):
             session.deliver(key, payload)
-        start = self.rec.now()
+        start = self.rec.raw_now()
         try:
             report = await session.run(
                 self.blocks, timeout=float(body.get("timeout", DEFAULT_REPAIR_TIMEOUT))
             )
         finally:
             self._sessions.pop(rid, None)
+        self.stats.count("repairs_done")
         self.rec.span(
-            f"repair:{rid}:{self.node_id}", start, self.rec.now(),
+            f"repair:{rid}:{self.node_id}", start, self.rec.raw_now(),
             category="repair", rid=rid, node=self.node_id,
             ops=len(session.reports), committed=len(session.committed),
+            **(repair_ctx.attrs() if repair_ctx is not None else {}),
         )
         return report, None
+
+    async def _rpc_stats(self, request: Request):
+        """Live metrics snapshot: the scrape side of ``rpr store stats``."""
+        snap = self.stats.snapshot()
+        snap["role"] = "daemon"
+        snap["node_id"] = self.node_id
+        snap["blocks"] = len(self.blocks)
+        snap["repairs_inflight"] = len(self._sessions)
+        snap["gauges"]["blocks"] = float(len(self.blocks))
+        snap["gauges"]["repairs_inflight"] = float(len(self._sessions))
+        if self.link is not None:
+            uptime = max(self.stats.uptime_s, 1e-9)
+            total = 0.0
+            for cls, nbytes in self.link.sent.items():
+                total += nbytes
+                snap["counters"][f"nic_bytes:{cls}"] = nbytes
+                snap["gauges"][f"nic_util:{cls}"] = nbytes / (
+                    uptime * self.link.rate * self.link.shares[cls]
+                )
+            snap["gauges"]["nic_rate_Bps"] = self.link.rate
+            snap["gauges"]["nic_util"] = total / (uptime * self.link.rate)
+        return snap, None
 
     async def _rpc_shutdown(self, request: Request):
         self._stopping.set()
@@ -253,20 +323,31 @@ class StorageDaemon:
 
 async def _amain(args: argparse.Namespace) -> None:
     host, port = args.coordinator.rsplit(":", 1)
+    recorder = None
+    if args.telemetry:
+        # Streaming, not dump-at-exit: every span hits disk as it
+        # finishes, so a SIGKILLed daemon's telemetry survives the kill.
+        recorder = StreamingRecorder(
+            args.telemetry,
+            CLOCK_WALL,
+            meta={"component": "daemon", "node": f"node-{args.node_id}"},
+        )
+        recorder.set_origin(time.monotonic())
     daemon = StorageDaemon(
         args.node_id,
         (host, int(port)),
         heartbeat_interval=args.heartbeat_interval,
         link_rate=args.link_rate,
         repair_share=args.repair_share,
+        recorder=recorder,
     )
     await daemon.start()
     try:
         await daemon.run_until_shutdown()
     finally:
         await daemon.aclose()
-        if args.telemetry:
-            Path(args.telemetry).write_text(to_jsonl(daemon.rec.trace()))
+        if recorder is not None:
+            recorder.close()
 
 
 def main(argv=None) -> int:
@@ -292,7 +373,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--telemetry", default=None,
-        help="write this daemon's telemetry JSONL here on graceful shutdown",
+        help="stream this daemon's telemetry JSONL here (appended and "
+             "flushed per span, so a killed daemon keeps its data)",
     )
     args = parser.parse_args(argv)
     asyncio.run(_amain(args))

@@ -11,7 +11,8 @@ process per cluster node, all ``python -m`` children of whoever calls
   state.json            # pids + config, written by the launcher
   coordinator.log       # stdout+stderr of the coordinator
   node-<i>.log          #   "        "     of each daemon
-  telemetry-*.jsonl     # per-component telemetry (on graceful shutdown)
+  telemetry-*.jsonl     # per-component streaming telemetry (appended
+                        # span-by-span, so it survives a SIGKILL)
 ```
 
 so ``up``/``status``/``kill``/``down`` can run as *separate CLI
@@ -239,9 +240,9 @@ class StoreLauncher:
             raise LauncherError(f"no cluster state at {self.state_file}")
         return json.loads(self.state_file.read_text())
 
-    def client(self) -> SyncStoreClient:
+    def client(self, *, recorder=None) -> SyncStoreClient:
         addr = self.load_state()["coordinator"]
-        return SyncStoreClient(addr["host"], addr["port"])
+        return SyncStoreClient(addr["host"], addr["port"], recorder=recorder)
 
     def status(self) -> dict:
         """Service status plus harness-level process liveness."""

@@ -27,6 +27,7 @@ import json
 
 from ..live.transport import Stream, connect_tcp
 from ..live.wire import WireError, read_frame, send_frame
+from ..telemetry.distributed import TraceContext
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -54,14 +55,32 @@ class StoreProtocolError(StoreError):
 
 
 class Request:
-    """One parsed incoming request: type, JSON body, binary blob."""
+    """One parsed incoming request: type, JSON body, binary blob.
 
-    __slots__ = ("mtype", "body", "blob")
+    ``ctx`` is the caller's :class:`~repro.telemetry.distributed.\
+TraceContext` when the request frame carried one (header ``"tc"``), so
+    a server can record its handling span as a child of the caller's
+    hop; ``None`` from un-instrumented callers.  ``server_ctx`` is
+    filled by the server's dispatch wrapper — the context its handling
+    span is recorded under (the wire context itself: the caller minted
+    it *for this hop*) — so handlers that fan out further work (a
+    repair session's sends) mint children of it and parent correctly.
+    """
 
-    def __init__(self, mtype: str, body: dict, blob: memoryview) -> None:
+    __slots__ = ("mtype", "body", "blob", "ctx", "server_ctx")
+
+    def __init__(
+        self,
+        mtype: str,
+        body: dict,
+        blob: memoryview,
+        ctx: TraceContext | None = None,
+    ) -> None:
         self.mtype = mtype
         self.body = body
         self.blob = blob
+        self.ctx = ctx
+        self.server_ctx: TraceContext | None = None
 
 
 def _pack(body: dict | None, blob) -> tuple[int, bytes]:
@@ -86,12 +105,18 @@ def _split(header: dict, payload: bytearray) -> tuple[dict, memoryview]:
 
 
 async def send_request(
-    stream: Stream, mtype: str, body: dict | None = None, blob=None
+    stream: Stream,
+    mtype: str,
+    body: dict | None = None,
+    blob=None,
+    *,
+    ctx: TraceContext | None = None,
 ) -> None:
     blen, payload = _pack(body, blob)
-    await send_frame(
-        stream, {"t": mtype, "v": PROTOCOL_VERSION, "blen": blen}, payload
-    )
+    header = {"t": mtype, "v": PROTOCOL_VERSION, "blen": blen}
+    if ctx is not None:
+        header["tc"] = ctx.to_wire()
+    await send_frame(stream, header, payload)
 
 
 async def read_request(
@@ -107,7 +132,9 @@ async def read_request(
             f"protocol version {header.get('v')!r} != {PROTOCOL_VERSION}"
         )
     body, blob = _split(header, payload)
-    return Request(mtype, body, blob)
+    tc = header.get("tc")
+    ctx = TraceContext.from_wire(tc) if isinstance(tc, dict) else None
+    return Request(mtype, body, blob, ctx)
 
 
 async def send_response(
@@ -135,18 +162,21 @@ async def call(
     *,
     timeout: float = DEFAULT_RPC_TIMEOUT,
     attempts: int = 5,
+    ctx: TraceContext | None = None,
 ) -> tuple[dict, memoryview]:
     """One round trip: connect (with refused-connection backoff), send
     the request, await the response; returns ``(body, blob)``.
 
-    A response with ``ok: false`` raises :class:`StoreError` carrying
-    the service-side message; wire-level trouble (truncation, timeout,
-    refused after backoff) raises :class:`WireError` /
-    ``ConnectionError`` for the caller's retry policy to judge.
+    ``ctx`` rides the request frame header so the server's handling
+    span joins the caller's trace.  A response with ``ok: false``
+    raises :class:`StoreError` carrying the service-side message;
+    wire-level trouble (truncation, timeout, refused after backoff)
+    raises :class:`WireError` / ``ConnectionError`` for the caller's
+    retry policy to judge.
     """
     stream = await connect_tcp(host, port, attempts=attempts)
     try:
-        await send_request(stream, mtype, body, blob)
+        await send_request(stream, mtype, body, blob, ctx=ctx)
         header, payload = await read_frame(stream, timeout=timeout)
         if not header.get("ok", False):
             raise StoreError(

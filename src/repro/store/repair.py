@@ -32,6 +32,7 @@ import numpy as np
 from ..cluster import Placement
 from ..gf import GFTables, get_tables, linear_combine
 from ..repair.plan import CombineOp, RepairPlan, SendOp, block_key
+from ..telemetry.distributed import TraceContext
 from .messages import StoreError, StoreProtocolError, call
 
 __all__ = [
@@ -299,6 +300,7 @@ class RepairSession:
         rpc=call,
         recorder=None,
         throttle=None,
+        ctx: TraceContext | None = None,
     ) -> None:
         self.rid = rid
         self.assignment = assignment
@@ -307,6 +309,11 @@ class RepairSession:
         self.tables = tables or get_tables()
         self.rpc = rpc
         self.rec = recorder if recorder else None
+        #: Trace context of this daemon's repair span; every op span
+        #: descends from it and every outbound ``repair.block`` carries a
+        #: grandchild hop, so the assembled tree shows coordinator →
+        #: daemon → op → peer daemon.  ``None`` = no propagation.
+        self.ctx = ctx
         #: Optional pacing bucket (``await acquire(nbytes)``) charged
         #: before every outbound repair byte — the repair class of the
         #: daemon's QoS link split (docs/QOS.md).  ``None`` = unshaped.
@@ -362,13 +369,17 @@ class RepairSession:
         payload = np.ascontiguousarray(self.payloads[op.key])
         if self.throttle is not None:
             await self.throttle.acquire(int(payload.nbytes))
+        op_ctx = self.ctx.child() if self.ctx is not None else None
+        kwargs = {"blob": payload.data}
+        if op_ctx is not None:
+            kwargs["ctx"] = op_ctx.child()
         start = time.monotonic()
         await self.rpc(
             host,
             port,
             "repair.block",
             {"rid": self.rid, "key": op.key},
-            blob=payload.data,
+            **kwargs,
         )
         end = time.monotonic()
         self.reports.append(
@@ -388,6 +399,7 @@ class RepairSession:
                 op.op_id, start, end, category="op", op_id=op.op_id,
                 kind="transfer", node=op.src, peer=op.dst,
                 nbytes=int(payload.nbytes), rid=self.rid,
+                **(op_ctx.attrs() if op_ctx is not None else {}),
             )
 
     def _run_combine(self, op: CombineOp) -> None:
@@ -410,9 +422,10 @@ class RepairSession:
             }
         )
         if self.rec is not None:
+            attrs = self.ctx.child().attrs() if self.ctx is not None else {}
             self.rec.span(
                 op.op_id, start, end, category="op", op_id=op.op_id,
-                kind="compute", node=op.node, rid=self.rid,
+                kind="compute", node=op.node, rid=self.rid, **attrs,
             )
 
     async def _commit_output(self, block_id: int, key: str, stored_key: str, blocks: dict) -> None:

@@ -25,7 +25,28 @@ is the CLI.  See ``docs/OBSERVABILITY.md``.
 """
 
 from .diff import OpAlignment, TraceDiff, diff_repair, diff_traces, render_diff
+from .distributed import (
+    PROC_ATTR,
+    TraceContext,
+    TraceNode,
+    assemble_files,
+    assemble_trace,
+    build_tree,
+    critical_path,
+    new_span_id,
+    render_critical_path,
+    render_tree,
+    trace_ids,
+)
 from .export import from_jsonl, to_chrome_trace, to_jsonl
+from .histogram import (
+    LATENCY_PREFIX,
+    LogHistogram,
+    StatsRegistry,
+    snapshots_to_prometheus,
+    validate_prometheus_text,
+)
+from .stream import StreamingRecorder
 from .model import (
     CLOCK_SIM,
     CLOCK_WALL,
@@ -41,19 +62,36 @@ from .model import (
 __all__ = [
     "CLOCK_SIM",
     "CLOCK_WALL",
+    "LATENCY_PREFIX",
+    "LogHistogram",
     "NULL_RECORDER",
+    "PROC_ATTR",
     "NullRecorder",
     "OP_CATEGORY",
     "OpAlignment",
     "Span",
+    "StatsRegistry",
+    "StreamingRecorder",
     "TelemetryEvent",
     "TelemetryRecorder",
     "TelemetryTrace",
+    "TraceContext",
     "TraceDiff",
+    "TraceNode",
+    "assemble_files",
+    "assemble_trace",
+    "build_tree",
+    "critical_path",
     "diff_repair",
     "diff_traces",
     "from_jsonl",
+    "new_span_id",
+    "render_critical_path",
     "render_diff",
+    "render_tree",
+    "snapshots_to_prometheus",
     "to_chrome_trace",
     "to_jsonl",
+    "trace_ids",
+    "validate_prometheus_text",
 ]

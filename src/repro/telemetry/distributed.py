@@ -1,0 +1,316 @@
+"""Cross-process trace assembly for the multi-process store.
+
+One store operation touches three kinds of processes — the client that
+issued it, the coordinator that planned around it, and every daemon that
+moved bytes for it — and each of them records telemetry into its *own*
+stream with its own clock origin.  This module is what stitches those
+streams back into one story:
+
+* a :class:`TraceContext` is the propagation token: a random 64-bit
+  ``trace_id`` shared by everything one logical operation caused, plus a
+  random 64-bit ``span_id`` per hop and the ``parent_id`` it descends
+  from.  Contexts ride the :mod:`repro.store.messages` frame header
+  (``"tc"``) and repair-op metadata; every recorded span tags itself
+  with :meth:`TraceContext.attrs`.  Ids are random, never sequential, so
+  streams merged from any number of processes cannot collide.
+* :func:`assemble_trace` merges per-process :class:`TelemetryTrace`
+  streams into one wall-clock timeline, aligning clocks through the
+  ``meta["origin_unix"]`` anchor each wall recorder stamps (the unix
+  time of its t=0) and namespacing per-process op ids and metrics.
+* :func:`build_tree` / :func:`render_tree` turn the assembled spans into
+  parent→child trees keyed on the propagated span ids, and
+  :func:`critical_path` walks the latest-finishing chain — the
+  end-to-end answer to "where did this repair spend its time".
+
+The assembled trace is a plain :class:`TelemetryTrace`, so the existing
+JSONL and Perfetto exporters work on it unchanged (``rpr telemetry
+assemble --export``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .export import from_jsonl
+from .model import CLOCK_WALL, Span, TelemetryEvent, TelemetryTrace
+
+__all__ = [
+    "TraceContext",
+    "TraceNode",
+    "assemble_files",
+    "assemble_trace",
+    "build_tree",
+    "critical_path",
+    "new_span_id",
+    "render_critical_path",
+    "render_tree",
+    "trace_ids",
+]
+
+#: Span attribute keys the context writes and the tree builder reads.
+TRACE_ID_ATTR = "trace_id"
+SPAN_ID_ATTR = "span_id"
+PARENT_ID_ATTR = "parent_span_id"
+
+#: Span attribute naming the process a span came from (stamped by
+#: :func:`assemble_trace` from each source's name).
+PROC_ATTR = "proc"
+
+
+def new_span_id() -> str:
+    """A random 64-bit hex id — collision-safe across merged processes."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagation token: (trace, this hop, the hop it descends from).
+
+    Immutable; crossing a process or logical boundary mints a
+    :meth:`child` whose ``parent_id`` is this hop's ``span_id``.  The
+    wire form (:meth:`to_wire` / :meth:`from_wire`) is a three-key dict
+    small enough for every RPC header.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh trace — called at every client/coordinator entry point."""
+        return cls(trace_id=new_span_id(), span_id=new_span_id())
+
+    def child(self) -> "TraceContext":
+        """A new hop under this one (same trace, fresh span id)."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=new_span_id(), parent_id=self.span_id
+        )
+
+    def attrs(self) -> dict:
+        """The span attributes that make a recorded span tree-linkable."""
+        out = {TRACE_ID_ATTR: self.trace_id, SPAN_ID_ATTR: self.span_id}
+        if self.parent_id:
+            out[PARENT_ID_ATTR] = self.parent_id
+        return out
+
+    def to_wire(self) -> dict:
+        """Compact dict for the RPC frame header (``"tc"`` field)."""
+        out = {"t": self.trace_id, "s": self.span_id}
+        if self.parent_id:
+            out["p"] = self.parent_id
+        return out
+
+    @classmethod
+    def from_wire(cls, data: dict | None) -> "TraceContext | None":
+        """Parse a header field back into a context (``None`` passes through)."""
+        if not data:
+            return None
+        return cls(
+            trace_id=str(data.get("t", "")),
+            span_id=str(data.get("s", "")) or new_span_id(),
+            parent_id=str(data.get("p", "")),
+        )
+
+
+def _origin_unix(trace: TelemetryTrace) -> float | None:
+    value = trace.meta.get("origin_unix")
+    return float(value) if value is not None else None
+
+
+def assemble_trace(sources: list[tuple[str, TelemetryTrace]]) -> TelemetryTrace:
+    """Merge per-process wall traces into one aligned timeline.
+
+    ``sources`` is ``[(name, trace), ...]`` — e.g. ``[("client", t0),
+    ("coordinator", t1), ("node-0", t2), ...]``.  Each trace's
+    timestamps are origin-relative to *its own* t=0; recorders stamp
+    ``meta["origin_unix"]`` (the unix time of that origin) so this
+    function can rebase everything onto the earliest process's clock.
+    Traces without the anchor stay unshifted — they still merge, they
+    just can't be time-aligned.
+
+    Per-process identity is preserved by namespacing: every span/event
+    gains a ``proc`` attribute, and non-empty op ids and metric names
+    are prefixed ``"<name>/"`` so two processes' ``pacing.stalls``
+    counters (or identical plan op ids) never collapse into one.  Span
+    parent/child structure across processes comes from the propagated
+    ``span_id``/``parent_span_id`` attributes, not from op ids.
+    """
+    anchors = [a for _, t in sources if (a := _origin_unix(t)) is not None]
+    base = min(anchors) if anchors else 0.0
+    out = TelemetryTrace(
+        clock=CLOCK_WALL,
+        meta={
+            "assembled": True,
+            "sources": [name for name, _ in sources],
+            "origin_unix": base,
+        },
+    )
+    for name, trace in sources:
+        anchor = _origin_unix(trace)
+        offset = (anchor - base) if anchor is not None else 0.0
+        shifted = trace.shifted(offset)
+        for span in shifted.spans:
+            attrs = dict(span.attrs)
+            attrs.setdefault(PROC_ATTR, name)
+            out.spans.append(
+                Span(
+                    name=span.name,
+                    start=span.start,
+                    end=span.end,
+                    category=span.category,
+                    op_id=f"{name}/{span.op_id}" if span.op_id else "",
+                    parent=span.parent,
+                    attrs=attrs,
+                )
+            )
+        for event in shifted.events:
+            attrs = dict(event.attrs)
+            attrs.setdefault(PROC_ATTR, name)
+            out.events.append(
+                TelemetryEvent(
+                    name=event.name,
+                    time=event.time,
+                    category=event.category,
+                    op_id=event.op_id,
+                    attrs=attrs,
+                )
+            )
+        for key, value in shifted.counters.items():
+            out.counters[f"{name}/{key}"] = value
+        for key, samples in shifted.gauges.items():
+            out.gauges[f"{name}/{key}"] = list(samples)
+        for key, values in shifted.histograms.items():
+            out.histograms[f"{name}/{key}"] = list(values)
+    out.spans.sort(key=lambda s: (s.start, s.end, s.name))
+    out.events.sort(key=lambda e: (e.time, e.name))
+    return out
+
+
+def assemble_files(paths: list[str | Path]) -> TelemetryTrace:
+    """Assemble telemetry JSONL files, named by ``meta["node"]`` or stem."""
+    sources: list[tuple[str, TelemetryTrace]] = []
+    for path in paths:
+        path = Path(path)
+        trace = from_jsonl(path.read_text())
+        name = str(trace.meta.get("node") or path.stem)
+        sources.append((name, trace))
+    return assemble_trace(sources)
+
+
+@dataclass
+class TraceNode:
+    """One span in an assembled tree, with its propagated children."""
+
+    span: Span
+    children: list["TraceNode"] = field(default_factory=list)
+
+    @property
+    def proc(self) -> str:
+        return str(self.span.attrs.get(PROC_ATTR, ""))
+
+    @property
+    def span_id(self) -> str:
+        return str(self.span.attrs.get(SPAN_ID_ATTR, ""))
+
+
+def build_tree(
+    trace: TelemetryTrace, trace_id: str | None = None
+) -> list[TraceNode]:
+    """Link spans into parent→child trees via propagated span ids.
+
+    Only spans carrying a ``span_id`` attribute participate (spans from
+    un-instrumented paths are ignored).  With ``trace_id`` given, the
+    forest is restricted to that one logical operation; otherwise every
+    trace id present contributes its roots.  A span whose parent id
+    never shows up (the parent process's stream is missing) becomes a
+    root itself, so partial collections still render.
+    """
+    nodes: dict[str, TraceNode] = {}
+    ordered: list[TraceNode] = []
+    for span in trace.spans:
+        sid = span.attrs.get(SPAN_ID_ATTR)
+        if not sid:
+            continue
+        if trace_id is not None and span.attrs.get(TRACE_ID_ATTR) != trace_id:
+            continue
+        node = TraceNode(span=span)
+        nodes.setdefault(str(sid), node)
+        ordered.append(node)
+    roots: list[TraceNode] = []
+    for node in ordered:
+        parent_id = str(node.span.attrs.get(PARENT_ID_ATTR, ""))
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in ordered:
+        node.children.sort(key=lambda n: (n.span.start, n.span.end))
+    roots.sort(key=lambda n: (n.span.start, n.span.end))
+    return roots
+
+
+def trace_ids(trace: TelemetryTrace) -> list[str]:
+    """Distinct trace ids present, ordered by first span start."""
+    seen: dict[str, float] = {}
+    for span in trace.spans:
+        tid = span.attrs.get(TRACE_ID_ATTR)
+        if tid and (tid not in seen or span.start < seen[tid]):
+            seen[str(tid)] = span.start
+    return sorted(seen, key=lambda t: seen[t])
+
+
+def _label(node: TraceNode) -> str:
+    span = node.span
+    ms = span.duration * 1e3
+    proc = f" [{node.proc}]" if node.proc else ""
+    return f"{span.name}{proc} {span.start:.4f}s +{ms:.2f}ms"
+
+
+def render_tree(roots: list[TraceNode]) -> str:
+    """ASCII tree of an assembled forest, one line per span."""
+    lines: list[str] = []
+
+    def walk(node: TraceNode, prefix: str, tail: bool, top: bool) -> None:
+        if top:
+            lines.append(_label(node))
+            child_prefix = ""
+        else:
+            lines.append(f"{prefix}{'└─ ' if tail else '├─ '}{_label(node)}")
+            child_prefix = prefix + ("   " if tail else "│  ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1, False)
+
+    for root in roots:
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def critical_path(root: TraceNode) -> list[TraceNode]:
+    """The latest-finishing descent from ``root`` — what gated completion.
+
+    At every level the child whose span *ends last* is the one the
+    parent waited for; following that chain to a leaf yields the
+    end-to-end critical path of the operation.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda n: (n.span.end, n.span.start))
+        path.append(node)
+    return path
+
+
+def render_critical_path(path: list[TraceNode]) -> str:
+    """One line per hop: name, process, absolute window, duration."""
+    lines = []
+    for depth, node in enumerate(path):
+        span = node.span
+        lines.append(
+            f"{'  ' * depth}{span.name} [{node.proc or '?'}] "
+            f"{span.start:.4f}s -> {span.end:.4f}s ({span.duration * 1e3:.2f}ms)"
+        )
+    return "\n".join(lines)

@@ -64,6 +64,14 @@ def from_jsonl(text: str) -> TelemetryTrace:
 
     Unknown record kinds raise, so the format stays extension-safe the
     same way ``RunTrace.from_json_lines`` is.
+
+    The parser also accepts *streamed* files
+    (:class:`repro.telemetry.stream.StreamingRecorder`), where metric
+    records repeat: counter records carry cumulative values (the last
+    one wins), while gauge/histogram records carry incremental samples
+    (they extend per name).  A one-shot :func:`to_jsonl` dump has one
+    record per name, so these semantics leave the pinned byte-identical
+    round-trip untouched.
     """
     clock = None
     meta: dict = {}
@@ -87,9 +95,11 @@ def from_jsonl(text: str) -> TelemetryTrace:
         elif kind == "counter":
             counters[record["name"]] = record["value"]
         elif kind == "gauge":
-            gauges[record["name"]] = [(s[0], s[1]) for s in record["samples"]]
+            gauges.setdefault(record["name"], []).extend(
+                (s[0], s[1]) for s in record["samples"]
+            )
         elif kind == "histogram":
-            histograms[record["name"]] = list(record["values"])
+            histograms.setdefault(record["name"], []).extend(record["values"])
         else:
             raise ValueError(f"unknown telemetry record kind {kind!r}")
     if clock is None:

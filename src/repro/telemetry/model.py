@@ -303,14 +303,31 @@ class TelemetryRecorder:
         return True
 
     def set_origin(self, origin: float) -> None:
-        """Pin the run's t=0 in the raw time base."""
+        """Pin the run's t=0 in the raw time base.
+
+        When the time base is the real monotonic clock, the origin's
+        unix time is stamped into ``meta["origin_unix"]`` so traces from
+        different processes can be re-aligned onto one wall timeline by
+        :func:`repro.telemetry.distributed.assemble_trace`.  Injected
+        fake time sources get no anchor — their zero means nothing in
+        wall time.
+        """
         self._origin = origin
+        if self.clock == CLOCK_WALL and self._time is time.monotonic:
+            self.meta["origin_unix"] = time.time() - (time.monotonic() - origin)
 
     def now(self) -> float:
         """Current origin-relative time from the recorder's time source."""
         if self._time is None:
             return 0.0
         return self._time() - self._origin
+
+    def raw_now(self) -> float:
+        """Current *raw* time-base reading — the base :meth:`span` and
+        :meth:`event` expect their timestamps in (origin not subtracted)."""
+        if self._time is None:
+            return 0.0
+        return self._time()
 
     def span(
         self,

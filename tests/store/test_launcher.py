@@ -7,10 +7,12 @@ interesting reasons only.
 """
 
 import os
+import time
 
 import pytest
 
 from repro.store import LauncherError, StoreLauncher
+from repro.telemetry import from_jsonl
 
 CONFIG = dict(
     racks=3, per_rack=2, n=3, k=2, block_size=4096,
@@ -53,6 +55,43 @@ class TestLauncher:
         for pid in state["daemons"].values():
             with pytest.raises(ProcessLookupError):
                 os.kill(pid, 0)
+
+    def test_sigkilled_daemon_leaves_its_telemetry_behind(self, launcher):
+        """ISSUE satellite a: telemetry streams span-by-span, so a
+        SIGKILL'd daemon's file still holds everything it recorded —
+        there is no graceful-shutdown write to lose."""
+        launcher.up(**CONFIG)
+        try:
+            client = launcher.client()
+            data = os.urandom(3 * 4096 + 17)
+            client.put("obj", data)
+
+            # Pick a victim that actually served traffic, via the
+            # blocks count its heartbeats report (they lag ~0.3s).
+            victim = None
+            deadline = time.monotonic() + 10.0
+            while victim is None and time.monotonic() < deadline:
+                nodes = client.status()["nodes"]
+                for nid, info in sorted(nodes.items(), key=lambda kv: int(kv[0])):
+                    if info.get("meta", {}).get("blocks", 0) > 0:
+                        victim = int(nid)
+                        break
+                else:
+                    time.sleep(0.2)
+            assert victim is not None, "no daemon ever reported blocks"
+
+            launcher.kill_daemon(victim)
+            path = launcher.state_dir / f"telemetry-node-{victim}.jsonl"
+            trace = from_jsonl(path.read_text())
+            assert trace.meta["node"] == f"node-{victim}"
+            # The spans that put its blocks there survived the SIGKILL.
+            put_spans = [
+                s for s in trace.spans if s.name == "rpc:block.put"
+            ]
+            assert put_spans, [s.name for s in trace.spans]
+            assert all("trace_id" in s.attrs for s in put_spans)
+        finally:
+            launcher.down()
 
     def test_down_without_up_fails_loudly(self, launcher):
         with pytest.raises(LauncherError, match="no cluster state"):

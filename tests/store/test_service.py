@@ -15,6 +15,14 @@ from repro.cluster import Cluster
 from repro.live import audit_store_repairs
 from repro.rs import get_code
 from repro.store import Coordinator, StorageDaemon, StoreClient, StoreError
+from repro.telemetry import (
+    assemble_trace,
+    build_tree,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    trace_ids,
+)
 
 BLOCK = 2048
 RACKS, PER_RACK, N, K = 3, 2, 3, 2
@@ -207,6 +215,89 @@ class TestKillAndRepair:
                 )
                 client_trace = svc.client.rec.trace()
                 assert {s.attrs.get("op") for s in client_trace.spans if s.category == "client"} >= {"put", "get"}
+
+        asyncio.run(_run())
+
+    def test_kill_repair_yields_one_connected_distributed_trace(self):
+        """ISSUE satellite c: after a kill→repair round, merging every
+        component's telemetry must produce ONE connected tree per repair
+        — the coordinator's ``repair:<rid>`` root with every daemon's
+        repair spans descending from it — and the assembled trace must
+        survive the JSONL and Perfetto exporters unchanged."""
+
+        async def _run():
+            async with Service() as svc:
+                data = os.urandom(N * BLOCK + 99)  # 2 stripes
+                await svc.client.put("obj", data)
+                victim = svc.coordinator.stripes[0].placement.node_of(0)
+                # Grab the victim daemon before kill() pops it: its
+                # pre-kill spans must participate in the assembly.
+                victim_daemon = svc.daemons[victim]
+                await svc.kill(victim)
+                await svc.client.wait_healthy(timeout=20.0, min_repairs=1)
+
+                merged = assemble_trace(
+                    [
+                        ("client", svc.client.rec.trace()),
+                        ("coordinator", svc.coordinator.rec.trace()),
+                        (f"node-{victim}", victim_daemon.rec.trace()),
+                        *(
+                            (f"node-{nid}", daemon.rec.trace())
+                            for nid, daemon in svc.daemons.items()
+                        ),
+                    ]
+                )
+
+                repair_traces = 0
+                for tid in trace_ids(merged):
+                    roots = build_tree(merged, tid)
+                    if not any(
+                        r.span.name.startswith("repair:") for r in roots
+                    ):
+                        continue
+                    repair_traces += 1
+                    # One logical repair == one connected tree: every
+                    # span in this trace id descends from a single root.
+                    assert len(roots) == 1, [r.span.name for r in roots]
+                    root = roots[0]
+                    assert root.proc == "coordinator"
+                    descendants = []
+                    stack = list(root.children)
+                    while stack:
+                        node = stack.pop()
+                        descendants.append(node)
+                        stack.extend(node.children)
+                    # The coordinator fanned out over the wire...
+                    assert any(
+                        n.span.name == "rpc:repair.exec" for n in descendants
+                    )
+                    # ...and every daemon-side repair span is linked in.
+                    daemon_repairs = [
+                        n
+                        for n in descendants
+                        if n.span.name.startswith("repair:")
+                        and n.proc.startswith("node-")
+                    ]
+                    assert daemon_repairs, "no daemon repair spans in tree"
+                    in_trace = [
+                        s
+                        for s in merged.spans
+                        if s.attrs.get("trace_id") == tid
+                        and s.name.startswith("repair:")
+                        and str(s.attrs.get("proc", "")).startswith("node-")
+                    ]
+                    assert len(daemon_repairs) == len(in_trace)
+                assert repair_traces >= 1, "no repair trace assembled"
+
+                # The assembled trace is a plain TelemetryTrace: both
+                # exporters must accept it, and JSONL must round-trip.
+                clone = from_jsonl(to_jsonl(merged))
+                assert to_jsonl(clone) == to_jsonl(merged)
+                chrome = to_chrome_trace([("assembled", merged)])
+                assert any(
+                    e["ph"] == "X" and e["name"].startswith("repair:")
+                    for e in chrome["traceEvents"]
+                )
 
         asyncio.run(_run())
 
